@@ -1,0 +1,234 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out.
+//!
+//! Each group runs a family of configurations on the *same* workload and
+//! prints the quality metric alongside Criterion's timing, so one
+//! `cargo bench --bench ablations` answers both "what does the knob cost"
+//! and "what does the knob buy".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::OnceLock;
+use vstress::bpred::{
+    harness, Bimodal, BranchPredictor, Gshare, Perceptron, Tage, TageConfig, TageWithLoop,
+    Tournament, TwoLevelLocal,
+};
+use vstress::cache::{Hierarchy, HierarchyConfig, ReplacementPolicy};
+use vstress::codecs::{CodecId, Encoder, EncoderParams};
+use vstress::pipeline::{CoreConfig, CoreModel};
+use vstress::trace::record::NullSink;
+use vstress::trace::{BranchRecord, MemAccess, SinkProbe};
+use vstress::video::vbench::{self, FidelityConfig};
+
+/// A shared branch+memory trace captured once from a real encode.
+fn traces() -> &'static (Vec<BranchRecord>, Vec<MemAccess>, u64) {
+    static TRACES: OnceLock<(Vec<BranchRecord>, Vec<MemAccess>, u64)> = OnceLock::new();
+    TRACES.get_or_init(|| {
+        let clip = vbench::clip("game2").unwrap().synthesize(&FidelityConfig::smoke());
+        let enc = Encoder::new(CodecId::SvtAv1, EncoderParams::new(45, 6)).unwrap();
+        let mut probe = SinkProbe::new(Vec::new(), Vec::new());
+        enc.encode(&clip, &mut probe).unwrap();
+        let (mix, branches, mems) = probe.into_parts();
+        (branches, mems, mix.total())
+    })
+}
+
+/// Ablation: predictor family at a fixed ~8 KB budget.
+/// A factory of boxed predictors, used by the family ablation.
+type PredictorFactory = Box<dyn Fn() -> Box<dyn BranchPredictor>>;
+
+fn ablate_predictor_families(c: &mut Criterion) {
+    let (branches, _, total) = traces();
+    let mut g = c.benchmark_group("ablation_predictor_family_8kb");
+    g.sample_size(10);
+    let families: Vec<(&str, PredictorFactory)> = vec![
+        ("bimodal", Box::new(|| Box::new(Bimodal::with_budget_bytes(8 << 10)))),
+        ("local", Box::new(|| Box::new(TwoLevelLocal::new(12, 12)))),
+        ("gshare", Box::new(|| Box::new(Gshare::with_budget_bytes(8 << 10)))),
+        ("tournament", Box::new(|| Box::new(Tournament::with_budget_bytes(8 << 10)))),
+        ("perceptron", Box::new(|| Box::new(Perceptron::with_budget_bytes(8 << 10)))),
+        ("tage", Box::new(|| Box::new(Tage::seznec_8kb()))),
+        ("tage-l", Box::new(|| Box::new(TageWithLoop::seznec_8kb()))),
+    ];
+    for (name, make) in &families {
+        let stats = harness::run_with_window(&mut make(), branches, *total);
+        eprintln!(
+            "[ablation] predictor {name:<10} miss {:.3}%  MPKI {:.3}",
+            stats.miss_rate() * 100.0,
+            stats.mpki()
+        );
+        g.bench_function(*name, |b| {
+            b.iter(|| harness::run_with_window(&mut make(), branches, *total))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: TAGE tagged-table count at fixed total budget.
+fn ablate_tage_geometry(c: &mut Criterion) {
+    let (branches, _, total) = traces();
+    let mut g = c.benchmark_group("ablation_tage_tables");
+    g.sample_size(10);
+    for tables in [2usize, 4, 6, 10] {
+        let cfg = TageConfig {
+            num_tables: tables,
+            // Keep total storage roughly constant by scaling entries.
+            log_entries: match tables {
+                2 => 11,
+                4 => 10,
+                6 => 9,
+                _ => 9,
+            },
+            ..TageConfig::budget_8kb()
+        };
+        let stats = harness::run_with_window(&mut Tage::new(cfg.clone()), branches, *total);
+        eprintln!(
+            "[ablation] tage tables={tables:<2} miss {:.3}%  MPKI {:.3}",
+            stats.miss_rate() * 100.0,
+            stats.mpki()
+        );
+        g.bench_function(format!("tables_{tables}"), |b| {
+            b.iter(|| harness::run_with_window(&mut Tage::new(cfg.clone()), branches, *total))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: cache replacement policy and next-line prefetch.
+fn ablate_cache_policies(c: &mut Criterion) {
+    let (_, mems, total) = traces();
+    let mut g = c.benchmark_group("ablation_cache");
+    g.sample_size(10);
+    for policy in ReplacementPolicy::ALL {
+        let mut cfg = HierarchyConfig::broadwell_scaled(16);
+        cfg.l1d.policy = policy;
+        cfg.l2.policy = policy;
+        let run = |cfg: HierarchyConfig| {
+            let mut h = Hierarchy::new(cfg);
+            for m in mems {
+                if m.is_store {
+                    h.store(m.addr, m.bytes);
+                } else {
+                    h.load(m.addr, m.bytes);
+                }
+            }
+            h.stats()
+        };
+        let stats = run(cfg);
+        eprintln!(
+            "[ablation] policy {:<7} L1D MPKI {:.2}  L2 MPKI {:.2}",
+            policy.label(),
+            stats.l1d.mpki(*total),
+            stats.l2.mpki(*total)
+        );
+        g.bench_function(policy.label(), |b| b.iter(|| run(cfg)));
+    }
+    for prefetch in [
+        vstress::cache::config::PrefetchKind::None,
+        vstress::cache::config::PrefetchKind::NextLine,
+        vstress::cache::config::PrefetchKind::Stride,
+    ] {
+        let mut cfg = HierarchyConfig::broadwell_scaled(16);
+        cfg.l2_prefetch = prefetch;
+        let mut h = Hierarchy::new(cfg);
+        for m in mems {
+            if m.is_store {
+                h.store(m.addr, m.bytes);
+            } else {
+                h.load(m.addr, m.bytes);
+            }
+        }
+        eprintln!(
+            "[ablation] prefetch={prefetch:?}  L2 MPKI {:.3}",
+            h.stats().l2.mpki(*total)
+        );
+    }
+    g.finish();
+}
+
+/// Ablation: memory-level-parallelism modelling in the interval core.
+fn ablate_mlp_model(c: &mut Criterion) {
+    let clip = vbench::clip("cat").unwrap().synthesize(&FidelityConfig::smoke());
+    let enc = Encoder::new(CodecId::SvtAv1, EncoderParams::new(45, 6)).unwrap();
+    let mut g = c.benchmark_group("ablation_mlp");
+    g.sample_size(10);
+    for (name, max_mlp) in [("mlp_off", 1u32), ("mlp_4", 4), ("mlp_8", 8)] {
+        let run = || {
+            let mut cfg = CoreConfig::broadwell();
+            cfg.max_mlp = max_mlp;
+            let mut model = CoreModel::new(
+                cfg,
+                HierarchyConfig::broadwell_scaled(16),
+                Gshare::with_budget_bytes(32 << 10),
+            );
+            enc.encode(&clip, &mut model).unwrap();
+            model.into_report()
+        };
+        let report = run();
+        eprintln!("[ablation] {name:<8} IPC {:.3}", report.ipc());
+        g.bench_function(name, |b| b.iter(run));
+    }
+    g.finish();
+}
+
+/// Ablation: the paper's own "exponential search space" claim — partition
+/// grammar size vs instruction count at identical content and quality.
+fn ablate_search_space(c: &mut Criterion) {
+    let clip = vbench::clip("cat").unwrap().synthesize(&FidelityConfig::smoke());
+    let mut g = c.benchmark_group("ablation_search_space");
+    g.sample_size(10);
+    for (name, codec) in [
+        ("av1_10_shapes", CodecId::SvtAv1),
+        ("vp9_4_shapes", CodecId::LibvpxVp9),
+        ("h26x_quadtree", CodecId::X265),
+    ] {
+        let params = vstress::workbench::equivalent_params(codec, 30, 2);
+        let enc = Encoder::new(codec, params).unwrap();
+        let run = || {
+            let mut probe = SinkProbe::new(NullSink, NullSink);
+            enc.encode(&clip, &mut probe).unwrap();
+            probe.mix().total()
+        };
+        eprintln!("[ablation] {name:<14} instructions {:.3e}", run() as f64);
+        g.bench_function(name, |b| b.iter(run));
+    }
+    g.finish();
+}
+
+/// Ablation: RDO early-termination aggressiveness — the paper's
+/// "increasing CRF simply decreases the amount of algorithmic work"
+/// pruning dial, isolated from CRF.
+fn ablate_early_exit(c: &mut Criterion) {
+    use vstress::codecs::codecs::ToolSet;
+    let clip = vbench::clip("cat").unwrap().synthesize(&FidelityConfig::smoke());
+    let params = EncoderParams::new(40, 4);
+    let base = ToolSet::resolve(CodecId::SvtAv1, &params).unwrap();
+    let mut g = c.benchmark_group("ablation_early_exit");
+    g.sample_size(10);
+    for scale in [1u64, 4, 16, 64] {
+        let mut tools = base.clone();
+        tools.early_exit_scale = scale;
+        let enc = Encoder::with_tools(tools, params).unwrap();
+        let run = || {
+            let mut probe = SinkProbe::new(NullSink, NullSink);
+            let out = enc.encode(&clip, &mut probe).unwrap();
+            (probe.mix().total(), out.mean_psnr())
+        };
+        let (instrs, psnr) = run();
+        eprintln!(
+            "[ablation] early_exit_scale={scale:<3} instructions {:.3e}  PSNR {:.2} dB",
+            instrs as f64, psnr
+        );
+        g.bench_function(format!("scale_{scale}"), |b| b.iter(run));
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablate_predictor_families,
+    ablate_tage_geometry,
+    ablate_cache_policies,
+    ablate_mlp_model,
+    ablate_search_space,
+    ablate_early_exit
+);
+criterion_main!(ablations);

@@ -1,0 +1,96 @@
+//! One Criterion benchmark per paper table/figure: each bench runs the
+//! experiment runner that regenerates the artifact (micro profile).
+//!
+//! `cargo bench -p vstress-bench --bench figures` prints timing for every
+//! runner; the tables themselves come from `vstress-repro`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vstress::experiments::{
+    catalogue, cbp, crf_sweep, mix, preset_sweep, runtime_quality, threads,
+};
+use vstress_bench::micro_config;
+
+fn bench_tables(c: &mut Criterion) {
+    let cfg = micro_config();
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1_vbench", |b| b.iter(catalogue::table1_vbench));
+    g.bench_function("table2_instruction_mix", |b| {
+        b.iter(|| mix::table2_instruction_mix(&cfg).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_runtime_figures(c: &mut Criterion) {
+    let cfg = micro_config();
+    let mut g = c.benchmark_group("runtime_quality");
+    g.sample_size(10);
+    g.bench_function("fig01_runtime_vs_crf", |b| {
+        b.iter(|| runtime_quality::fig01_runtime_vs_crf(&cfg).unwrap())
+    });
+    g.bench_function("fig02b_psnr_vs_time", |b| {
+        b.iter(|| runtime_quality::fig02b_psnr_vs_time(&cfg).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_sweep_figures(c: &mut Criterion) {
+    let cfg = micro_config();
+    let mut g = c.benchmark_group("crf_sweep");
+    g.sample_size(10);
+    g.bench_function("fig04_07_sweep", |b| {
+        b.iter(|| {
+            let pts = crf_sweep::crf_sweep(&cfg).unwrap();
+            (
+                crf_sweep::fig04_crf_sweep(&pts),
+                crf_sweep::fig05_topdown(&pts),
+                crf_sweep::fig06_microarch(&pts),
+                crf_sweep::fig07_missrate(&pts),
+            )
+        })
+    });
+    g.bench_function("fig03_opmix", |b| b.iter(|| mix::fig03_opmix_sweep(&cfg).unwrap()));
+    g.finish();
+}
+
+fn bench_cbp_figures(c: &mut Criterion) {
+    let cfg = micro_config();
+    let mut g = c.benchmark_group("cbp");
+    g.sample_size(10);
+    g.bench_function("fig08_cbp_p8_crf63", |b| b.iter(|| cbp::fig08_cbp(&cfg).unwrap()));
+    g.bench_function("fig09_cbp_p4_crf10", |b| b.iter(|| cbp::fig09_cbp(&cfg).unwrap()));
+    g.bench_function("fig10_cbp_p4_crf60", |b| b.iter(|| cbp::fig10_cbp(&cfg).unwrap()));
+    g.finish();
+}
+
+fn bench_preset_and_threads(c: &mut Criterion) {
+    let cfg = micro_config();
+    let mut g = c.benchmark_group("preset_threads");
+    g.sample_size(10);
+    g.bench_function("fig11_preset_sweep", |b| {
+        b.iter(|| {
+            let pts = preset_sweep::preset_sweep(&cfg).unwrap();
+            (
+                preset_sweep::fig11ab_runtime_quality(&pts),
+                preset_sweep::fig11cde_microarch(&pts),
+            )
+        })
+    });
+    g.bench_function("fig12_15_thread_scaling", |b| {
+        b.iter(|| threads::fig12_15_thread_scaling(&cfg).unwrap())
+    });
+    g.bench_function("fig16_topdown_threads", |b| {
+        b.iter(|| threads::fig16_topdown_threads(&cfg).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_tables,
+    bench_runtime_figures,
+    bench_sweep_figures,
+    bench_cbp_figures,
+    bench_preset_and_threads
+);
+criterion_main!(figures);

@@ -1,0 +1,168 @@
+//! Microbenchmarks of the hot substrate kernels.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vstress::bpred::{BranchPredictor, Gshare, Tage};
+use vstress::cache::{AccessKind, Cache, CacheConfig, Hierarchy, HierarchyConfig};
+use vstress::codecs::blocks::BlockRect;
+use vstress::codecs::entropy::{Context, RangeDecoder, RangeEncoder};
+use vstress::codecs::kernels::sad_plane_plane;
+use vstress::codecs::mesearch::{motion_search, MeSettings};
+use vstress::codecs::mc::MotionVector;
+use vstress::codecs::transform;
+use vstress::trace::NullProbe;
+use vstress::video::Plane;
+
+fn bench_transforms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transform");
+    for n in [4usize, 8, 16, 32] {
+        let src: Vec<i32> = (0..n * n).map(|i| (i as i32 * 37) % 255 - 127).collect();
+        let mut dst = vec![0i32; n * n];
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_function(format!("fwd_dct_{n}x{n}"), |b| {
+            b.iter(|| transform::forward(&mut NullProbe, n, black_box(&src), &mut dst))
+        });
+        g.bench_function(format!("inv_dct_{n}x{n}"), |b| {
+            b.iter(|| transform::inverse(&mut NullProbe, n, black_box(&src), &mut dst))
+        });
+    }
+    let res: Vec<i32> = (0..256).map(|i| (i * 13) % 101 - 50).collect();
+    g.bench_function("satd_16x16", |b| {
+        b.iter(|| transform::satd(&mut NullProbe, 16, 16, black_box(&res)))
+    });
+    g.finish();
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("entropy");
+    let bins: Vec<bool> = (0..10_000).map(|i| i % 7 < 2).collect();
+    g.throughput(Throughput::Elements(bins.len() as u64));
+    g.bench_function("encode_10k_bins", |b| {
+        b.iter(|| {
+            let mut enc = RangeEncoder::new();
+            let mut ctx = Context::new(1);
+            for &bin in &bins {
+                enc.encode(&mut NullProbe, &mut ctx, bin);
+            }
+            enc.finish()
+        })
+    });
+    let bytes = {
+        let mut enc = RangeEncoder::new();
+        let mut ctx = Context::new(1);
+        for &bin in &bins {
+            enc.encode(&mut NullProbe, &mut ctx, bin);
+        }
+        enc.finish()
+    };
+    g.bench_function("decode_10k_bins", |b| {
+        b.iter(|| {
+            let mut dec = RangeDecoder::new(&bytes);
+            let mut ctx = Context::new(1);
+            let mut acc = 0u32;
+            for _ in 0..bins.len() {
+                acc += dec.decode(&mut NullProbe, &mut ctx) as u32;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bpred");
+    let trace: Vec<(u64, bool)> = (0..50_000u64)
+        .map(|i| (0x4000 + (i % 97) * 4, (i * 2654435761) % 5 < 2))
+        .collect();
+    g.throughput(Throughput::Elements(trace.len() as u64));
+    g.bench_function("gshare_32kb", |b| {
+        b.iter(|| {
+            let mut p = Gshare::with_budget_bytes(32 << 10);
+            let mut misses = 0u32;
+            for &(pc, taken) in &trace {
+                let guess = p.predict(pc);
+                misses += (guess != taken) as u32;
+                p.update(pc, taken, guess);
+            }
+            misses
+        })
+    });
+    g.bench_function("tage_8kb", |b| {
+        b.iter(|| {
+            let mut p = Tage::seznec_8kb();
+            let mut misses = 0u32;
+            for &(pc, taken) in &trace {
+                let guess = p.predict(pc);
+                misses += (guess != taken) as u32;
+                p.update(pc, taken, guess);
+            }
+            misses
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cache");
+    let addrs: Vec<u64> = (0..100_000u64).map(|i| (i * 2654435761) % (1 << 22)).collect();
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("single_cache_random", |b| {
+        b.iter(|| {
+            let mut cache = Cache::new(CacheConfig::lru(32 << 10, 8, 64));
+            let mut hits = 0u64;
+            for &a in &addrs {
+                hits += cache.access_line(a >> 6, AccessKind::Read).hit as u64;
+            }
+            hits
+        })
+    });
+    g.bench_function("hierarchy_random", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(HierarchyConfig::broadwell_scaled(16));
+            for &a in &addrs {
+                h.load(a, 32);
+            }
+            h.stats().l1d.misses
+        })
+    });
+    g.finish();
+}
+
+fn bench_motion_search(c: &mut Criterion) {
+    let mut cur = Plane::new(64, 64, 0).unwrap();
+    let mut refp = Plane::new(64, 64, 0).unwrap();
+    for y in 0..64 {
+        for x in 0..64 {
+            let v = ((x as f64 * 0.21).sin() * 60.0 + (y as f64 * 0.17).cos() * 50.0 + 128.0) as u8;
+            cur.set(x, y, v);
+            refp.set(x, y, v.wrapping_add((x % 3) as u8));
+        }
+    }
+    let rect = BlockRect::new(16, 16, 16, 16);
+    let settings = MeSettings { range: 12, exhaustive_radius: 0, refine_steps: 16, subpel: true };
+    c.bench_function("motion_search_16x16", |b| {
+        b.iter(|| {
+            motion_search(
+                &mut NullProbe,
+                black_box(&cur),
+                rect,
+                black_box(&refp),
+                MotionVector::ZERO,
+                &settings,
+                8,
+            )
+        })
+    });
+    c.bench_function("sad_16x16", |b| {
+        b.iter(|| sad_plane_plane(&mut NullProbe, black_box(&cur), rect, black_box(&refp), 2, 1))
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_transforms,
+    bench_entropy,
+    bench_predictors,
+    bench_cache,
+    bench_motion_search
+);
+criterion_main!(kernels);

@@ -1,0 +1,96 @@
+//! Bimodal (per-PC 2-bit counter) predictor.
+
+use crate::counter::SatCounter;
+use crate::BranchPredictor;
+
+/// The classic Smith predictor: a table of 2-bit saturating counters
+/// indexed by low PC bits.
+#[derive(Debug, Clone)]
+pub struct Bimodal {
+    table: Vec<SatCounter<2>>,
+    index_bits: u32,
+}
+
+impl Bimodal {
+    /// Creates a bimodal predictor with `2^index_bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 28.
+    pub fn new(index_bits: u32) -> Self {
+        assert!((1..=28).contains(&index_bits), "index_bits must be 1..=28");
+        Bimodal { table: vec![SatCounter::weakly_not_taken(); 1 << index_bits], index_bits }
+    }
+
+    /// Creates the largest bimodal predictor fitting in `bytes` of storage
+    /// (2 bits per counter).
+    pub fn with_budget_bytes(bytes: u64) -> Self {
+        let counters = (bytes * 8 / 2).max(2);
+        Self::new(63 - counters.leading_zeros())
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1 << self.index_bits) - 1)) as usize
+    }
+}
+
+impl BranchPredictor for Bimodal {
+    #[inline]
+    fn predict(&mut self, pc: u64) -> bool {
+        self.table[self.index(pc)].is_taken()
+    }
+
+    #[inline]
+    fn update(&mut self, pc: u64, taken: bool, _predicted: bool) {
+        let idx = self.index(pc);
+        self.table[idx].update(taken);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (self.table.len() as u64) * 2
+    }
+
+    fn label(&self) -> String {
+        format!("bimodal-{}KB", self.storage_bits() / 8 / 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_biased_branch() {
+        let mut p = Bimodal::new(10);
+        for _ in 0..4 {
+            let g = p.predict(0x40);
+            p.update(0x40, true, g);
+        }
+        assert!(p.predict(0x40));
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_interfere_within_table() {
+        let mut p = Bimodal::new(10);
+        for _ in 0..4 {
+            p.update(0x40, true, false);
+            p.update(0x44, false, false);
+        }
+        assert!(p.predict(0x40));
+        assert!(!p.predict(0x44));
+    }
+
+    #[test]
+    fn budget_sizing() {
+        let p = Bimodal::with_budget_bytes(2048);
+        assert_eq!(p.storage_bits(), 2048 * 8);
+        assert_eq!(p.label(), "bimodal-2KB");
+    }
+
+    #[test]
+    #[should_panic(expected = "index_bits")]
+    fn zero_bits_panics() {
+        let _ = Bimodal::new(0);
+    }
+}

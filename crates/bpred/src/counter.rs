@@ -1,0 +1,125 @@
+//! Saturating counters, the basic storage element of direction predictors.
+
+/// An `N`-bit saturating up/down counter.
+///
+/// Values live in `[0, 2^N - 1]`; the counter "predicts taken" in the upper
+/// half of its range. `N = 2` is the classic Smith counter; TAGE uses
+/// 3-bit signed counters which map onto `SatCounter<3>` with the midpoint
+/// shifted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SatCounter<const N: u32> {
+    value: u8,
+}
+
+impl<const N: u32> SatCounter<N> {
+    /// Maximum representable value.
+    pub const MAX: u8 = ((1u16 << N) - 1) as u8;
+
+    /// Creates a counter at the weakly-not-taken midpoint.
+    pub fn weakly_not_taken() -> Self {
+        SatCounter { value: (1 << (N - 1)) - 1 }
+    }
+
+    /// Creates a counter at the weakly-taken midpoint.
+    pub fn weakly_taken() -> Self {
+        SatCounter { value: 1 << (N - 1) }
+    }
+
+    /// Creates a counter at an explicit value, clamped to range.
+    pub fn at(value: u8) -> Self {
+        SatCounter { value: value.min(Self::MAX) }
+    }
+
+    /// Current raw value.
+    #[inline]
+    pub fn value(self) -> u8 {
+        self.value
+    }
+
+    /// Whether the counter currently predicts taken.
+    #[inline]
+    pub fn is_taken(self) -> bool {
+        self.value >= (1 << (N - 1))
+    }
+
+    /// Whether the counter is at either extreme (high confidence).
+    #[inline]
+    pub fn is_saturated(self) -> bool {
+        self.value == 0 || self.value == Self::MAX
+    }
+
+    /// Whether the counter is at one of the two midpoints (low confidence).
+    #[inline]
+    pub fn is_weak(self) -> bool {
+        let mid_hi = 1 << (N - 1);
+        self.value == mid_hi || self.value == mid_hi - 1
+    }
+
+    /// Trains the counter toward `taken`.
+    #[inline]
+    pub fn update(&mut self, taken: bool) {
+        if taken {
+            if self.value < Self::MAX {
+                self.value += 1;
+            }
+        } else if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+}
+
+impl<const N: u32> Default for SatCounter<N> {
+    fn default() -> Self {
+        Self::weakly_not_taken()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_counter_hysteresis() {
+        let mut c = SatCounter::<2>::weakly_not_taken();
+        assert!(!c.is_taken());
+        c.update(true); // 1 -> 2: weakly taken
+        assert!(c.is_taken());
+        c.update(false); // 2 -> 1
+        assert!(!c.is_taken());
+    }
+
+    #[test]
+    fn saturation_at_extremes() {
+        let mut c = SatCounter::<2>::at(3);
+        c.update(true);
+        assert_eq!(c.value(), 3);
+        assert!(c.is_saturated());
+        for _ in 0..10 {
+            c.update(false);
+        }
+        assert_eq!(c.value(), 0);
+        assert!(c.is_saturated());
+    }
+
+    #[test]
+    fn strongly_taken_needs_two_flips() {
+        let mut c = SatCounter::<2>::at(3);
+        c.update(false);
+        assert!(c.is_taken(), "one not-taken must not flip a strong counter");
+        c.update(false);
+        assert!(!c.is_taken());
+    }
+
+    #[test]
+    fn three_bit_midpoints_are_weak() {
+        assert!(SatCounter::<3>::weakly_taken().is_weak());
+        assert!(SatCounter::<3>::weakly_not_taken().is_weak());
+        assert!(!SatCounter::<3>::at(7).is_weak());
+        assert_eq!(SatCounter::<3>::MAX, 7);
+    }
+
+    #[test]
+    fn at_clamps() {
+        assert_eq!(SatCounter::<2>::at(200).value(), 3);
+    }
+}

@@ -1,0 +1,252 @@
+//! Global branch history and incrementally folded history registers.
+
+/// Maximum global history length retained (long enough for large TAGE
+/// configurations).
+pub const MAX_HISTORY: usize = 1024;
+
+/// A shift register of recent branch outcomes.
+///
+/// Bit 0 of the logical history is the most recent outcome. Backed by a
+/// circular bit buffer so pushes are O(1) regardless of history length.
+#[derive(Debug, Clone)]
+pub struct GlobalHistory {
+    bits: [u64; MAX_HISTORY / 64],
+    /// Index of the slot the *next* outcome will occupy.
+    head: usize,
+}
+
+impl GlobalHistory {
+    /// Creates an all-not-taken history.
+    pub fn new() -> Self {
+        GlobalHistory { bits: [0; MAX_HISTORY / 64], head: 0 }
+    }
+
+    /// Pushes the latest outcome.
+    #[inline]
+    pub fn push(&mut self, taken: bool) {
+        let w = self.head / 64;
+        let b = self.head % 64;
+        if taken {
+            self.bits[w] |= 1 << b;
+        } else {
+            self.bits[w] &= !(1 << b);
+        }
+        self.head = (self.head + 1) % MAX_HISTORY;
+    }
+
+    /// Outcome `age` branches ago (`age = 0` is the most recent).
+    #[inline]
+    pub fn bit(&self, age: usize) -> bool {
+        debug_assert!(age < MAX_HISTORY);
+        let idx = (self.head + MAX_HISTORY - 1 - age) % MAX_HISTORY;
+        (self.bits[idx / 64] >> (idx % 64)) & 1 == 1
+    }
+
+    /// The `len` most recent outcomes packed into a u64 (`len <= 64`),
+    /// most recent in bit 0. Used by short-history predictors.
+    #[inline]
+    pub fn low_bits(&self, len: usize) -> u64 {
+        debug_assert!(len <= 64);
+        let mut v = 0u64;
+        for age in 0..len {
+            v |= (self.bit(age) as u64) << age;
+        }
+        v
+    }
+}
+
+impl Default for GlobalHistory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A history register folded down to `target_bits` by XOR, maintained
+/// incrementally as branches retire — the classic TAGE/CBP structure.
+///
+/// Folding the most recent `orig_len` history bits into `target_bits`
+/// would cost O(orig_len) per branch if recomputed; instead the fold is
+/// updated in O(1) by injecting the incoming bit and ejecting the bit that
+/// falls off the end of the window.
+#[derive(Debug, Clone)]
+pub struct FoldedHistory {
+    comp: u64,
+    orig_len: usize,
+    target_bits: usize,
+    /// `orig_len % target_bits`, the rotation applied to the ejected bit.
+    outpoint: usize,
+}
+
+impl FoldedHistory {
+    /// Folds the most recent `orig_len` outcomes into `target_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_bits` is 0 or greater than 63, or if `orig_len`
+    /// exceeds [`MAX_HISTORY`].
+    pub fn new(orig_len: usize, target_bits: usize) -> Self {
+        assert!(target_bits > 0 && target_bits < 64, "target_bits must be 1..=63");
+        assert!(orig_len <= MAX_HISTORY, "orig_len exceeds retained history");
+        FoldedHistory { comp: 0, orig_len, target_bits, outpoint: orig_len % target_bits }
+    }
+
+    /// Current folded value.
+    #[inline]
+    pub fn value(&self) -> u64 {
+        self.comp
+    }
+
+    /// Updates the fold for a new outcome, given the global history
+    /// *before* this outcome is pushed (so the ejected bit is still
+    /// readable at age `orig_len - 1`).
+    #[inline]
+    pub fn update(&mut self, history_before_push: &GlobalHistory, incoming: bool) {
+        let mask = (1u64 << self.target_bits) - 1;
+        // Inject the incoming bit at position 0; every older bit advances
+        // one position (mod target_bits) via the overflow fold-back.
+        self.comp = (self.comp << 1) | incoming as u64;
+        if self.orig_len > 0 {
+            // The bit leaving the window sits at position orig_len % target.
+            let ejected = history_before_push.bit(self.orig_len - 1) as u64;
+            self.comp ^= ejected << self.outpoint;
+        }
+        self.comp ^= self.comp >> self.target_bits;
+        self.comp &= mask;
+    }
+}
+
+/// A bundle of one [`GlobalHistory`] plus the folded registers that all
+/// tagged tables of a TAGE predictor need, kept in sync by a single
+/// [`HistoryBundle::push`].
+#[derive(Debug, Clone)]
+pub struct HistoryBundle {
+    global: GlobalHistory,
+    folds: Vec<FoldedHistory>,
+}
+
+impl HistoryBundle {
+    /// Creates a bundle with one folded register per `(orig_len, bits)`
+    /// specification.
+    pub fn new(specs: &[(usize, usize)]) -> Self {
+        HistoryBundle {
+            global: GlobalHistory::new(),
+            folds: specs.iter().map(|&(l, b)| FoldedHistory::new(l, b)).collect(),
+        }
+    }
+
+    /// The raw global history.
+    pub fn global(&self) -> &GlobalHistory {
+        &self.global
+    }
+
+    /// Folded value of register `i`.
+    #[inline]
+    pub fn fold(&self, i: usize) -> u64 {
+        self.folds[i].value()
+    }
+
+    /// Retires one branch outcome, updating every fold then the history.
+    pub fn push(&mut self, taken: bool) {
+        for f in &mut self.folds {
+            f.update(&self.global, taken);
+        }
+        self.global.push(taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference fold: XOR of `target_bits`-wide chunks of the history.
+    fn reference_fold(hist: &GlobalHistory, orig_len: usize, bits: usize) -> u64 {
+        let mut acc = 0u64;
+        let mut chunk = 0u64;
+        for age in 0..orig_len {
+            let pos = age % bits;
+            chunk |= (hist.bit(age) as u64) << pos;
+            if pos == bits - 1 || age == orig_len - 1 {
+                acc ^= chunk;
+                chunk = 0;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn history_push_and_read() {
+        let mut h = GlobalHistory::new();
+        h.push(true);
+        h.push(false);
+        h.push(true);
+        assert!(h.bit(0)); // newest
+        assert!(!h.bit(1));
+        assert!(h.bit(2));
+        assert_eq!(h.low_bits(3), 0b101);
+    }
+
+    #[test]
+    fn history_wraps_without_corruption() {
+        let mut h = GlobalHistory::new();
+        for i in 0..(MAX_HISTORY * 2 + 17) {
+            h.push(i % 3 == 0);
+        }
+        // After pushing i = 0..n, bit(age) corresponds to i = n-1-age.
+        let n = MAX_HISTORY * 2 + 17;
+        for age in 0..MAX_HISTORY {
+            assert_eq!(h.bit(age), (n - 1 - age).is_multiple_of(3), "age {age}");
+        }
+    }
+
+    #[test]
+    fn folded_history_matches_reference() {
+        // Incremental fold must equal recomputation from scratch at every step.
+        let (orig_len, bits) = (13, 5);
+        let mut h = GlobalHistory::new();
+        let mut f = FoldedHistory::new(orig_len, bits);
+        let mut x = 0x1234_5678u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let taken = (x >> 33) & 1 == 1;
+            f.update(&h, taken);
+            h.push(taken);
+            assert_eq!(f.value(), reference_fold(&h, orig_len, bits));
+        }
+    }
+
+    #[test]
+    fn folded_history_various_geometries() {
+        for &(orig_len, bits) in &[(4usize, 4usize), (8, 3), (64, 10), (130, 11), (300, 12)] {
+            let mut h = GlobalHistory::new();
+            let mut f = FoldedHistory::new(orig_len, bits);
+            let mut x = 42u64;
+            for step in 0..400 {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                let taken = x >> 62 & 1 == 1;
+                f.update(&h, taken);
+                h.push(taken);
+                assert_eq!(
+                    f.value(),
+                    reference_fold(&h, orig_len, bits),
+                    "len {orig_len} bits {bits} step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target_bits")]
+    fn zero_target_bits_panics() {
+        let _ = FoldedHistory::new(10, 0);
+    }
+
+    #[test]
+    fn bundle_keeps_folds_in_sync() {
+        let mut b = HistoryBundle::new(&[(8, 4), (32, 7)]);
+        for i in 0..100 {
+            b.push(i % 5 < 2);
+        }
+        assert_eq!(b.fold(0), reference_fold(b.global(), 8, 4));
+        assert_eq!(b.fold(1), reference_fold(b.global(), 32, 7));
+    }
+}

@@ -1,0 +1,102 @@
+//! Two-level local-history predictor (Yeh & Patt style).
+
+use crate::counter::SatCounter;
+use crate::BranchPredictor;
+
+/// A two-level predictor with per-branch local history: a first-level
+/// table of history registers indexed by PC selects into a second-level
+/// pattern table of 2-bit counters.
+///
+/// Not evaluated in the paper's figures, but included as an ablation
+/// baseline (DESIGN.md §6): it isolates whether SVT-AV1's branches are
+/// *self*-correlated (local history suffices) or *cross*-correlated
+/// (global history needed, as TAGE exploits).
+#[derive(Debug, Clone)]
+pub struct TwoLevelLocal {
+    histories: Vec<u16>,
+    pattern: Vec<SatCounter<2>>,
+    history_bits: u32,
+    pc_bits: u32,
+}
+
+impl TwoLevelLocal {
+    /// Creates a local predictor with `2^pc_bits` history registers of
+    /// `history_bits` bits and a `2^history_bits` pattern table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history_bits` is 0 or exceeds 16, or `pc_bits` exceeds 24.
+    pub fn new(pc_bits: u32, history_bits: u32) -> Self {
+        assert!((1..=16).contains(&history_bits), "history_bits must be 1..=16");
+        assert!((1..=24).contains(&pc_bits), "pc_bits must be 1..=24");
+        TwoLevelLocal {
+            histories: vec![0; 1 << pc_bits],
+            pattern: vec![SatCounter::weakly_not_taken(); 1 << history_bits],
+            history_bits,
+            pc_bits,
+        }
+    }
+
+    #[inline]
+    fn pc_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1 << self.pc_bits) - 1)) as usize
+    }
+}
+
+impl BranchPredictor for TwoLevelLocal {
+    #[inline]
+    fn predict(&mut self, pc: u64) -> bool {
+        let h = self.histories[self.pc_index(pc)] as usize;
+        self.pattern[h].is_taken()
+    }
+
+    #[inline]
+    fn update(&mut self, pc: u64, taken: bool, _predicted: bool) {
+        let pi = self.pc_index(pc);
+        let h = self.histories[pi] as usize;
+        self.pattern[h].update(taken);
+        let mask = (1u16 << self.history_bits) - 1;
+        self.histories[pi] = ((self.histories[pi] << 1) | taken as u16) & mask;
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.histories.len() as u64 * self.history_bits as u64 + self.pattern.len() as u64 * 2
+    }
+
+    fn label(&self) -> String {
+        format!("local-{}KB", self.storage_bits() / 8 / 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+    use vstress_trace::record::BranchRecord;
+
+    #[test]
+    fn learns_short_periodic_pattern() {
+        // Period-4 loop branch: local history of >= 4 bits nails it.
+        let trace: Vec<BranchRecord> =
+            (0..4000).map(|i| BranchRecord { pc: 0x90, taken: i % 4 != 3 }).collect();
+        let stats = harness::run(&mut TwoLevelLocal::new(10, 10), &trace);
+        assert!(stats.miss_rate() < 0.02, "miss rate {}", stats.miss_rate());
+    }
+
+    #[test]
+    fn independent_branches_use_independent_histories() {
+        let mut trace = Vec::new();
+        for i in 0..4000 {
+            trace.push(BranchRecord { pc: 0x100, taken: i % 2 == 0 });
+            trace.push(BranchRecord { pc: 0x200, taken: i % 3 == 0 });
+        }
+        let stats = harness::run(&mut TwoLevelLocal::new(10, 12), &trace);
+        assert!(stats.miss_rate() < 0.05, "miss rate {}", stats.miss_rate());
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let p = TwoLevelLocal::new(10, 10);
+        assert_eq!(p.storage_bits(), 1024 * 10 + 1024 * 2);
+    }
+}

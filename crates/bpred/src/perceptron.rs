@@ -1,0 +1,161 @@
+//! Perceptron branch predictor (Jiménez & Lin, HPCA 2001).
+
+use crate::history::GlobalHistory;
+use crate::BranchPredictor;
+
+/// A table of perceptrons indexed by PC, each dotting a signed weight
+/// vector against the global history.
+///
+/// Included as an ablation point between gshare and TAGE: perceptrons
+/// capture *linearly separable* history correlations with long histories
+/// at modest storage, but cannot learn the non-linear patterns TAGE's
+/// tagged matching can.
+#[derive(Debug, Clone)]
+pub struct Perceptron {
+    /// `tables[i]` holds weights w_0 (bias) .. w_h for perceptron i.
+    weights: Vec<Vec<i16>>,
+    history: GlobalHistory,
+    history_len: usize,
+    /// Training threshold θ = 1.93h + 14 (the paper's optimum).
+    theta: i32,
+    /// Output of the last prediction (consumed by `update`).
+    last_output: i32,
+}
+
+impl Perceptron {
+    /// Creates a perceptron predictor with `entries` perceptrons over
+    /// `history_len` bits of global history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `history_len` is 0 or
+    /// greater than 64.
+    pub fn new(entries: usize, history_len: usize) -> Self {
+        assert!(entries.is_power_of_two() && entries >= 2, "entries must be a power of two");
+        assert!((1..=64).contains(&history_len), "history_len must be 1..=64");
+        Perceptron {
+            weights: vec![vec![0i16; history_len + 1]; entries],
+            history: GlobalHistory::new(),
+            history_len,
+            theta: (1.93 * history_len as f64 + 14.0) as i32,
+            last_output: 0,
+        }
+    }
+
+    /// The largest perceptron predictor fitting `bytes` (8-bit weights).
+    pub fn with_budget_bytes(bytes: u64) -> Self {
+        let history_len = 28usize;
+        let per_entry = (history_len + 1) as u64; // ~1 byte per weight
+        let entries = (bytes / per_entry).next_power_of_two().max(2) as usize;
+        // next_power_of_two rounds up; halve if that overshot the budget.
+        let entries =
+            if entries as u64 * per_entry > bytes { (entries / 2).max(2) } else { entries };
+        Self::new(entries, history_len)
+    }
+
+    #[inline]
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) % self.weights.len() as u64) as usize
+    }
+
+    fn output(&self, pc: u64) -> i32 {
+        let w = &self.weights[self.index(pc)];
+        let mut y = w[0] as i32;
+        for i in 0..self.history_len {
+            let x = if self.history.bit(i) { 1 } else { -1 };
+            y += w[i + 1] as i32 * x;
+        }
+        y
+    }
+}
+
+impl BranchPredictor for Perceptron {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.last_output = self.output(pc);
+        self.last_output >= 0
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
+        // Recompute if predict was skipped or interleaved.
+        let y = if predicted == (self.last_output >= 0) {
+            self.last_output
+        } else {
+            self.output(pc)
+        };
+        let t = if taken { 1i32 } else { -1 };
+        if (y >= 0) != taken || y.abs() <= self.theta {
+            let hist_len = self.history_len;
+            let idx = self.index(pc);
+            // Collect history signs before borrowing weights mutably.
+            let signs: Vec<i16> =
+                (0..hist_len).map(|i| if self.history.bit(i) { 1 } else { -1 }).collect();
+            let w = &mut self.weights[idx];
+            w[0] = (w[0] as i32 + t).clamp(-128, 127) as i16;
+            for i in 0..hist_len {
+                w[i + 1] = (w[i + 1] as i32 + t * signs[i] as i32).clamp(-128, 127) as i16;
+            }
+        }
+        self.history.push(taken);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (self.weights.len() * (self.history_len + 1)) as u64 * 8 + self.history_len as u64
+    }
+
+    fn label(&self) -> String {
+        format!("perceptron-{}KB", self.storage_bits() / 8 / 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+    use crate::Gshare;
+    use vstress_trace::record::BranchRecord;
+
+    #[test]
+    fn learns_biased_branches() {
+        let trace: Vec<BranchRecord> =
+            (0..4000).map(|i| BranchRecord { pc: 0x10, taken: i % 9 != 0 }).collect();
+        let stats = harness::run(&mut Perceptron::new(256, 16), &trace);
+        assert!(stats.miss_rate() < 0.15, "miss {}", stats.miss_rate());
+    }
+
+    #[test]
+    fn learns_linear_history_correlation() {
+        // Branch B is taken iff branch A (two ago) was taken: a linearly
+        // separable function of history, ideal perceptron territory.
+        let mut trace = Vec::new();
+        let mut x = 7u64;
+        let mut a_outcomes = std::collections::VecDeque::from([false, false]);
+        for _ in 0..8000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = (x >> 60) & 1 == 1;
+            trace.push(BranchRecord { pc: 0xA0, taken: a });
+            let b = *a_outcomes.front().unwrap();
+            trace.push(BranchRecord { pc: 0xB0, taken: b });
+            a_outcomes.push_back(a);
+            a_outcomes.pop_front();
+        }
+        let p = harness::run(&mut Perceptron::new(512, 24), &trace);
+        // Half the branches (the A's) are random; B's are predictable.
+        assert!(p.miss_rate() < 0.30, "perceptron should nail the B branches: {}", p.miss_rate());
+        let g = harness::run(&mut Gshare::with_budget_bytes(512), &trace);
+        assert!(p.miss_rate() <= g.miss_rate() + 0.02, "{} vs {}", p.miss_rate(), g.miss_rate());
+    }
+
+    #[test]
+    fn budget_sizing_stays_within_bytes() {
+        for kb in [4u64, 16, 64] {
+            let p = Perceptron::with_budget_bytes(kb << 10);
+            assert!(p.storage_bits() / 8 <= (kb << 10) + 64, "{kb}KB: {}", p.storage_bits() / 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Perceptron::new(100, 16);
+    }
+}

@@ -1,0 +1,470 @@
+//! TAGE — TAgged GEometric-history-length predictor (Seznec).
+//!
+//! A faithful small-scale TAGE: a bimodal base predictor plus `N` tagged
+//! tables indexed by hashes of the PC with geometrically increasing global
+//! history lengths. Prediction comes from the matching table with the
+//! longest history (the *provider*); the next match (or the bimodal) is
+//! the *alternate*. Entries carry 3-bit signed counters, partial tags and
+//! 2-bit usefulness counters; mispredictions allocate into longer tables,
+//! and usefulness is periodically aged, exactly as in the CBP reference
+//! implementations.
+
+use crate::counter::SatCounter;
+use crate::history::HistoryBundle;
+use crate::BranchPredictor;
+
+/// Geometry and budget of a [`Tage`] predictor.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TageConfig {
+    /// log2 of bimodal-table entries.
+    pub log_bimodal: u32,
+    /// Number of tagged tables.
+    pub num_tables: usize,
+    /// log2 of entries per tagged table.
+    pub log_entries: u32,
+    /// Partial-tag width in bits.
+    pub tag_bits: u32,
+    /// Shortest history length (table 0).
+    pub min_history: usize,
+    /// Longest history length (last table).
+    pub max_history: usize,
+    /// Updates between usefulness-aging events.
+    pub u_reset_period: u64,
+}
+
+impl TageConfig {
+    /// The ~8 KB configuration evaluated by the paper.
+    pub fn budget_8kb() -> Self {
+        TageConfig {
+            log_bimodal: 12,
+            num_tables: 6,
+            log_entries: 9,
+            tag_bits: 9,
+            min_history: 4,
+            max_history: 130,
+            u_reset_period: 256 * 1024,
+        }
+    }
+
+    /// The ~64 KB configuration evaluated by the paper.
+    pub fn budget_64kb() -> Self {
+        TageConfig {
+            log_bimodal: 14,
+            num_tables: 12,
+            log_entries: 11,
+            tag_bits: 12,
+            min_history: 4,
+            max_history: 640,
+            u_reset_period: 512 * 1024,
+        }
+    }
+
+    /// The geometric history length of tagged table `i`.
+    pub fn history_length(&self, i: usize) -> usize {
+        if self.num_tables == 1 {
+            return self.min_history;
+        }
+        let ratio = self.max_history as f64 / self.min_history as f64;
+        let l = self.min_history as f64
+            * ratio.powf(i as f64 / (self.num_tables - 1) as f64);
+        (l.round() as usize).max(1)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TageEntry {
+    /// 3-bit counter; >= 4 predicts taken.
+    ctr: u8,
+    tag: u16,
+    /// 2-bit usefulness.
+    useful: u8,
+}
+
+impl TageEntry {
+    #[inline]
+    fn predicts_taken(&self) -> bool {
+        self.ctr >= 4
+    }
+
+    #[inline]
+    fn is_weak(&self) -> bool {
+        self.ctr == 3 || self.ctr == 4
+    }
+
+    #[inline]
+    fn train(&mut self, taken: bool) {
+        if taken {
+            if self.ctr < 7 {
+                self.ctr += 1;
+            }
+        } else if self.ctr > 0 {
+            self.ctr -= 1;
+        }
+    }
+}
+
+/// The TAGE predictor. See the module docs for structure.
+#[derive(Debug, Clone)]
+pub struct Tage {
+    config: TageConfig,
+    bimodal: Vec<SatCounter<2>>,
+    tables: Vec<Vec<TageEntry>>,
+    history: HistoryBundle,
+    /// 4-bit USE_ALT_ON_NA: trust the alternate when the provider is new.
+    use_alt_on_na: u8,
+    updates: u64,
+    /// Which half of the usefulness bits the next aging event clears.
+    age_phase: bool,
+    /// Deterministic xorshift state for allocation randomization.
+    rng: u64,
+    /// Scratch from the last prediction, consumed by `update`.
+    last: Prediction,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Prediction {
+    pc: u64,
+    provider: Option<usize>,
+    provider_index: usize,
+    alt_pred: bool,
+    provider_pred: bool,
+    final_pred: bool,
+    provider_is_new: bool,
+    table_indices: [usize; 16],
+    table_tags: [u16; 16],
+}
+
+impl Tage {
+    /// Builds a TAGE predictor with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no tables, more than 16
+    /// tables, zero tag bits, or a non-increasing history range).
+    pub fn new(config: TageConfig) -> Self {
+        assert!(
+            (1..=16).contains(&config.num_tables),
+            "num_tables must be 1..=16 (Prediction scratch is fixed-size)"
+        );
+        assert!(config.tag_bits >= 4 && config.tag_bits <= 16, "tag_bits must be 4..=16");
+        assert!(config.min_history >= 1 && config.max_history > config.min_history);
+        assert!(config.log_entries >= 4 && config.log_bimodal >= 4);
+        let mut specs = Vec::new();
+        for i in 0..config.num_tables {
+            let l = config.history_length(i);
+            specs.push((l, config.log_entries as usize)); // index fold
+            specs.push((l, config.tag_bits as usize)); // tag fold 1
+            specs.push((l, (config.tag_bits - 1) as usize)); // tag fold 2
+        }
+        Tage {
+            bimodal: vec![SatCounter::weakly_not_taken(); 1 << config.log_bimodal],
+            tables: vec![
+                vec![TageEntry::default(); 1 << config.log_entries];
+                config.num_tables
+            ],
+            history: HistoryBundle::new(&specs),
+            use_alt_on_na: 8,
+            updates: 0,
+            age_phase: false,
+            rng: 0x2545_f491_4f6c_dd1d,
+            last: Prediction::default(),
+            config,
+        }
+    }
+
+    /// The paper's 8 KB TAGE.
+    pub fn seznec_8kb() -> Self {
+        Self::new(TageConfig::budget_8kb())
+    }
+
+    /// The paper's 64 KB TAGE.
+    pub fn seznec_64kb() -> Self {
+        Self::new(TageConfig::budget_64kb())
+    }
+
+    /// The configuration this predictor was built with.
+    pub fn config(&self) -> &TageConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn bimodal_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1 << self.config.log_bimodal) - 1)) as usize
+    }
+
+    #[inline]
+    fn table_index(&self, pc: u64, table: usize) -> usize {
+        let fold = self.history.fold(table * 3);
+        let mask = (1u64 << self.config.log_entries) - 1;
+        let pcx = (pc >> 2) ^ (pc >> (2 + self.config.log_entries as u64 + table as u64));
+        ((pcx ^ fold) & mask) as usize
+    }
+
+    #[inline]
+    fn table_tag(&self, pc: u64, table: usize) -> u16 {
+        let f1 = self.history.fold(table * 3 + 1);
+        let f2 = self.history.fold(table * 3 + 2);
+        let mask = (1u64 << self.config.tag_bits) - 1;
+        (((pc >> 2) ^ f1 ^ (f2 << 1)) & mask) as u16
+    }
+
+    #[inline]
+    fn next_rand(&mut self) -> u64 {
+        self.rng ^= self.rng << 13;
+        self.rng ^= self.rng >> 7;
+        self.rng ^= self.rng << 17;
+        self.rng
+    }
+
+    fn compute_prediction(&mut self, pc: u64) -> Prediction {
+        let mut p = Prediction { pc, ..Prediction::default() };
+        for t in 0..self.config.num_tables {
+            p.table_indices[t] = self.table_index(pc, t);
+            p.table_tags[t] = self.table_tag(pc, t);
+        }
+        let bim = self.bimodal[self.bimodal_index(pc)].is_taken();
+        p.alt_pred = bim;
+        p.provider_pred = bim;
+        p.final_pred = bim;
+        // Scan from longest history (last table) down.
+        let mut provider = None;
+        let mut alt: Option<bool> = None;
+        for t in (0..self.config.num_tables).rev() {
+            let e = &self.tables[t][p.table_indices[t]];
+            if e.tag == p.table_tags[t] {
+                if provider.is_none() {
+                    provider = Some(t);
+                } else if alt.is_none() {
+                    alt = Some(e.predicts_taken());
+                    break;
+                }
+            }
+        }
+        if let Some(t) = provider {
+            let e = &self.tables[t][p.table_indices[t]];
+            p.provider = Some(t);
+            p.provider_index = p.table_indices[t];
+            p.provider_pred = e.predicts_taken();
+            p.alt_pred = alt.unwrap_or(bim);
+            p.provider_is_new = e.is_weak() && e.useful == 0;
+            p.final_pred = if p.provider_is_new && self.use_alt_on_na >= 8 {
+                p.alt_pred
+            } else {
+                p.provider_pred
+            };
+        }
+        p
+    }
+
+    fn allocate(&mut self, p: &Prediction, taken: bool) {
+        let start = match p.provider {
+            Some(t) => t + 1,
+            None => 0,
+        };
+        if start >= self.config.num_tables {
+            return;
+        }
+        // Seznec randomizes the first candidate table to avoid ping-ponging.
+        let span = self.config.num_tables - start;
+        let skip = if span > 1 { (self.next_rand() % 2) as usize } else { 0 };
+        let mut allocated = false;
+        for t in (start + skip)..self.config.num_tables {
+            let idx = p.table_indices[t];
+            if self.tables[t][idx].useful == 0 {
+                self.tables[t][idx] = TageEntry {
+                    ctr: if taken { 4 } else { 3 },
+                    tag: p.table_tags[t],
+                    useful: 0,
+                };
+                allocated = true;
+                break;
+            }
+        }
+        if !allocated {
+            // All candidates useful: age them so a later allocation succeeds.
+            for t in start..self.config.num_tables {
+                let idx = p.table_indices[t];
+                let e = &mut self.tables[t][idx];
+                if e.useful > 0 {
+                    e.useful -= 1;
+                }
+            }
+        }
+    }
+
+    fn age_usefulness(&mut self) {
+        // Alternately clear the high / low usefulness bit (Seznec's
+        // graceful aging) so entries lose protection over two periods.
+        let mask = if self.age_phase { 0b01 } else { 0b10 };
+        self.age_phase = !self.age_phase;
+        for table in &mut self.tables {
+            for e in table.iter_mut() {
+                e.useful &= mask;
+            }
+        }
+    }
+}
+
+impl BranchPredictor for Tage {
+    fn predict(&mut self, pc: u64) -> bool {
+        let p = self.compute_prediction(pc);
+        let pred = p.final_pred;
+        self.last = p;
+        pred
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
+        // Recompute if the caller skipped predict() or interleaved PCs.
+        if self.last.pc != pc {
+            let p = self.compute_prediction(pc);
+            self.last = p;
+        }
+        let p = self.last;
+        let _ = predicted;
+        let mispredicted = p.final_pred != taken;
+
+        if let Some(t) = p.provider {
+            // USE_ALT_ON_NA bookkeeping: when the provider is fresh and the
+            // two predictions disagree, learn which to trust.
+            if p.provider_is_new && p.provider_pred != p.alt_pred {
+                if p.provider_pred == taken {
+                    if self.use_alt_on_na > 0 {
+                        self.use_alt_on_na -= 1;
+                    }
+                } else if self.use_alt_on_na < 15 {
+                    self.use_alt_on_na += 1;
+                }
+            }
+            let e = &mut self.tables[t][p.provider_index];
+            // Usefulness tracks "provider beat the alternate".
+            if p.provider_pred != p.alt_pred {
+                if p.provider_pred == taken {
+                    if e.useful < 3 {
+                        e.useful += 1;
+                    }
+                } else if e.useful > 0 {
+                    e.useful -= 1;
+                }
+            }
+            e.train(taken);
+            // Keep the bimodal warm when it served as the alternate.
+            if e.is_weak() {
+                let bi = self.bimodal_index(pc);
+                self.bimodal[bi].update(taken);
+            }
+        } else {
+            let bi = self.bimodal_index(pc);
+            self.bimodal[bi].update(taken);
+        }
+
+        if mispredicted {
+            self.allocate(&p, taken);
+        }
+
+        self.history.push(taken);
+        self.updates += 1;
+        if self.updates.is_multiple_of(self.config.u_reset_period) {
+            self.age_usefulness();
+        }
+    }
+
+    fn storage_bits(&self) -> u64 {
+        let bim = (1u64 << self.config.log_bimodal) * 2;
+        let entry_bits = 3 + 2 + self.config.tag_bits as u64;
+        let tagged =
+            self.config.num_tables as u64 * (1u64 << self.config.log_entries) * entry_bits;
+        bim + tagged + self.config.max_history as u64 + 4
+    }
+
+    fn label(&self) -> String {
+        let kb = (self.storage_bits() as f64 / 8.0 / 1024.0).ceil() as u64;
+        format!("tage-{}KB", kb.next_power_of_two())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+    use crate::Gshare;
+    use vstress_trace::record::BranchRecord;
+
+    #[test]
+    fn history_lengths_are_geometric_and_increasing() {
+        let c = TageConfig::budget_8kb();
+        let mut prev = 0;
+        for i in 0..c.num_tables {
+            let l = c.history_length(i);
+            assert!(l > prev, "lengths must strictly increase: {l} after {prev}");
+            prev = l;
+        }
+        assert_eq!(c.history_length(0), c.min_history);
+        assert_eq!(c.history_length(c.num_tables - 1), c.max_history);
+    }
+
+    #[test]
+    fn budgets_fit_their_labels() {
+        let t8 = Tage::seznec_8kb();
+        assert!(t8.storage_bits() <= 8 * 1024 * 8, "{} bits", t8.storage_bits());
+        assert_eq!(t8.label(), "tage-8KB");
+        let t64 = Tage::seznec_64kb();
+        assert!(t64.storage_bits() <= 64 * 1024 * 8, "{} bits", t64.storage_bits());
+        assert_eq!(t64.label(), "tage-64KB");
+    }
+
+    #[test]
+    fn learns_long_period_pattern_that_defeats_gshare() {
+        // Period-48 pattern at a single PC requires ~48 bits of history.
+        let pattern: Vec<bool> = (0..48).map(|i| (i * 7) % 13 < 6).collect();
+        let trace: Vec<BranchRecord> = (0..60_000)
+            .map(|i| BranchRecord { pc: 0xbeef0, taken: pattern[i % pattern.len()] })
+            .collect();
+        let tage = harness::run(&mut Tage::seznec_8kb(), &trace);
+        let gshare = harness::run(&mut Gshare::with_budget_bytes(2 << 10), &trace);
+        assert!(
+            tage.miss_rate() < gshare.miss_rate() * 0.5,
+            "tage {} vs gshare {}",
+            tage.miss_rate(),
+            gshare.miss_rate()
+        );
+        assert!(tage.miss_rate() < 0.05, "tage should nearly nail it: {}", tage.miss_rate());
+    }
+
+    #[test]
+    fn bigger_tage_is_no_worse_on_alias_heavy_trace() {
+        let mut trace = Vec::new();
+        let mut x = 77u64;
+        for _ in 0..80_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pc = 0x4000 + (x % 8192) * 4;
+            let taken = (pc / 4).is_multiple_of(3);
+            trace.push(BranchRecord { pc, taken });
+        }
+        let small = harness::run(&mut Tage::seznec_8kb(), &trace);
+        let large = harness::run(&mut Tage::seznec_64kb(), &trace);
+        assert!(
+            large.miss_rate() <= small.miss_rate() + 0.005,
+            "large {} vs small {}",
+            large.miss_rate(),
+            small.miss_rate()
+        );
+    }
+
+    #[test]
+    fn update_without_predict_is_tolerated() {
+        let mut t = Tage::seznec_8kb();
+        for i in 0..1000 {
+            t.update(0x10, i % 2 == 0, false);
+        }
+        // No panic, and the predictor still functions.
+        let _ = t.predict(0x10);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_tables")]
+    fn degenerate_config_panics() {
+        let mut c = TageConfig::budget_8kb();
+        c.num_tables = 0;
+        let _ = Tage::new(c);
+    }
+}

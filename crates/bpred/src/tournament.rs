@@ -1,0 +1,111 @@
+//! Tournament (McFarling combining) predictor.
+
+use crate::bimodal::Bimodal;
+use crate::counter::SatCounter;
+use crate::gshare::Gshare;
+use crate::BranchPredictor;
+
+/// McFarling's combining predictor: a bimodal and a gshare component with
+/// a per-PC chooser table that learns which component to trust.
+///
+/// Included as an equal-budget ablation baseline between plain gshare and
+/// TAGE (DESIGN.md §6).
+#[derive(Debug, Clone)]
+pub struct Tournament {
+    bimodal: Bimodal,
+    gshare: Gshare,
+    chooser: Vec<SatCounter<2>>,
+    chooser_bits: u32,
+}
+
+impl Tournament {
+    /// Creates a tournament predictor; each component gets roughly half of
+    /// `bytes`, the chooser a fixed 1/8 share.
+    pub fn with_budget_bytes(bytes: u64) -> Self {
+        let comp = (bytes * 7 / 16).max(64);
+        let chooser_entries = ((bytes / 8).max(16) * 8 / 2).next_power_of_two();
+        let chooser_bits = chooser_entries.trailing_zeros();
+        Tournament {
+            bimodal: Bimodal::with_budget_bytes(comp),
+            gshare: Gshare::with_budget_bytes(comp),
+            chooser: vec![SatCounter::weakly_taken(); chooser_entries as usize],
+            chooser_bits,
+        }
+    }
+
+    #[inline]
+    fn chooser_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1 << self.chooser_bits) - 1)) as usize
+    }
+}
+
+impl BranchPredictor for Tournament {
+    #[inline]
+    fn predict(&mut self, pc: u64) -> bool {
+        // Chooser counter high => trust gshare.
+        if self.chooser[self.chooser_index(pc)].is_taken() {
+            self.gshare.predict(pc)
+        } else {
+            self.bimodal.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
+        let bim = self.bimodal.predict(pc);
+        let gsh = self.gshare.predict(pc);
+        // Train the chooser only when the components disagree.
+        if bim != gsh {
+            let idx = self.chooser_index(pc);
+            self.chooser[idx].update(gsh == taken);
+        }
+        self.bimodal.update(pc, taken, predicted);
+        self.gshare.update(pc, taken, predicted);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.bimodal.storage_bits() + self.gshare.storage_bits() + self.chooser.len() as u64 * 2
+    }
+
+    fn label(&self) -> String {
+        format!("tournament-{}KB", (self.storage_bits() / 8).next_power_of_two() / 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness;
+    use vstress_trace::record::BranchRecord;
+
+    fn mixed_trace() -> Vec<BranchRecord> {
+        // One strongly biased branch (bimodal-friendly) interleaved with one
+        // history-correlated branch (gshare-friendly).
+        let mut t = Vec::new();
+        for i in 0..30_000u64 {
+            t.push(BranchRecord { pc: 0x100, taken: i % 17 != 0 });
+            t.push(BranchRecord { pc: 0x200, taken: i % 2 == 0 });
+        }
+        t
+    }
+
+    #[test]
+    fn beats_both_components_on_mixed_workload() {
+        let trace = mixed_trace();
+        let tour = harness::run(&mut Tournament::with_budget_bytes(8 << 10), &trace);
+        let bim = harness::run(&mut Bimodal::with_budget_bytes(8 << 10), &trace);
+        assert!(
+            tour.miss_rate() <= bim.miss_rate() + 1e-9,
+            "tournament {} vs bimodal {}",
+            tour.miss_rate(),
+            bim.miss_rate()
+        );
+        assert!(tour.miss_rate() < 0.05, "tournament should learn both: {}", tour.miss_rate());
+    }
+
+    #[test]
+    fn storage_is_within_budget_order() {
+        let p = Tournament::with_budget_bytes(8 << 10);
+        let bytes = p.storage_bits() / 8;
+        assert!(bytes <= 9 << 10, "{} bytes", bytes);
+    }
+}

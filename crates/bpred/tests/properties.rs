@@ -1,0 +1,114 @@
+//! Property-based tests of the predictor framework's invariants.
+
+use proptest::prelude::*;
+use vstress_bpred::{harness, Bimodal, BranchPredictor, Gshare, Perceptron, Tage, TageWithLoop, Tournament, TwoLevelLocal};
+use vstress_trace::record::BranchRecord;
+
+fn arbitrary_trace(seed: u64, len: usize, sites: u64, bias: u64) -> Vec<BranchRecord> {
+    let mut x = seed | 1;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            BranchRecord {
+                pc: 0x5000_0000_0000 + ((x >> 20) % sites) * 4,
+                taken: (x >> 55) % 100 < bias,
+            }
+        })
+        .collect()
+}
+
+fn zoo() -> Vec<Box<dyn BranchPredictor>> {
+    vec![
+        Box::new(Bimodal::new(10)),
+        Box::new(TwoLevelLocal::new(8, 8)),
+        Box::new(Gshare::with_budget_bytes(2 << 10)),
+        Box::new(Gshare::with_budget_bytes(32 << 10)),
+        Box::new(Tournament::with_budget_bytes(8 << 10)),
+        Box::new(Perceptron::with_budget_bytes(8 << 10)),
+        Box::new(Tage::seznec_8kb()),
+        Box::new(TageWithLoop::seznec_8kb()),
+        Box::new(Tage::seznec_64kb()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every predictor processes every trace without panicking, counts
+    /// every branch, and reports a miss rate in [0, 1].
+    #[test]
+    fn predictors_are_total(
+        seed in any::<u64>(),
+        len in 1usize..4000,
+        sites in 1u64..512,
+        bias in 0u64..=100,
+    ) {
+        let trace = arbitrary_trace(seed, len, sites, bias);
+        for mut p in zoo() {
+            let stats = harness::run(&mut p, &trace);
+            prop_assert_eq!(stats.branches, len as u64);
+            prop_assert!(stats.mispredicts <= stats.branches);
+            let mr = stats.miss_rate();
+            prop_assert!((0.0..=1.0).contains(&mr));
+        }
+    }
+
+    /// A fully-biased branch stream converges to near-zero misses for
+    /// every predictor (everything can learn "always taken").
+    #[test]
+    fn all_predictors_learn_constant_direction(seed in any::<u64>(), taken in any::<bool>()) {
+        let trace: Vec<BranchRecord> = (0..4000)
+            .map(|i| BranchRecord { pc: 0x4000 + (i % 16) * 4, taken })
+            .collect();
+        let _ = seed;
+        for mut p in zoo() {
+            let stats = harness::run(&mut p, &trace);
+            prop_assert!(
+                stats.miss_rate() < 0.02,
+                "{} failed to learn a constant branch: {}",
+                p.label(),
+                stats.miss_rate()
+            );
+        }
+    }
+
+    /// Replaying the same trace twice through fresh predictors gives
+    /// identical statistics (pure determinism).
+    #[test]
+    fn prediction_is_deterministic(seed in any::<u64>()) {
+        let trace = arbitrary_trace(seed, 2000, 64, 60);
+        for (mut a, mut b) in zoo().into_iter().zip(zoo()) {
+            let sa = harness::run(&mut a, &trace);
+            let sb = harness::run(&mut b, &trace);
+            prop_assert_eq!(sa.mispredicts, sb.mispredicts, "{}", a.label());
+        }
+    }
+
+    /// Storage accounting never exceeds twice the nominal budget label.
+    #[test]
+    fn storage_budgets_are_honest(budget_kb in 1u64..=64) {
+        let g = Gshare::with_budget_bytes(budget_kb << 10);
+        prop_assert!(g.storage_bits() <= (budget_kb << 10) * 8 + 64);
+        let b = Bimodal::with_budget_bytes(budget_kb << 10);
+        prop_assert!(b.storage_bits() <= (budget_kb << 10) * 8);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// On biased-but-noisy streams, the better predictor families never do
+    /// meaningfully worse than bimodal — the sanity floor of the study.
+    #[test]
+    fn advanced_predictors_beat_the_floor(seed in any::<u64>()) {
+        let trace = arbitrary_trace(seed, 20_000, 128, 80);
+        let bimodal = harness::run(&mut Bimodal::new(12), &trace);
+        let tage = harness::run(&mut Tage::seznec_8kb(), &trace);
+        prop_assert!(
+            tage.miss_rate() <= bimodal.miss_rate() + 0.02,
+            "tage {} vs bimodal {}",
+            tage.miss_rate(),
+            bimodal.miss_rate()
+        );
+    }
+}

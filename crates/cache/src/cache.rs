@@ -1,0 +1,322 @@
+//! A single set-associative cache.
+
+use crate::config::CacheConfig;
+use crate::policy::SetState;
+
+/// Whether an access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read (load or instruction fetch).
+    Read,
+    /// Write (store).
+    Write,
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Total lookups (excluding fills from below).
+    pub accesses: u64,
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty evictions (write-backs issued to the next level).
+    pub writebacks: u64,
+    /// Prefetch fills that were later referenced (issued by a prefetcher).
+    pub prefetch_fills: u64,
+}
+
+impl CacheStats {
+    /// Misses per kilo-instruction given a retired-instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 / instructions as f64 * 1000.0
+        }
+    }
+
+    /// Miss ratio in `[0, 1]`.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Line address of a dirty line evicted to make room, if any.
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative cache over line addresses.
+///
+/// The cache operates on *line* addresses (`byte_addr >> line_shift`);
+/// splitting byte accesses into line touches is the hierarchy's job.
+///
+/// ```
+/// use vstress_cache::{AccessKind, Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::lru(32 << 10, 8, 64));
+/// assert!(!c.access_line(42, AccessKind::Read).hit); // cold miss
+/// assert!(c.access_line(42, AccessKind::Read).hit);  // now resident
+/// assert_eq!(c.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    dirty: Vec<bool>,
+    sets: Vec<SetState>,
+    set_count: usize,
+    ways: usize,
+    line_shift: u32,
+    tick: u64,
+    rng: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from its geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheConfig::validate`]).
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        let set_count = config.sets();
+        let ways = config.ways;
+        Cache {
+            tags: vec![0; set_count * ways],
+            valid: vec![false; set_count * ways],
+            dirty: vec![false; set_count * ways],
+            sets: (0..set_count).map(|_| SetState::new(config.policy, ways)).collect(),
+            set_count,
+            ways,
+            line_shift: config.line_bytes.trailing_zeros(),
+            tick: 0,
+            rng: 0x9e37_79b9_7f4a_7c15,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        1 << self.line_shift
+    }
+
+    /// Converts a byte address to this cache's line address.
+    #[inline]
+    pub fn line_of(&self, byte_addr: u64) -> u64 {
+        byte_addr >> self.line_shift
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics (contents are preserved — used to exclude warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    #[inline]
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.set_count as u64) as usize
+    }
+
+    #[inline]
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Looks up `line`; on miss, installs it (evicting as needed).
+    ///
+    /// Returns whether it hit and any dirty line evicted.
+    pub fn access_line(&mut self, line: u64, kind: AccessKind) -> LookupResult {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let set = self.set_of(line);
+        for way in 0..self.ways {
+            let s = self.slot(set, way);
+            if self.valid[s] && self.tags[s] == line {
+                self.stats.hits += 1;
+                self.sets[set].touch(way, self.ways, self.tick);
+                if kind == AccessKind::Write {
+                    self.dirty[s] = true;
+                }
+                return LookupResult { hit: true, writeback: None };
+            }
+        }
+        self.stats.misses += 1;
+        let writeback = self.fill_internal(line, kind == AccessKind::Write);
+        LookupResult { hit: false, writeback }
+    }
+
+    /// Installs `line` without counting an access (prefetch / fill path).
+    /// Returns a dirty evicted line, if any.
+    pub fn fill_line(&mut self, line: u64, dirty: bool) -> Option<u64> {
+        self.tick += 1;
+        // Already present? Nothing to do (common for overlapping prefetch).
+        let set = self.set_of(line);
+        for way in 0..self.ways {
+            let s = self.slot(set, way);
+            if self.valid[s] && self.tags[s] == line {
+                if dirty {
+                    self.dirty[s] = true;
+                }
+                return None;
+            }
+        }
+        self.stats.prefetch_fills += 1;
+        self.fill_internal(line, dirty)
+    }
+
+    fn fill_internal(&mut self, line: u64, dirty: bool) -> Option<u64> {
+        let set = self.set_of(line);
+        // Prefer an invalid way.
+        let mut victim = None;
+        for way in 0..self.ways {
+            if !self.valid[self.slot(set, way)] {
+                victim = Some(way);
+                break;
+            }
+        }
+        let way = victim.unwrap_or_else(|| self.sets[set].victim(self.ways, &mut self.rng));
+        let s = self.slot(set, way);
+        let evicted = if self.valid[s] && self.dirty[s] {
+            self.stats.writebacks += 1;
+            Some(self.tags[s])
+        } else {
+            None
+        };
+        self.tags[s] = line;
+        self.valid[s] = true;
+        self.dirty[s] = dirty;
+        self.sets[set].touch(way, self.ways, self.tick);
+        evicted
+    }
+
+    /// Whether `line` is currently resident (no state change).
+    pub fn contains_line(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        (0..self.ways).any(|w| {
+            let s = self.slot(set, w);
+            self.valid[s] && self.tags[s] == line
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ReplacementPolicy;
+
+    fn tiny(policy: ReplacementPolicy) -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512 B.
+        Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, policy })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        assert!(!c.access_line(5, AccessKind::Read).hit);
+        assert!(c.access_line(5, AccessKind::Read).hit);
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn conflict_eviction_respects_lru() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        // Lines 0, 4, 8 map to set 0 (4 sets).
+        c.access_line(0, AccessKind::Read);
+        c.access_line(4, AccessKind::Read);
+        c.access_line(0, AccessKind::Read); // 4 is now LRU
+        c.access_line(8, AccessKind::Read); // evicts 4
+        assert!(c.contains_line(0));
+        assert!(!c.contains_line(4));
+        assert!(c.contains_line(8));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.access_line(0, AccessKind::Write);
+        c.access_line(4, AccessKind::Read);
+        let r = c.access_line(8, AccessKind::Read); // evicts dirty line 0
+        assert_eq!(r.writeback, Some(0));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.access_line(0, AccessKind::Read);
+        c.access_line(4, AccessKind::Read);
+        let r = c.access_line(8, AccessKind::Read);
+        assert_eq!(r.writeback, None);
+    }
+
+    #[test]
+    fn hit_ratio_of_working_set_fitting_in_cache_is_one_after_warmup() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        let lines: Vec<u64> = (0..8).collect(); // exactly capacity
+        for &l in &lines {
+            c.access_line(l, AccessKind::Read);
+        }
+        c.reset_stats();
+        for _ in 0..10 {
+            for &l in &lines {
+                assert!(c.access_line(l, AccessKind::Read).hit);
+            }
+        }
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fill_line_does_not_count_access() {
+        let mut c = tiny(ReplacementPolicy::Lru);
+        c.fill_line(3, false);
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access_line(3, AccessKind::Read).hit);
+    }
+
+    #[test]
+    fn mpki_accounting() {
+        let s = CacheStats { misses: 50, ..CacheStats::default() };
+        assert!((s.mpki(10_000) - 5.0).abs() < 1e-12);
+        assert_eq!(s.mpki(0), 0.0);
+    }
+
+    #[test]
+    fn all_policies_function() {
+        for p in ReplacementPolicy::ALL {
+            let mut c = tiny(p);
+            for l in 0..100u64 {
+                c.access_line(l % 16, AccessKind::Read);
+            }
+            let s = c.stats();
+            assert_eq!(s.accesses, 100);
+            assert_eq!(s.hits + s.misses, 100);
+        }
+    }
+
+    #[test]
+    fn line_of_uses_line_shift() {
+        let c = tiny(ReplacementPolicy::Lru);
+        assert_eq!(c.line_of(0), 0);
+        assert_eq!(c.line_of(63), 0);
+        assert_eq!(c.line_of(64), 1);
+        assert_eq!(c.line_bytes(), 64);
+    }
+}

@@ -1,0 +1,185 @@
+//! Replacement policies.
+
+/// Victim-selection policy within a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ReplacementPolicy {
+    /// True least-recently-used (per-way timestamps).
+    Lru,
+    /// Tree pseudo-LRU (the common hardware approximation).
+    TreePlru,
+    /// First-in first-out.
+    Fifo,
+    /// Pseudo-random (deterministic xorshift).
+    Random,
+}
+
+impl ReplacementPolicy {
+    /// All policies, for ablation sweeps.
+    pub const ALL: [ReplacementPolicy; 4] = [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::TreePlru,
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Random,
+    ];
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplacementPolicy::Lru => "lru",
+            ReplacementPolicy::TreePlru => "plru",
+            ReplacementPolicy::Fifo => "fifo",
+            ReplacementPolicy::Random => "random",
+        }
+    }
+}
+
+/// Per-set replacement state, sized for `ways`.
+#[derive(Debug, Clone)]
+pub(crate) enum SetState {
+    /// Timestamp per way.
+    Lru { stamps: Vec<u64> },
+    /// One bit per internal node of a complete binary tree over the ways.
+    TreePlru { bits: Vec<bool> },
+    /// Next victim pointer.
+    Fifo { next: usize },
+    /// Shared xorshift lives in the cache; sets are stateless.
+    Random,
+}
+
+impl SetState {
+    pub(crate) fn new(policy: ReplacementPolicy, ways: usize) -> Self {
+        match policy {
+            ReplacementPolicy::Lru => SetState::Lru { stamps: vec![0; ways] },
+            ReplacementPolicy::TreePlru => {
+                assert!(ways.is_power_of_two(), "tree PLRU requires power-of-two ways");
+                SetState::TreePlru { bits: vec![false; ways.max(2) - 1] }
+            }
+            ReplacementPolicy::Fifo => SetState::Fifo { next: 0 },
+            ReplacementPolicy::Random => SetState::Random,
+        }
+    }
+
+    /// Records a touch of `way` at logical time `tick`.
+    pub(crate) fn touch(&mut self, way: usize, ways: usize, tick: u64) {
+        match self {
+            SetState::Lru { stamps } => stamps[way] = tick,
+            SetState::TreePlru { bits } => {
+                // Walk root->leaf; set each node to point AWAY from `way`.
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let right = way >= mid;
+                    // bit=true means the next victim is on the left; a touch
+                    // on the right half must steer the victim left.
+                    bits[node] = right;
+                    node = 2 * node + if right { 2 } else { 1 };
+                    if right {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+            }
+            SetState::Fifo { .. } | SetState::Random => {}
+        }
+    }
+
+    /// Chooses a victim way; `rng` is the cache-wide xorshift state.
+    pub(crate) fn victim(&mut self, ways: usize, rng: &mut u64) -> usize {
+        match self {
+            SetState::Lru { stamps } => {
+                let mut best = 0;
+                for w in 1..ways {
+                    if stamps[w] < stamps[best] {
+                        best = w;
+                    }
+                }
+                best
+            }
+            SetState::TreePlru { bits } => {
+                let mut node = 0usize;
+                let mut lo = 0usize;
+                let mut hi = ways;
+                while hi - lo > 1 {
+                    let mid = (lo + hi) / 2;
+                    let go_left = bits[node];
+                    node = 2 * node + if go_left { 1 } else { 2 };
+                    if go_left {
+                        hi = mid;
+                    } else {
+                        lo = mid;
+                    }
+                }
+                lo
+            }
+            SetState::Fifo { next } => {
+                let v = *next;
+                *next = (*next + 1) % ways;
+                v
+            }
+            SetState::Random => {
+                *rng ^= *rng << 13;
+                *rng ^= *rng >> 7;
+                *rng ^= *rng << 17;
+                (*rng % ways as u64) as usize
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut s = SetState::new(ReplacementPolicy::Lru, 4);
+        let mut rng = 1u64;
+        for (t, w) in [(1u64, 0usize), (2, 1), (3, 2), (4, 3), (5, 0)] {
+            s.touch(w, 4, t);
+        }
+        // Way 1 is now oldest (touched at t=2).
+        assert_eq!(s.victim(4, &mut rng), 1);
+    }
+
+    #[test]
+    fn fifo_cycles() {
+        let mut s = SetState::new(ReplacementPolicy::Fifo, 3);
+        let mut rng = 1u64;
+        assert_eq!(s.victim(3, &mut rng), 0);
+        assert_eq!(s.victim(3, &mut rng), 1);
+        assert_eq!(s.victim(3, &mut rng), 2);
+        assert_eq!(s.victim(3, &mut rng), 0);
+    }
+
+    #[test]
+    fn plru_never_picks_most_recent() {
+        let mut s = SetState::new(ReplacementPolicy::TreePlru, 8);
+        let mut rng = 1u64;
+        for round in 0..100 {
+            let touched = round % 8;
+            s.touch(touched, 8, round as u64);
+            let v = s.victim(8, &mut rng);
+            assert_ne!(v, touched, "PLRU must steer away from the last touch");
+        }
+    }
+
+    #[test]
+    fn random_stays_in_range() {
+        let mut s = SetState::new(ReplacementPolicy::Random, 6);
+        let mut rng = 0xdead_beef;
+        for _ in 0..1000 {
+            assert!(s.victim(6, &mut rng) < 6);
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut l: Vec<_> = ReplacementPolicy::ALL.iter().map(|p| p.label()).collect();
+        l.sort_unstable();
+        l.dedup();
+        assert_eq!(l.len(), 4);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests of cache-simulator invariants.
+
+use proptest::prelude::*;
+use vstress_cache::{
+    AccessKind, Cache, CacheConfig, Hierarchy, HierarchyConfig, ReplacementPolicy, ServiceLevel,
+};
+
+fn tiny_config(ways: usize, policy: ReplacementPolicy) -> CacheConfig {
+    CacheConfig { size_bytes: 64 * ways * 8, ways, line_bytes: 64, policy }
+}
+
+fn small_hierarchy() -> Hierarchy {
+    let mk = |size| CacheConfig { size_bytes: size, ways: 4, line_bytes: 64, policy: ReplacementPolicy::Lru };
+    Hierarchy::new(HierarchyConfig {
+        l1i: mk(1 << 10),
+        l1d: mk(1 << 10),
+        l2: mk(4 << 10),
+        llc: mk(16 << 10),
+        lat_l1: 4,
+        lat_l2: 12,
+        lat_llc: 38,
+        lat_mem: 170,
+        l2_prefetch: vstress_cache::config::PrefetchKind::None,
+    })
+}
+
+proptest! {
+    /// Accounting identity: hits + misses == accesses, for any access
+    /// stream under any policy.
+    #[test]
+    fn accounting_identity(
+        lines in prop::collection::vec(0u64..256, 1..2000),
+        policy in prop::sample::select(ReplacementPolicy::ALL.to_vec()),
+        ways in prop::sample::select(vec![1usize, 2, 4, 8]),
+    ) {
+        let mut c = Cache::new(tiny_config(ways, policy));
+        for &l in &lines {
+            c.access_line(l, AccessKind::Read);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses);
+        prop_assert_eq!(s.accesses, lines.len() as u64);
+    }
+
+    /// After any access, the line is resident (write-allocate, demand
+    /// fill); an immediate re-access hits.
+    #[test]
+    fn access_installs_line(
+        lines in prop::collection::vec(0u64..512, 1..500),
+        policy in prop::sample::select(ReplacementPolicy::ALL.to_vec()),
+    ) {
+        let mut c = Cache::new(tiny_config(4, policy));
+        for &l in &lines {
+            c.access_line(l, AccessKind::Write);
+            prop_assert!(c.contains_line(l));
+            prop_assert!(c.access_line(l, AccessKind::Read).hit);
+        }
+    }
+
+    /// The LRU cache matches a reference stack model exactly.
+    #[test]
+    fn lru_matches_reference_model(lines in prop::collection::vec(0u64..64, 1..1500)) {
+        let ways = 4usize;
+        let sets = 8usize;
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: sets * ways * 64,
+            ways,
+            line_bytes: 64,
+            policy: ReplacementPolicy::Lru,
+        });
+        // Reference: per-set vector ordered most-recent-first.
+        let mut model: Vec<Vec<u64>> = vec![Vec::new(); sets];
+        for &l in &lines {
+            let set = (l % sets as u64) as usize;
+            let stack = &mut model[set];
+            let model_hit = stack.contains(&l);
+            let sim_hit = c.access_line(l, AccessKind::Read).hit;
+            prop_assert_eq!(sim_hit, model_hit, "line {}", l);
+            stack.retain(|&x| x != l);
+            stack.insert(0, l);
+            stack.truncate(ways);
+        }
+    }
+
+    /// A working set no larger than capacity never misses after warm-up
+    /// under LRU.
+    #[test]
+    fn capacity_guarantee_under_lru(base in 0u64..1000) {
+        let mut c = Cache::new(tiny_config(4, ReplacementPolicy::Lru));
+        let capacity_lines = 4 * 8; // ways * sets
+        let lines: Vec<u64> = (0..capacity_lines as u64).map(|i| base + i).collect();
+        for &l in &lines {
+            c.access_line(l, AccessKind::Read);
+        }
+        c.reset_stats();
+        for _ in 0..3 {
+            for &l in &lines {
+                c.access_line(l, AccessKind::Read);
+            }
+        }
+        prop_assert_eq!(c.stats().misses, 0);
+    }
+
+    /// Hierarchy service levels are coherent: a repeated access is always
+    /// serviced at least as close as the first one.
+    #[test]
+    fn repeat_accesses_move_up_the_hierarchy(addrs in prop::collection::vec(0u64..(1 << 16), 1..300)) {
+        let mut h = small_hierarchy();
+        for &a in &addrs {
+            let first = h.load(a, 4);
+            let second = h.load(a, 4);
+            prop_assert!(second <= first, "addr {}: {:?} then {:?}", a, first, second);
+            prop_assert_eq!(second, ServiceLevel::L1);
+        }
+    }
+
+    /// Memory accesses equal LLC misses (demand path conservation).
+    #[test]
+    fn demand_flow_conservation(addrs in prop::collection::vec(0u64..(1 << 20), 1..2000)) {
+        let mut h = small_hierarchy();
+        for &a in &addrs {
+            h.load(a, 4);
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.memory_accesses, s.llc.misses);
+        // L2 demand accesses are exactly the L1 misses (no prefetcher).
+        prop_assert_eq!(s.l2.accesses, s.l1d.misses);
+    }
+}

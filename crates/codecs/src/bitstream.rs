@@ -1,0 +1,290 @@
+//! Bitstream container: plain-byte sequence header plus the range-coded
+//! payload, and the adaptive-context bundle shared by encoder and decoder.
+
+use crate::codecs::CodecId;
+use crate::entropy::Context;
+use crate::error::CodecError;
+
+/// Magic bytes opening every vstress bitstream.
+pub const MAGIC: [u8; 4] = *b"VSTR";
+/// Container version.
+pub const VERSION: u8 = 1;
+
+/// Sequence-level header (everything the decoder needs before the
+/// range-coded payload).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SequenceHeader {
+    /// Codec that produced the stream.
+    pub codec: CodecId,
+    /// Luma width.
+    pub width: u16,
+    /// Luma height.
+    pub height: u16,
+    /// Frame count.
+    pub frame_count: u16,
+    /// Frames per second, rounded.
+    pub fps: u16,
+    /// Quantizer index used for the whole sequence.
+    pub qindex: u8,
+    /// Superblock size.
+    pub superblock: u8,
+    /// Minimum block size.
+    pub min_block: u8,
+    /// Maximum split depth.
+    pub max_depth: u8,
+    /// Bitmask of allowed partition shapes (bit = shape symbol).
+    pub shape_mask: u16,
+    /// Bitmask of allowed intra modes (bit = mode symbol).
+    pub mode_mask: u16,
+    /// Number of reference frames inter prediction may select from (1–2).
+    pub ref_frames: u8,
+    /// Keyframe interval: every `keyint`-th frame is intra-only
+    /// (0 = only the first frame is a keyframe).
+    pub keyint: u8,
+}
+
+impl SequenceHeader {
+    /// Serialized header length in bytes.
+    pub const BYTES: usize = 4 + 1 + 1 + 2 + 2 + 2 + 2 + 1 + 1 + 1 + 1 + 2 + 2 + 1 + 1;
+
+    /// Writes the header to `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(self.codec.tag());
+        out.extend_from_slice(&self.width.to_le_bytes());
+        out.extend_from_slice(&self.height.to_le_bytes());
+        out.extend_from_slice(&self.frame_count.to_le_bytes());
+        out.extend_from_slice(&self.fps.to_le_bytes());
+        out.push(self.qindex);
+        out.push(self.superblock);
+        out.push(self.min_block);
+        out.push(self.max_depth);
+        out.extend_from_slice(&self.shape_mask.to_le_bytes());
+        out.extend_from_slice(&self.mode_mask.to_le_bytes());
+        out.push(self.ref_frames);
+        out.push(self.keyint);
+    }
+
+    /// Parses a header from the front of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::CorruptBitstream`] on bad magic, version,
+    /// codec tag, or truncation.
+    pub fn parse(data: &[u8]) -> Result<(SequenceHeader, &[u8]), CodecError> {
+        if data.len() < Self::BYTES {
+            return Err(CodecError::CorruptBitstream { offset: data.len(), expected: "sequence header" });
+        }
+        if data[0..4] != MAGIC {
+            return Err(CodecError::CorruptBitstream { offset: 0, expected: "magic bytes VSTR" });
+        }
+        if data[4] != VERSION {
+            return Err(CodecError::CorruptBitstream { offset: 4, expected: "supported version" });
+        }
+        let codec = CodecId::from_tag(data[5])
+            .ok_or(CodecError::CorruptBitstream { offset: 5, expected: "known codec tag" })?;
+        let rd16 = |i: usize| u16::from_le_bytes([data[i], data[i + 1]]);
+        let header = SequenceHeader {
+            codec,
+            width: rd16(6),
+            height: rd16(8),
+            frame_count: rd16(10),
+            fps: rd16(12),
+            qindex: data[14],
+            superblock: data[15],
+            min_block: data[16],
+            max_depth: data[17],
+            shape_mask: rd16(18),
+            mode_mask: rd16(20),
+            ref_frames: data[22],
+            keyint: data[23],
+        };
+        if header.width == 0 || header.height == 0 || header.frame_count == 0 {
+            return Err(CodecError::CorruptBitstream { offset: 6, expected: "nonzero geometry" });
+        }
+        if header.superblock == 0 || header.min_block == 0 {
+            return Err(CodecError::CorruptBitstream { offset: 15, expected: "nonzero block sizes" });
+        }
+        if !(1..=2).contains(&header.ref_frames) {
+            return Err(CodecError::CorruptBitstream { offset: 22, expected: "1 or 2 reference frames" });
+        }
+        Ok((header, &data[Self::BYTES..]))
+    }
+}
+
+/// Number of coefficient-significance context bands.
+pub const SIG_BANDS: usize = 4;
+
+/// The adaptive contexts used by one coded sequence.
+///
+/// Encoder and decoder construct this identically ([`FrameContexts::new`])
+/// and adapt it identically, bin for bin — the invariant behind lossless
+/// round-trip decoding.
+#[derive(Debug, Clone)]
+pub struct FrameContexts {
+    /// Partition-shape unary flags, per list position (up to 10 shapes).
+    pub partition: [Context; 10],
+    /// Leaf is inter (vs intra).
+    pub is_inter: Context,
+    /// Leaf is skipped (prediction only).
+    pub skip: Context,
+    /// Luma coded-block flag.
+    pub cbf_luma: Context,
+    /// Chroma coded-block flag.
+    pub cbf_chroma: Context,
+    /// Coefficient significance, by scan band.
+    pub sig: [Context; SIG_BANDS],
+    /// Level magnitude UVLC contexts.
+    pub level: [Context; 3],
+    /// End-of-block position UVLC contexts.
+    pub eob: [Context; 3],
+    /// Intra-mode index UVLC contexts.
+    pub mode: [Context; 3],
+    /// Motion-vector magnitude UVLC contexts (shared by x and y).
+    pub mv: [Context; 3],
+    /// Motion-vector sign (weakly biased by content motion).
+    pub mv_sign: Context,
+    /// Reference-frame selection (last vs golden).
+    pub ref_sel: Context,
+    /// Chroma TU prediction mode (DC intra vs motion compensation).
+    pub chroma_mode: Context,
+    /// Coefficient sign.
+    pub coeff_sign: Context,
+}
+
+impl FrameContexts {
+    /// Fresh contexts, identical on both sides of the codec.
+    pub fn new() -> Self {
+        let c = |l: u64| Context::new(l);
+        FrameContexts {
+            partition: std::array::from_fn(|i| c(100 + i as u64)),
+            is_inter: c(200),
+            skip: c(201),
+            cbf_luma: c(202),
+            cbf_chroma: c(203),
+            sig: std::array::from_fn(|i| c(300 + i as u64)),
+            level: [c(400), c(401), c(402)],
+            eob: [c(410), c(411), c(412)],
+            mode: [c(420), c(421), c(422)],
+            mv: [c(430), c(431), c(432)],
+            mv_sign: c(440),
+            ref_sel: c(442),
+            chroma_mode: c(443),
+            coeff_sign: c(441),
+        }
+    }
+}
+
+impl Default for FrameContexts {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Builds the shape mask for a tool set's shape list.
+pub fn shape_mask(shapes: &[crate::blocks::PartitionShape]) -> u16 {
+    shapes.iter().fold(0u16, |m, s| m | 1 << s.symbol())
+}
+
+/// Builds the mode mask for a tool set's intra-mode list.
+pub fn mode_mask(modes: &[crate::predict::IntraMode]) -> u16 {
+    modes.iter().fold(0u16, |m, s| m | 1 << s.symbol())
+}
+
+/// Expands a shape mask back into the ordered shape list.
+pub fn shapes_from_mask(mask: u16) -> Vec<crate::blocks::PartitionShape> {
+    crate::blocks::PartitionShape::AV1
+        .into_iter()
+        .filter(|s| mask & (1 << s.symbol()) != 0)
+        .collect()
+}
+
+/// Expands a mode mask back into the ordered mode list.
+pub fn modes_from_mask(mask: u16) -> Vec<crate::predict::IntraMode> {
+    crate::predict::IntraMode::AV1
+        .into_iter()
+        .filter(|m| mask & (1 << m.symbol()) != 0)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::PartitionShape;
+    use crate::predict::IntraMode;
+
+    fn header() -> SequenceHeader {
+        SequenceHeader {
+            codec: CodecId::SvtAv1,
+            width: 240,
+            height: 136,
+            frame_count: 8,
+            fps: 60,
+            qindex: 80,
+            superblock: 32,
+            min_block: 4,
+            max_depth: 3,
+            shape_mask: shape_mask(&PartitionShape::AV1),
+            mode_mask: mode_mask(&IntraMode::AV1),
+            ref_frames: 2,
+            keyint: 0,
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = header();
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        buf.extend_from_slice(b"payload");
+        let (parsed, rest) = SequenceHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(rest, b"payload");
+        assert_eq!(buf.len() - rest.len(), SequenceHeader::BYTES);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        header().write(&mut buf);
+        buf[0] = b'X';
+        assert!(matches!(
+            SequenceHeader::parse(&buf),
+            Err(CodecError::CorruptBitstream { offset: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut buf = Vec::new();
+        header().write(&mut buf);
+        buf.truncate(10);
+        assert!(SequenceHeader::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn zero_geometry_rejected() {
+        let mut h = header();
+        h.width = 0;
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert!(SequenceHeader::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn masks_roundtrip() {
+        let shapes = &PartitionShape::AV1[..6];
+        assert_eq!(shapes_from_mask(shape_mask(shapes)), shapes.to_vec());
+        let modes = &IntraMode::VP9;
+        assert_eq!(modes_from_mask(mode_mask(modes)), modes.to_vec());
+    }
+
+    #[test]
+    fn contexts_are_identical_on_both_sides() {
+        let a = FrameContexts::new();
+        let b = FrameContexts::new();
+        assert_eq!(a.partition[0].p0(), b.partition[0].p0());
+        assert_eq!(a.sig[2].p0(), b.sig[2].p0());
+    }
+}

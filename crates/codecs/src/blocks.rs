@@ -1,0 +1,264 @@
+//! Block geometry: partition shapes and the recursive partition grammar.
+//!
+//! The paper's core explanation for AV1's runtime is this module's
+//! subject: "AV1 allows 10 different ways to partition each block when
+//! encoding, whereas its predecessor VP9 only allows for 4". We implement
+//! the full AV1 shape set and the VP9/H.26x subsets; the encoder's
+//! mode-decision loop iterates whatever set its [`crate::codecs::ToolSet`]
+//! grants it, which is precisely where the instruction-count gap between
+//! the codec models comes from.
+
+/// One of the AV1 partition shapes (VP9 uses the first four).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[repr(u8)]
+pub enum PartitionShape {
+    /// Code the block whole.
+    None,
+    /// Two horizontal halves.
+    Horz,
+    /// Two vertical halves.
+    Vert,
+    /// Four quadrants, each recursing.
+    Split,
+    /// Top half whole, bottom half split in two (T-shape).
+    HorzA,
+    /// Top half split in two, bottom half whole.
+    HorzB,
+    /// Left half whole, right half split in two.
+    VertA,
+    /// Left half split in two, right half whole.
+    VertB,
+    /// Four horizontal strips.
+    Horz4,
+    /// Four vertical strips.
+    Vert4,
+}
+
+impl PartitionShape {
+    /// The full AV1 set (10 shapes).
+    pub const AV1: [PartitionShape; 10] = [
+        PartitionShape::None,
+        PartitionShape::Horz,
+        PartitionShape::Vert,
+        PartitionShape::Split,
+        PartitionShape::HorzA,
+        PartitionShape::HorzB,
+        PartitionShape::VertA,
+        PartitionShape::VertB,
+        PartitionShape::Horz4,
+        PartitionShape::Vert4,
+    ];
+
+    /// The VP9 set (4 shapes).
+    pub const VP9: [PartitionShape; 4] = [
+        PartitionShape::None,
+        PartitionShape::Horz,
+        PartitionShape::Vert,
+        PartitionShape::Split,
+    ];
+
+    /// The H.26x-style set (quadtree only).
+    pub const H26X: [PartitionShape; 2] = [PartitionShape::None, PartitionShape::Split];
+
+    /// Symbol value used in the bitstream.
+    #[inline]
+    pub fn symbol(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`PartitionShape::symbol`].
+    pub fn from_symbol(s: u8) -> Option<Self> {
+        Self::AV1.get(s as usize).copied()
+    }
+
+    /// Whether the sub-blocks of this shape recurse further.
+    ///
+    /// Following AV1: only `Split` recurses; every other shape's
+    /// sub-blocks are coding leaves.
+    pub fn recurses(self) -> bool {
+        self == PartitionShape::Split
+    }
+
+    /// The sub-rectangles this shape carves `(w, h)` into, as
+    /// `(dx, dy, w, h)` offsets within the block.
+    ///
+    /// Returns an empty vector when the block cannot legally be divided
+    /// this way (too small along the needed axis).
+    pub fn sub_blocks(self, w: usize, h: usize, min: usize) -> Vec<(usize, usize, usize, usize)> {
+        let h2 = h / 2;
+        let w2 = w / 2;
+        let h4 = h / 4;
+        let w4 = w / 4;
+        match self {
+            PartitionShape::None => vec![(0, 0, w, h)],
+            PartitionShape::Horz => {
+                if h2 >= min {
+                    vec![(0, 0, w, h2), (0, h2, w, h2)]
+                } else {
+                    vec![]
+                }
+            }
+            PartitionShape::Vert => {
+                if w2 >= min {
+                    vec![(0, 0, w2, h), (w2, 0, w2, h)]
+                } else {
+                    vec![]
+                }
+            }
+            PartitionShape::Split => {
+                if w2 >= min && h2 >= min {
+                    vec![(0, 0, w2, h2), (w2, 0, w2, h2), (0, h2, w2, h2), (w2, h2, w2, h2)]
+                } else {
+                    vec![]
+                }
+            }
+            PartitionShape::HorzA => {
+                if w2 >= min && h2 >= min {
+                    vec![(0, 0, w, h2), (0, h2, w2, h2), (w2, h2, w2, h2)]
+                } else {
+                    vec![]
+                }
+            }
+            PartitionShape::HorzB => {
+                if w2 >= min && h2 >= min {
+                    vec![(0, 0, w2, h2), (w2, 0, w2, h2), (0, h2, w, h2)]
+                } else {
+                    vec![]
+                }
+            }
+            PartitionShape::VertA => {
+                if w2 >= min && h2 >= min {
+                    vec![(0, 0, w2, h), (w2, 0, w2, h2), (w2, h2, w2, h2)]
+                } else {
+                    vec![]
+                }
+            }
+            PartitionShape::VertB => {
+                if w2 >= min && h2 >= min {
+                    vec![(0, 0, w2, h2), (0, h2, w2, h2), (w2, 0, w2, h)]
+                } else {
+                    vec![]
+                }
+            }
+            PartitionShape::Horz4 => {
+                if h4 >= min {
+                    (0..4).map(|i| (0, i * h4, w, h4)).collect()
+                } else {
+                    vec![]
+                }
+            }
+            PartitionShape::Vert4 => {
+                if w4 >= min {
+                    (0..4).map(|i| (i * w4, 0, w4, h)).collect()
+                } else {
+                    vec![]
+                }
+            }
+        }
+    }
+}
+
+/// A rectangle of luma samples within a frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct BlockRect {
+    /// Left edge.
+    pub x: usize,
+    /// Top edge.
+    pub y: usize,
+    /// Width in samples.
+    pub w: usize,
+    /// Height in samples.
+    pub h: usize,
+}
+
+impl BlockRect {
+    /// A rectangle at `(x, y)` of `w x h`.
+    pub fn new(x: usize, y: usize, w: usize, h: usize) -> Self {
+        BlockRect { x, y, w, h }
+    }
+
+    /// Sample count.
+    pub fn area(&self) -> usize {
+        self.w * self.h
+    }
+
+    /// Clips this rectangle to frame bounds, returning `None` if fully
+    /// outside.
+    pub fn clipped(&self, frame_w: usize, frame_h: usize) -> Option<BlockRect> {
+        if self.x >= frame_w || self.y >= frame_h {
+            return None;
+        }
+        Some(BlockRect {
+            x: self.x,
+            y: self.y,
+            w: self.w.min(frame_w - self.x),
+            h: self.h.min(frame_h - self.y),
+        })
+    }
+}
+
+/// VertA and friends cover the whole parent: sanity checks used by tests
+/// and debug assertions.
+pub fn shape_covers_block(shape: PartitionShape, w: usize, h: usize, min: usize) -> bool {
+    let subs = shape.sub_blocks(w, h, min);
+    if subs.is_empty() {
+        return false;
+    }
+    let total: usize = subs.iter().map(|&(_, _, sw, sh)| sw * sh).sum();
+    total == w * h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn av1_has_ten_vp9_has_four() {
+        assert_eq!(PartitionShape::AV1.len(), 10);
+        assert_eq!(PartitionShape::VP9.len(), 4);
+        assert_eq!(PartitionShape::H26X.len(), 2);
+    }
+
+    #[test]
+    fn every_shape_tiles_the_parent_exactly() {
+        for shape in PartitionShape::AV1 {
+            assert!(shape_covers_block(shape, 32, 32, 4), "{shape:?} must tile 32x32");
+            let subs = shape.sub_blocks(32, 32, 4);
+            // No overlaps: total area check above plus bounds check here.
+            for &(dx, dy, w, h) in &subs {
+                assert!(dx + w <= 32 && dy + h <= 32, "{shape:?} sub-block out of parent");
+            }
+        }
+    }
+
+    #[test]
+    fn small_blocks_reject_sub_minimum_shapes() {
+        assert!(PartitionShape::Horz4.sub_blocks(16, 8, 4).is_empty(), "8/4 strips < min 4? no: 2");
+        assert!(PartitionShape::Split.sub_blocks(4, 4, 4).is_empty());
+        assert!(!PartitionShape::None.sub_blocks(4, 4, 4).is_empty());
+    }
+
+    #[test]
+    fn symbols_roundtrip() {
+        for shape in PartitionShape::AV1 {
+            assert_eq!(PartitionShape::from_symbol(shape.symbol()), Some(shape));
+        }
+        assert_eq!(PartitionShape::from_symbol(10), None);
+    }
+
+    #[test]
+    fn only_split_recurses() {
+        for shape in PartitionShape::AV1 {
+            assert_eq!(shape.recurses(), shape == PartitionShape::Split);
+        }
+    }
+
+    #[test]
+    fn rect_clipping() {
+        let r = BlockRect::new(24, 24, 16, 16);
+        let c = r.clipped(32, 40).unwrap();
+        assert_eq!((c.w, c.h), (8, 16));
+        assert!(BlockRect::new(40, 0, 8, 8).clipped(32, 32).is_none());
+        assert_eq!(r.area(), 256);
+    }
+}

@@ -1,0 +1,320 @@
+//! Codec identities and their tool sets.
+//!
+//! Each of the paper's five encoders is modelled as a configuration over
+//! the shared coding substrate. The per-codec differences implemented here
+//! are exactly the mechanisms the paper names:
+//!
+//! * **partition grammar** — AV1-family codecs search all ten
+//!   [`PartitionShape`]s, VP9 four, the H.26x models a plain quadtree;
+//! * **intra-mode sets** — 10 / 8 / 7 / 4 modes;
+//! * **motion-search breadth** and sub-pel refinement;
+//! * **speed presets** gating all of the above (AV1/VP9 family: 0 = slow,
+//!   8 = fast; x264/x265: 0 = fast, 9 = slow, the opposite direction, as
+//!   the paper notes in §3.3);
+//! * **threading structure** (see [`crate::taskgraph`]).
+
+use crate::blocks::PartitionShape;
+use crate::error::CodecError;
+use crate::mesearch::MeSettings;
+use crate::params::EncoderParams;
+use crate::predict::IntraMode;
+
+/// One of the five encoders characterized by the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub enum CodecId {
+    /// The SVT-AV1 encoder (AV1 codec, Intel/Netflix implementation).
+    SvtAv1,
+    /// The libaom reference AV1 encoder.
+    Libaom,
+    /// The libvpx VP9 encoder.
+    LibvpxVp9,
+    /// The x264 H.264/AVC encoder.
+    X264,
+    /// The x265 H.265/HEVC encoder.
+    X265,
+}
+
+impl CodecId {
+    /// All five codecs in the paper's ordering.
+    pub const ALL: [CodecId; 5] =
+        [CodecId::SvtAv1, CodecId::Libaom, CodecId::LibvpxVp9, CodecId::X264, CodecId::X265];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            CodecId::SvtAv1 => "SVT-AV1",
+            CodecId::Libaom => "libaom",
+            CodecId::LibvpxVp9 => "libvpx-vp9",
+            CodecId::X264 => "x264",
+            CodecId::X265 => "x265",
+        }
+    }
+
+    /// Upper CRF bound (inclusive): 63 for the AV1/VP9 family, 51 for the
+    /// H.26x family (paper §3.3).
+    pub fn max_crf(self) -> u8 {
+        match self {
+            CodecId::SvtAv1 | CodecId::Libaom | CodecId::LibvpxVp9 => 63,
+            CodecId::X264 | CodecId::X265 => 51,
+        }
+    }
+
+    /// Upper preset bound (inclusive): 8 for the AV1/VP9 family (0 =
+    /// slowest), 9 for the H.26x family (0 = *fastest*).
+    pub fn max_preset(self) -> u8 {
+        match self {
+            CodecId::SvtAv1 | CodecId::Libaom | CodecId::LibvpxVp9 => 8,
+            CodecId::X264 | CodecId::X265 => 9,
+        }
+    }
+
+    /// Normalized speed in `[0, 1]` (0 = slowest/most thorough search,
+    /// 1 = fastest), resolving the two preset directions.
+    pub fn speed(self, preset: u8) -> f64 {
+        match self {
+            CodecId::SvtAv1 | CodecId::Libaom | CodecId::LibvpxVp9 => preset as f64 / 8.0,
+            CodecId::X264 | CodecId::X265 => 1.0 - preset as f64 / 9.0,
+        }
+    }
+
+    /// Bitstream codec tag.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            CodecId::SvtAv1 => 0,
+            CodecId::Libaom => 1,
+            CodecId::LibvpxVp9 => 2,
+            CodecId::X264 => 3,
+            CodecId::X265 => 4,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Option<Self> {
+        CodecId::ALL.into_iter().find(|c| c.tag() == tag)
+    }
+}
+
+impl std::fmt::Display for CodecId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The resolved tool configuration an encode actually runs with.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ToolSet {
+    /// Which codec this models.
+    pub codec: CodecId,
+    /// Superblock (coding-tree root) size in luma samples.
+    pub superblock: usize,
+    /// Minimum coding block size.
+    pub min_block: usize,
+    /// Maximum `Split` recursion depth below the superblock.
+    pub max_depth: u32,
+    /// Partition shapes evaluated at each node.
+    pub partition_shapes: Vec<PartitionShape>,
+    /// Intra modes evaluated per leaf.
+    pub intra_modes: Vec<IntraMode>,
+    /// Motion-search effort.
+    pub me: MeSettings,
+    /// Number of quantization trial passes per leaf (slow presets re-try
+    /// with an adjusted rounding to shave rate — the "trellis" stand-in).
+    pub quant_passes: u32,
+    /// Early-termination aggressiveness: the partition search stops trying
+    /// further shapes once the best RD cost falls below a threshold scaled
+    /// by this factor. Higher = exits earlier.
+    pub early_exit_scale: u64,
+    /// Reference frames inter prediction may select from (1 = last only,
+    /// 2 = last + golden).
+    pub ref_frames: usize,
+}
+
+impl ToolSet {
+    /// Resolves the tool set for `codec` at the given user parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidParams`] when CRF/preset/threads are
+    /// outside the codec's accepted ranges.
+    pub fn resolve(codec: CodecId, params: &EncoderParams) -> Result<ToolSet, CodecError> {
+        params.validate(codec.max_crf(), codec.max_preset())?;
+        let s = codec.speed(params.preset);
+        // Linear interpolation helper: value at slow end -> fast end.
+        let lerp = |slow: f64, fast: f64| slow + (fast - slow) * s;
+        let set = match codec {
+            // SVT-AV1 keeps more of AV1's tool set live at every speed
+            // point than libaom does (its speed features trade decision
+            // accuracy, not tool count) — which is why the paper's Fig. 1
+            // shows it far above every other encoder, libaom included.
+            CodecId::SvtAv1 => ToolSet {
+                codec,
+                superblock: 32,
+                min_block: 4,
+                max_depth: if s < 0.5 { 3 } else { 2 },
+                partition_shapes: PartitionShape::AV1[..lerp(10.0, 7.0).round() as usize].to_vec(),
+                intra_modes: IntraMode::AV1[..lerp(10.0, 7.0).round() as usize].to_vec(),
+                me: MeSettings {
+                    range: lerp(28.0, 10.0).round() as i32,
+                    // The slowest presets run wide exhaustive windows —
+                    // the dominant term in the paper's Fig. 11a runtime
+                    // cliff between presets 0 and 2.
+                    exhaustive_radius: if s < 0.25 {
+                        (20.0 * (1.0 - 4.0 * s)).round().max(3.0) as i32
+                    } else {
+                        0
+                    },
+                    refine_steps: lerp(28.0, 12.0).round() as u32,
+                    subpel: s < 0.7,
+                },
+                quant_passes: if s < 0.15 { 3 } else if s < 0.35 { 2 } else { 1 },
+                early_exit_scale: lerp(2.0, 6.0).round() as u64,
+                ref_frames: 2,
+            },
+            CodecId::Libaom => ToolSet {
+                codec,
+                superblock: 32,
+                min_block: 4,
+                max_depth: if s < 0.5 { 3 } else { 2 },
+                partition_shapes: PartitionShape::AV1[..lerp(9.0, 4.0).round() as usize].to_vec(),
+                intra_modes: IntraMode::AV1[..lerp(8.0, 4.0).round() as usize].to_vec(),
+                me: MeSettings {
+                    range: lerp(18.0, 6.0).round() as i32,
+                    exhaustive_radius: if s < 0.15 { 6 } else { 0 },
+                    refine_steps: lerp(18.0, 7.0).round() as u32,
+                    subpel: s < 0.6,
+                },
+                quant_passes: if s < 0.3 { 2 } else { 1 },
+                early_exit_scale: lerp(3.0, 10.0).round() as u64,
+                ref_frames: if s < 0.75 { 2 } else { 1 },
+            },
+            CodecId::LibvpxVp9 => ToolSet {
+                codec,
+                superblock: 32,
+                min_block: 4,
+                max_depth: if s < 0.5 { 3 } else { 2 },
+                partition_shapes: PartitionShape::VP9.to_vec(),
+                intra_modes: IntraMode::VP9[..lerp(8.0, 4.0).round() as usize].to_vec(),
+                me: MeSettings {
+                    range: lerp(16.0, 6.0).round() as i32,
+                    exhaustive_radius: 0,
+                    refine_steps: lerp(16.0, 6.0).round() as u32,
+                    subpel: s < 0.5,
+                },
+                quant_passes: 1,
+                early_exit_scale: lerp(4.0, 14.0).round() as u64,
+                ref_frames: if s < 0.5 { 2 } else { 1 },
+            },
+            CodecId::X264 => ToolSet {
+                codec,
+                superblock: 16,
+                min_block: 8,
+                max_depth: 1,
+                partition_shapes: PartitionShape::H26X.to_vec(),
+                intra_modes: IntraMode::H264.to_vec(),
+                me: MeSettings {
+                    range: lerp(16.0, 4.0).round() as i32,
+                    exhaustive_radius: if s < 0.15 { 4 } else { 0 },
+                    refine_steps: lerp(12.0, 4.0).round() as u32,
+                    subpel: s < 0.5,
+                },
+                quant_passes: if s < 0.25 { 2 } else { 1 },
+                early_exit_scale: lerp(6.0, 16.0).round() as u64,
+                ref_frames: if s < 0.4 { 2 } else { 1 },
+            },
+            CodecId::X265 => ToolSet {
+                codec,
+                superblock: 32,
+                min_block: 4,
+                max_depth: if s < 0.5 { 3 } else { 2 },
+                partition_shapes: PartitionShape::H26X.to_vec(),
+                intra_modes: IntraMode::H265.to_vec(),
+                me: MeSettings {
+                    range: lerp(20.0, 6.0).round() as i32,
+                    exhaustive_radius: if s < 0.15 { 6 } else { 0 },
+                    refine_steps: lerp(16.0, 6.0).round() as u32,
+                    subpel: s < 0.6,
+                },
+                quant_passes: if s < 0.3 { 2 } else { 1 },
+                early_exit_scale: lerp(4.0, 12.0).round() as u64,
+                ref_frames: if s < 0.5 { 2 } else { 1 },
+            },
+        };
+        Ok(set)
+    }
+
+    /// Rough upper bound on candidate coding configurations per
+    /// superblock — the "design space" the paper describes as exploding
+    /// exponentially with the shape count.
+    pub fn search_space_estimate(&self) -> f64 {
+        let modes = self.intra_modes.len() as f64 + 1.0; // + inter
+        let shapes = self.partition_shapes.len() as f64;
+        (shapes * modes).powi(self.max_depth as i32 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_tags_roundtrip() {
+        for c in CodecId::ALL {
+            assert_eq!(CodecId::from_tag(c.tag()), Some(c));
+            assert!(!c.name().is_empty());
+        }
+        assert_eq!(CodecId::from_tag(99), None);
+    }
+
+    #[test]
+    fn preset_direction_normalization() {
+        // AV1 family: preset 0 is the slowest.
+        assert_eq!(CodecId::SvtAv1.speed(0), 0.0);
+        assert_eq!(CodecId::SvtAv1.speed(8), 1.0);
+        // x264 family: preset 0 is the fastest (paper §3.3).
+        assert_eq!(CodecId::X264.speed(0), 1.0);
+        assert_eq!(CodecId::X264.speed(9), 0.0);
+    }
+
+    #[test]
+    fn av1_searches_more_shapes_than_vp9_than_h26x() {
+        let p = EncoderParams::new(30, 4);
+        let svt = ToolSet::resolve(CodecId::SvtAv1, &p).unwrap();
+        let vp9 = ToolSet::resolve(CodecId::LibvpxVp9, &p).unwrap();
+        let p26 = EncoderParams::new(30, 5);
+        let x264 = ToolSet::resolve(CodecId::X264, &p26).unwrap();
+        assert!(svt.partition_shapes.len() > vp9.partition_shapes.len());
+        assert!(vp9.partition_shapes.len() > x264.partition_shapes.len());
+        assert!(svt.intra_modes.len() > x264.intra_modes.len());
+    }
+
+    #[test]
+    fn slower_presets_search_more() {
+        let slow = ToolSet::resolve(CodecId::SvtAv1, &EncoderParams::new(30, 0)).unwrap();
+        let fast = ToolSet::resolve(CodecId::SvtAv1, &EncoderParams::new(30, 8)).unwrap();
+        assert!(slow.partition_shapes.len() >= fast.partition_shapes.len());
+        assert!(slow.me.range > fast.me.range);
+        assert!(slow.me.exhaustive_radius > fast.me.exhaustive_radius);
+        assert!(slow.early_exit_scale < fast.early_exit_scale);
+        assert!(slow.search_space_estimate() > fast.search_space_estimate());
+    }
+
+    #[test]
+    fn search_space_ordering_matches_the_paper() {
+        // The paper's Fig. 1 runtime ordering is driven by search space:
+        // SVT-AV1 (and libaom) >> x265 > vp9/x264.
+        let p_av1 = EncoderParams::new(30, 4);
+        let p_h26x = EncoderParams::new(30, 5);
+        let svt = ToolSet::resolve(CodecId::SvtAv1, &p_av1).unwrap().search_space_estimate();
+        let aom = ToolSet::resolve(CodecId::Libaom, &p_av1).unwrap().search_space_estimate();
+        let vp9 = ToolSet::resolve(CodecId::LibvpxVp9, &p_av1).unwrap().search_space_estimate();
+        let x264 = ToolSet::resolve(CodecId::X264, &p_h26x).unwrap().search_space_estimate();
+        assert!(svt >= aom && aom > vp9 && vp9 > x264);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected_per_family() {
+        assert!(ToolSet::resolve(CodecId::X264, &EncoderParams::new(60, 5)).is_err());
+        assert!(ToolSet::resolve(CodecId::SvtAv1, &EncoderParams::new(60, 5)).is_ok());
+        assert!(ToolSet::resolve(CodecId::SvtAv1, &EncoderParams::new(30, 9)).is_err());
+        assert!(ToolSet::resolve(CodecId::X265, &EncoderParams::new(30, 9)).is_ok());
+    }
+}

@@ -1,0 +1,489 @@
+//! Adaptive binary range coding — the entropy engine shared by the codec
+//! models (the AV1/VP9 families use it natively; the H.26x models reuse it
+//! as their CABAC stand-in).
+//!
+//! The implementation is the classic carry-propagating byte-oriented range
+//! coder (as in LZMA and, structurally, libaom's `od_ec`): 32-bit range,
+//! 11-bit adaptive probabilities with shift-5 exponential update. Encoding
+//! and decoding are exact mirrors; `decode(encode(bits)) == bits` is a
+//! property test in this module.
+//!
+//! Every coded bin reports one data-dependent branch through the
+//! [`Probe`] — *this is the encoder's dominant source of hard-to-predict
+//! branches*. Well-modelled contexts (skip flags at high CRF) produce
+//! heavily biased, predictable branch streams; mid-probability contexts
+//! (coefficient significance at low CRF) produce the mispredictions the
+//! paper's branch study chases.
+
+use vstress_trace::{Kernel, Probe};
+
+/// Probability precision: probabilities live in `(0, 1 << PROB_BITS)`.
+pub const PROB_BITS: u32 = 11;
+const PROB_ONE: u16 = 1 << PROB_BITS;
+const PROB_INIT: u16 = PROB_ONE / 2;
+/// Adaptation rate (larger = slower).
+const ADAPT_SHIFT: u32 = 5;
+const TOP: u32 = 1 << 24;
+
+/// An adaptive binary context: probability of the next bin being 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Context {
+    p0: u16,
+    /// Synthetic PC for the branch this context's bins drive.
+    pc: u64,
+}
+
+impl Context {
+    /// A fresh mid-probability context; `label` seeds the branch-site PC.
+    pub fn new(label: u64) -> Self {
+        Context { p0: PROB_INIT, pc: 0x0000_5100_0000_0000 | ((label.wrapping_mul(0x9e37_79b9)) & 0xffff_fffc) }
+    }
+
+    /// Current probability of zero, in `[1, 2047]`.
+    #[inline]
+    pub fn p0(&self) -> u16 {
+        self.p0
+    }
+
+    #[inline]
+    fn adapt(&mut self, bin: bool) {
+        if bin {
+            self.p0 -= self.p0 >> ADAPT_SHIFT;
+        } else {
+            self.p0 += (PROB_ONE - self.p0) >> ADAPT_SHIFT;
+        }
+        // Keep probabilities away from the poles so `bound` stays valid.
+        self.p0 = self.p0.clamp(16, PROB_ONE - 16);
+    }
+
+    /// Estimated cost of coding `bin`, in 1/256-bit units, without
+    /// mutating the context. Used by the RDO search.
+    #[inline]
+    pub fn cost(&self, bin: bool) -> u32 {
+        let p = if bin { PROB_ONE - self.p0 } else { self.p0 };
+        cost_table()[(p >> 4) as usize]
+    }
+}
+
+fn cost_table() -> &'static [u32; 128] {
+    static TABLE: std::sync::OnceLock<[u32; 128]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 128];
+        for (i, slot) in t.iter_mut().enumerate() {
+            // Bucket midpoint probability.
+            let p = ((i as f64 + 0.5) * 16.0 / PROB_ONE as f64).clamp(1e-4, 1.0 - 1e-4);
+            *slot = (-p.log2() * 256.0).round() as u32;
+        }
+        t
+    })
+}
+
+/// The range encoder.
+#[derive(Debug, Clone)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+    bins: u64,
+}
+
+impl RangeEncoder {
+    /// A fresh encoder with an empty output buffer.
+    pub fn new() -> Self {
+        RangeEncoder { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new(), bins: 0 }
+    }
+
+    /// Bins coded so far.
+    pub fn bins(&self) -> u64 {
+        self.bins
+    }
+
+    /// Bits produced so far (excluding the unflushed tail).
+    pub fn bits_written(&self) -> u64 {
+        self.out.len() as u64 * 8
+    }
+
+    /// Exact information content written so far, in fractional bits:
+    /// emitted bytes plus the entropy pending in the range register.
+    /// Differences of this value give per-syntax-element bit costs.
+    pub fn bits_written_exact(&self) -> f64 {
+        let pending = 32.0 - (self.range as f64 + 1.0).log2();
+        self.out.len() as f64 * 8.0 + self.cache_size as f64 * 8.0 + pending
+    }
+
+    /// Encodes `bin` with adaptive context `ctx`, reporting the
+    /// data-dependent branch and ALU work to `probe`.
+    #[inline]
+    pub fn encode<P: Probe>(&mut self, probe: &mut P, ctx: &mut Context, bin: bool) {
+        probe.set_kernel(Kernel::EntropyCoder);
+        probe.branch(ctx.pc, bin);
+        probe.alu(4);
+        probe.load(self as *const _ as u64, 8);
+        // Coder state (low/range) and the output byte stream are written
+        // back every bin.
+        probe.store(self as *const _ as u64, 8);
+        probe.store(self.out.as_ptr() as u64 + self.out.len() as u64, 1);
+        self.encode_raw(ctx.p0, bin);
+        ctx.adapt(bin);
+    }
+
+    /// Encodes `bin` with fixed probability 1/2 (bypass bin).
+    #[inline]
+    pub fn encode_bypass<P: Probe>(&mut self, probe: &mut P, bin: bool) {
+        probe.set_kernel(Kernel::EntropyCoder);
+        probe.alu(3);
+        probe.store(self as *const _ as u64, 8);
+        self.encode_raw(PROB_INIT, bin);
+    }
+
+    /// Encodes `n` bypass bins from the low bits of `v` (MSB first).
+    pub fn encode_literal<P: Probe>(&mut self, probe: &mut P, v: u32, n: u32) {
+        for i in (0..n).rev() {
+            self.encode_bypass(probe, (v >> i) & 1 == 1);
+        }
+    }
+
+    #[inline]
+    fn encode_raw(&mut self, p0: u16, bin: bool) {
+        self.bins += 1;
+        let bound = (self.range >> PROB_BITS) * p0 as u32;
+        if !bin {
+            self.range = bound;
+        } else {
+            self.low += bound as u64;
+            self.range -= bound;
+        }
+        while self.range < TOP {
+            self.range <<= 8;
+            self.shift_low();
+        }
+    }
+
+    fn shift_low(&mut self) {
+        if (self.low as u32) < 0xff00_0000 || (self.low >> 32) != 0 {
+            let carry = (self.low >> 32) as u8;
+            let mut byte = self.cache;
+            loop {
+                self.out.push(byte.wrapping_add(carry));
+                byte = 0xff;
+                self.cache_size -= 1;
+                if self.cache_size == 0 {
+                    break;
+                }
+            }
+            self.cache = (self.low >> 24) as u8;
+        }
+        self.cache_size += 1;
+        // Keep only the low 32 bits; bits 24–31 moved into `cache` above
+        // and must not reappear as a phantom carry.
+        self.low = ((self.low as u32) << 8) as u64;
+    }
+
+    /// Flushes and returns the coded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The range decoder (mirror of [`RangeEncoder`]).
+#[derive(Debug, Clone)]
+pub struct RangeDecoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+    range: u32,
+    code: u32,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Starts decoding `input` (must begin at the encoder's first byte).
+    pub fn new(input: &'a [u8]) -> Self {
+        let mut d = RangeDecoder { input, pos: 0, range: u32::MAX, code: 0 };
+        // The first encoder byte is always 0 (cache priming); skip it and
+        // load the next four.
+        d.pos = 1;
+        for _ in 0..4 {
+            d.code = (d.code << 8) | d.next_byte() as u32;
+        }
+        d
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        let b = self.input.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Decodes one bin with adaptive context `ctx`.
+    #[inline]
+    pub fn decode<P: Probe>(&mut self, probe: &mut P, ctx: &mut Context) -> bool {
+        probe.set_kernel(Kernel::EntropyCoder);
+        probe.alu(4);
+        probe.load(self.input.as_ptr() as u64 + self.pos as u64, 4);
+        probe.store(self as *const _ as u64, 8);
+        let bin = self.decode_raw(ctx.p0);
+        probe.branch(ctx.pc, bin);
+        ctx.adapt(bin);
+        bin
+    }
+
+    /// Decodes one bypass bin.
+    #[inline]
+    pub fn decode_bypass<P: Probe>(&mut self, probe: &mut P) -> bool {
+        probe.set_kernel(Kernel::EntropyCoder);
+        probe.alu(3);
+        self.decode_raw(PROB_INIT)
+    }
+
+    /// Decodes an `n`-bit literal (MSB first).
+    pub fn decode_literal<P: Probe>(&mut self, probe: &mut P, n: u32) -> u32 {
+        let mut v = 0;
+        for _ in 0..n {
+            v = (v << 1) | self.decode_bypass(probe) as u32;
+        }
+        v
+    }
+
+    #[inline]
+    fn decode_raw(&mut self, p0: u16) -> bool {
+        let bound = (self.range >> PROB_BITS) * p0 as u32;
+        let bin = self.code >= bound;
+        if !bin {
+            self.range = bound;
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+        }
+        while self.range < TOP {
+            self.range <<= 8;
+            self.code = (self.code << 8) | self.next_byte() as u32;
+        }
+        bin
+    }
+}
+
+/// Encodes a non-negative value with a unary-prefixed Exp-Golomb-style
+/// binarization through adaptive contexts: `prefix_ctx` codes
+/// "keep going" flags for the first few magnitudes, then the remainder is
+/// sent as a bypass literal.
+pub fn encode_uvlc<P: Probe>(
+    enc: &mut RangeEncoder,
+    probe: &mut P,
+    ctxs: &mut [Context; 3],
+    v: u32,
+) {
+    // Unary part over the first 3 magnitudes with dedicated contexts.
+    let unary = v.min(3);
+    for i in 0..3 {
+        let more = v > i;
+        enc.encode(probe, &mut ctxs[i as usize], more);
+        if !more {
+            return;
+        }
+    }
+    let _ = unary;
+    // Remainder with Elias-gamma-style length prefix (bypass).
+    let rem = v - 3;
+    let nbits = 32 - rem.leading_zeros().min(31);
+    let nbits = nbits.max(1);
+    // Length in unary (bypass), capped at 31.
+    for _ in 1..nbits {
+        enc.encode_bypass(probe, true);
+    }
+    enc.encode_bypass(probe, false);
+    enc.encode_literal(probe, rem, nbits);
+}
+
+/// Mirror of [`encode_uvlc`].
+pub fn decode_uvlc<P: Probe>(
+    dec: &mut RangeDecoder<'_>,
+    probe: &mut P,
+    ctxs: &mut [Context; 3],
+) -> u32 {
+    for i in 0..3u32 {
+        if !dec.decode(probe, &mut ctxs[i as usize]) {
+            return i;
+        }
+    }
+    let mut nbits = 1u32;
+    // Valid streams terminate within 32 prefix bins; the 64 cap only
+    // bounds work on corrupt input (the literal read below then yields
+    // arbitrary-but-safe bits).
+    while dec.decode_bypass(probe) && nbits < 64 {
+        nbits += 1;
+    }
+    3u32.wrapping_add(dec.decode_literal(probe, nbits.min(32)))
+}
+
+/// Estimated cost in 1/256-bit units of [`encode_uvlc`], context state
+/// untouched.
+pub fn uvlc_cost(ctxs: &[Context; 3], v: u32) -> u32 {
+    let mut cost = 0;
+    for i in 0..3u32 {
+        let more = v > i;
+        cost += ctxs[i as usize].cost(more);
+        if !more {
+            return cost;
+        }
+    }
+    let rem = v - 3;
+    let nbits = (32 - rem.leading_zeros().min(31)).max(1);
+    cost + (2 * nbits) * 256
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstress_trace::{CountingProbe, NullProbe};
+
+    #[test]
+    fn roundtrip_random_bins_single_context() {
+        let mut enc = RangeEncoder::new();
+        let mut ctx = Context::new(1);
+        let mut p = NullProbe;
+        let mut x = 123u64;
+        let mut bits = Vec::new();
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let bin = (x >> 60) % 10 < 3;
+            bits.push(bin);
+            enc.encode(&mut p, &mut ctx, bin);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut ctx = Context::new(1);
+        for (i, &expect) in bits.iter().enumerate() {
+            assert_eq!(dec.decode(&mut p, &mut ctx), expect, "bin {i}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_mixed_contexts_bypass_and_literals() {
+        let mut enc = RangeEncoder::new();
+        let mut c1 = Context::new(10);
+        let mut c2 = Context::new(20);
+        let mut p = NullProbe;
+        for i in 0..500u32 {
+            enc.encode(&mut p, &mut c1, i % 3 == 0);
+            enc.encode(&mut p, &mut c2, i % 7 < 2);
+            enc.encode_bypass(&mut p, i % 2 == 0);
+            enc.encode_literal(&mut p, i % 256, 8);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut c1 = Context::new(10);
+        let mut c2 = Context::new(20);
+        for i in 0..500u32 {
+            assert_eq!(dec.decode(&mut p, &mut c1), i % 3 == 0);
+            assert_eq!(dec.decode(&mut p, &mut c2), i % 7 < 2);
+            assert_eq!(dec.decode_bypass(&mut p), i % 2 == 0);
+            assert_eq!(dec.decode_literal(&mut p, 8), i % 256);
+        }
+    }
+
+    #[test]
+    fn biased_streams_compress() {
+        // 99% zeros should cost far less than 1 bit per bin.
+        let mut enc = RangeEncoder::new();
+        let mut ctx = Context::new(5);
+        let mut p = NullProbe;
+        let n = 20_000;
+        for i in 0..n {
+            enc.encode(&mut p, &mut ctx, i % 100 == 0);
+        }
+        let bytes = enc.finish();
+        let bpb = bytes.len() as f64 * 8.0 / n as f64;
+        assert!(bpb < 0.15, "bits per bin {bpb}");
+    }
+
+    #[test]
+    fn random_streams_cost_about_one_bit() {
+        let mut enc = RangeEncoder::new();
+        let mut p = NullProbe;
+        let n = 20_000;
+        let mut x = 9u64;
+        for _ in 0..n {
+            x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            enc.encode_bypass(&mut p, x >> 63 == 1);
+        }
+        let bytes = enc.finish();
+        let bpb = bytes.len() as f64 * 8.0 / n as f64;
+        assert!((0.95..1.1).contains(&bpb), "bits per bin {bpb}");
+    }
+
+    #[test]
+    fn uvlc_roundtrip() {
+        let values = [0u32, 1, 2, 3, 4, 5, 17, 100, 5000, 123_456];
+        let mut enc = RangeEncoder::new();
+        let mut ctxs = [Context::new(1), Context::new(2), Context::new(3)];
+        let mut p = NullProbe;
+        for &v in &values {
+            encode_uvlc(&mut enc, &mut p, &mut ctxs, v);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut ctxs = [Context::new(1), Context::new(2), Context::new(3)];
+        for &v in &values {
+            assert_eq!(decode_uvlc(&mut dec, &mut p, &mut ctxs), v);
+        }
+    }
+
+    #[test]
+    fn cost_estimate_tracks_probability() {
+        let mut ctx = Context::new(7);
+        // Train towards zero-heavy.
+        let mut enc = RangeEncoder::new();
+        let mut p = NullProbe;
+        for _ in 0..200 {
+            enc.encode(&mut p, &mut ctx, false);
+        }
+        assert!(ctx.cost(false) < 128, "likely bin should cost < 0.5 bit");
+        assert!(ctx.cost(true) > 512, "unlikely bin should cost > 2 bits");
+    }
+
+    #[test]
+    fn entropy_coder_reports_branches() {
+        let mut enc = RangeEncoder::new();
+        let mut ctx = Context::new(9);
+        let mut probe = CountingProbe::new();
+        for i in 0..100 {
+            enc.encode(&mut probe, &mut ctx, i % 2 == 0);
+        }
+        assert_eq!(probe.mix().branch, 100);
+        assert_eq!(enc.bins(), 100);
+    }
+
+    #[test]
+    fn truncated_stream_does_not_panic() {
+        let mut enc = RangeEncoder::new();
+        let mut ctx = Context::new(3);
+        let mut p = NullProbe;
+        for _ in 0..1000 {
+            enc.encode(&mut p, &mut ctx, true);
+        }
+        let mut bytes = enc.finish();
+        bytes.truncate(bytes.len() / 2);
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut ctx = Context::new(3);
+        // Decoding past the end returns arbitrary-but-safe bins.
+        for _ in 0..2000 {
+            let _ = dec.decode(&mut p, &mut ctx);
+        }
+    }
+}

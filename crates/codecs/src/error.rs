@@ -1,0 +1,81 @@
+//! Error types for the codec models.
+
+use std::fmt;
+
+/// Errors produced by encoding or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// Encoder parameters outside the codec's accepted range.
+    InvalidParams {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The input clip cannot be coded (dimensions too small, etc.).
+    UnsupportedInput {
+        /// Why the input was rejected.
+        reason: String,
+    },
+    /// The bitstream is malformed or truncated.
+    CorruptBitstream {
+        /// Byte offset (approximate) where parsing failed.
+        offset: usize,
+        /// What the decoder expected.
+        expected: &'static str,
+    },
+    /// An internal video-substrate error surfaced during coding.
+    Video(vstress_video::VideoError),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::InvalidParams { what, detail } => {
+                write!(f, "invalid encoder parameter `{what}`: {detail}")
+            }
+            CodecError::UnsupportedInput { reason } => write!(f, "unsupported input: {reason}"),
+            CodecError::CorruptBitstream { offset, expected } => {
+                write!(f, "corrupt bitstream near byte {offset}: expected {expected}")
+            }
+            CodecError::Video(e) => write!(f, "video error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Video(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vstress_video::VideoError> for CodecError {
+    fn from(e: vstress_video::VideoError) -> Self {
+        CodecError::Video(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CodecError::CorruptBitstream { offset: 12, expected: "partition symbol" };
+        let s = format!("{e}");
+        assert!(s.contains("12") && s.contains("partition symbol"));
+    }
+
+    #[test]
+    fn video_errors_convert() {
+        let v = vstress_video::VideoError::UnknownClip("x".into());
+        let c: CodecError = v.clone().into();
+        assert!(matches!(c, CodecError::Video(_)));
+        use std::error::Error;
+        assert!(c.source().is_some());
+    }
+}

@@ -1,0 +1,301 @@
+//! Instrumented pixel kernels: SAD, SSE distortion, residual and copy.
+//!
+//! These are the leaf SIMD loops of the encoder — the counterparts of the
+//! hand-vectorized assembly in SVT-AV1/x264. Each kernel computes its real
+//! result over the live pixel buffers *and* reports the vectorized
+//! instruction stream it would retire (loads per row chunk, AVX ops per
+//! vector, the loop branch) through the [`Probe`].
+
+use crate::blocks::BlockRect;
+use vstress_trace::{Kernel, Probe};
+use vstress_video::Plane;
+
+/// Vector width in pixels assumed by the instrumentation (AVX2: 32 u8).
+pub const VEC_PIXELS: usize = 32;
+
+#[inline]
+fn row_vectors(w: usize) -> u64 {
+    (w as u64).div_ceil(VEC_PIXELS as u64)
+}
+
+/// Reports `n` 256-bit vector ops. Narrow blocks are batched multiple
+/// rows per register by real kernels, so block kernels always count as
+/// AVX; the rare 128-bit paths live in the deblocker and edge gathering.
+#[inline]
+fn vec_ops<P: Probe>(probe: &mut P, _w: usize, n: u64) {
+    probe.avx(n);
+}
+
+/// Sum of absolute differences between a plane block and a predictor
+/// buffer (`pred` is `rect.w * rect.h`, row-major).
+///
+/// # Panics
+///
+/// Panics in debug builds if `rect` exceeds the plane or `pred` is too
+/// small.
+pub fn sad_plane_pred<P: Probe>(probe: &mut P, plane: &Plane, rect: BlockRect, pred: &[u8]) -> u64 {
+    debug_assert!(pred.len() >= rect.area());
+    probe.set_kernel(Kernel::Sad);
+    let mut sum = 0u64;
+    for y in 0..rect.h {
+        let row = &plane.row(rect.y + y)[rect.x..rect.x + rect.w];
+        let prow = &pred[y * rect.w..(y + 1) * rect.w];
+        for (a, b) in row.iter().zip(prow) {
+            sum += (*a as i32 - *b as i32).unsigned_abs() as u64;
+        }
+        let v = row_vectors(rect.w);
+        probe.load(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
+        probe.load(prow.as_ptr() as u64, rect.w.min(VEC_PIXELS) as u32);
+        vec_ops(probe, rect.w, v * 2); // psadbw + accumulate
+        probe.alu(1);
+        // Unrolled-by-4 loop: one branch per four rows; the accumulator
+        // spills to the stack every other row.
+        if y % 2 == 1 || y + 1 == rect.h {
+            probe.store(pred.as_ptr() as u64, 8);
+        }
+        if y % 4 == 3 || y + 1 == rect.h {
+            probe.branch(vstress_trace::site_pc!(), y + 1 != rect.h);
+        }
+    }
+    sum
+}
+
+/// SAD between two plane blocks (motion search: current vs reference at a
+/// candidate displacement, clamped at frame borders).
+pub fn sad_plane_plane<P: Probe>(
+    probe: &mut P,
+    cur: &Plane,
+    rect: BlockRect,
+    refp: &Plane,
+    mvx: i32,
+    mvy: i32,
+) -> u64 {
+    probe.set_kernel(Kernel::Sad);
+    let mut sum = 0u64;
+    for y in 0..rect.h {
+        let cy = rect.y + y;
+        let ry = cy as isize + mvy as isize;
+        for x in 0..rect.w {
+            let a = cur.get(rect.x + x, cy) as i32;
+            let b = refp.get_clamped(rect.x as isize + x as isize + mvx as isize, ry) as i32;
+            sum += (a - b).unsigned_abs() as u64;
+        }
+        let v = row_vectors(rect.w);
+        probe.load(cur.sample_addr(rect.x, cy), rect.w.min(VEC_PIXELS) as u32);
+        let rx = (rect.x as isize + mvx as isize).clamp(0, refp.width() as isize - 1) as usize;
+        let rcy = ry.clamp(0, refp.height() as isize - 1) as usize;
+        // Candidate displacements are unaligned: the reference row costs
+        // two overlapping vector loads.
+        probe.load(refp.sample_addr(rx, rcy), rect.w.min(VEC_PIXELS) as u32);
+        probe.load(refp.sample_addr(rx, rcy) + 16, rect.w.min(VEC_PIXELS) as u32);
+        vec_ops(probe, rect.w, v * 2);
+        probe.alu(1);
+        if y % 2 == 1 || y + 1 == rect.h {
+            probe.store(cur.base_addr(), 8);
+            probe.branch(vstress_trace::site_pc!(), y + 1 != rect.h);
+        }
+    }
+    sum
+}
+
+/// Sum of squared errors between a plane block and a predictor buffer.
+pub fn sse_plane_pred<P: Probe>(probe: &mut P, plane: &Plane, rect: BlockRect, pred: &[u8]) -> u64 {
+    debug_assert!(pred.len() >= rect.area());
+    probe.set_kernel(Kernel::Sad);
+    let mut sum = 0u64;
+    for y in 0..rect.h {
+        let row = &plane.row(rect.y + y)[rect.x..rect.x + rect.w];
+        let prow = &pred[y * rect.w..(y + 1) * rect.w];
+        for (a, b) in row.iter().zip(prow) {
+            let d = *a as i64 - *b as i64;
+            sum += (d * d) as u64;
+        }
+        let v = row_vectors(rect.w);
+        probe.load(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
+        probe.load(prow.as_ptr() as u64, rect.w.min(VEC_PIXELS) as u32);
+        vec_ops(probe, rect.w, v * 3);
+        probe.alu(1);
+        if y % 2 == 1 || y + 1 == rect.h {
+            probe.store(pred.as_ptr() as u64, 8);
+        }
+        if y % 4 == 3 || y + 1 == rect.h {
+            probe.branch(vstress_trace::site_pc!(), y + 1 != rect.h);
+        }
+    }
+    sum
+}
+
+/// Residual between a plane block and a predictor, into `dst` (i32,
+/// row-major `rect.w * rect.h`).
+///
+/// # Panics
+///
+/// Panics if `dst` is smaller than the block.
+pub fn residual<P: Probe>(
+    probe: &mut P,
+    plane: &Plane,
+    rect: BlockRect,
+    pred: &[u8],
+    dst: &mut [i32],
+) {
+    assert!(dst.len() >= rect.area());
+    probe.set_kernel(Kernel::FrameSetup);
+    for y in 0..rect.h {
+        let row = &plane.row(rect.y + y)[rect.x..rect.x + rect.w];
+        let prow = &pred[y * rect.w..(y + 1) * rect.w];
+        for x in 0..rect.w {
+            dst[y * rect.w + x] = row[x] as i32 - prow[x] as i32;
+        }
+        let v = row_vectors(rect.w);
+        probe.load(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
+        probe.load(prow.as_ptr() as u64, rect.w.min(VEC_PIXELS) as u32);
+        probe.store(dst.as_ptr() as u64 + (y * rect.w * 4) as u64, (rect.w * 4).min(64) as u32);
+        vec_ops(probe, rect.w, v);
+    }
+}
+
+/// Adds a residual (i32) to a predictor and writes the clamped
+/// reconstruction into the plane block.
+///
+/// # Panics
+///
+/// Panics if the buffers are smaller than the block.
+pub fn reconstruct<P: Probe>(
+    probe: &mut P,
+    plane: &mut Plane,
+    rect: BlockRect,
+    pred: &[u8],
+    res: &[i32],
+) {
+    assert!(pred.len() >= rect.area() && res.len() >= rect.area());
+    probe.set_kernel(Kernel::FrameSetup);
+    for y in 0..rect.h {
+        for x in 0..rect.w {
+            let v = pred[y * rect.w + x] as i32 + res[y * rect.w + x];
+            plane.set(rect.x + x, rect.y + y, v.clamp(0, 255) as u8);
+        }
+        let v = row_vectors(rect.w);
+        probe.load(pred.as_ptr() as u64 + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
+        probe.load(res.as_ptr() as u64 + (y * rect.w * 4) as u64, (rect.w * 4).min(64) as u32);
+        probe.store(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
+        vec_ops(probe, rect.w, v * 2);
+    }
+}
+
+/// Copies a predictor buffer straight into the plane (skip blocks).
+pub fn write_pred<P: Probe>(probe: &mut P, plane: &mut Plane, rect: BlockRect, pred: &[u8]) {
+    probe.set_kernel(Kernel::FrameSetup);
+    for y in 0..rect.h {
+        for x in 0..rect.w {
+            plane.set(rect.x + x, rect.y + y, pred[y * rect.w + x]);
+        }
+        probe.load(pred.as_ptr() as u64 + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
+        probe.store(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
+        vec_ops(probe, rect.w, row_vectors(rect.w));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstress_trace::{CountingProbe, NullProbe};
+
+    fn plane_with(vals: impl Fn(usize, usize) -> u8) -> Plane {
+        let mut p = Plane::new(32, 32, 0).unwrap();
+        for y in 0..32 {
+            for x in 0..32 {
+                p.set(x, y, vals(x, y));
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn sad_identical_is_zero() {
+        let p = plane_with(|x, y| (x * 3 + y) as u8);
+        let rect = BlockRect::new(8, 8, 8, 8);
+        let mut pred = vec![0u8; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                pred[y * 8 + x] = p.get(8 + x, 8 + y);
+            }
+        }
+        assert_eq!(sad_plane_pred(&mut NullProbe, &p, rect, &pred), 0);
+    }
+
+    #[test]
+    fn sad_counts_differences() {
+        let p = plane_with(|_, _| 100);
+        let rect = BlockRect::new(0, 0, 4, 4);
+        let pred = vec![97u8; 16];
+        assert_eq!(sad_plane_pred(&mut NullProbe, &p, rect, &pred), 3 * 16);
+    }
+
+    #[test]
+    fn plane_plane_sad_with_zero_mv_matches_direct() {
+        let a = plane_with(|x, y| (x + y) as u8);
+        let b = plane_with(|x, y| (x + y + 2) as u8);
+        let rect = BlockRect::new(4, 4, 8, 8);
+        assert_eq!(sad_plane_plane(&mut NullProbe, &a, rect, &b, 0, 0), 2 * 64);
+    }
+
+    #[test]
+    fn plane_plane_sad_finds_shifted_content() {
+        // b(x) = a(x + 2): the content of `a` sits 2 columns to the LEFT
+        // in b, so SAD is zero at mv (-2, 0).
+        let a = plane_with(|x, y| ((x * 7 + y * 13) % 251) as u8);
+        let b = plane_with(|x, y| ((x.wrapping_add(2) * 7 + y * 13) % 251) as u8);
+        let rect = BlockRect::new(8, 8, 8, 8);
+        assert_eq!(sad_plane_plane(&mut NullProbe, &a, rect, &b, -2, 0), 0);
+        assert!(sad_plane_plane(&mut NullProbe, &a, rect, &b, 0, 0) > 0);
+    }
+
+    #[test]
+    fn residual_plus_reconstruct_is_identity() {
+        let src = plane_with(|x, y| ((x * 5 + y * 11) % 256) as u8);
+        let rect = BlockRect::new(4, 8, 8, 4);
+        let pred = vec![50u8; 32];
+        let mut res = vec![0i32; 32];
+        residual(&mut NullProbe, &src, rect, &pred, &mut res);
+        let mut out = Plane::new(32, 32, 0).unwrap();
+        reconstruct(&mut NullProbe, &mut out, rect, &pred, &res);
+        for y in 0..4 {
+            for x in 0..8 {
+                assert_eq!(out.get(4 + x, 8 + y), src.get(4 + x, 8 + y));
+            }
+        }
+    }
+
+    #[test]
+    fn sse_matches_manual() {
+        let p = plane_with(|_, _| 10);
+        let rect = BlockRect::new(0, 0, 4, 4);
+        let pred = vec![13u8; 16];
+        assert_eq!(sse_plane_pred(&mut NullProbe, &p, rect, &pred), 9 * 16);
+    }
+
+    #[test]
+    fn kernels_report_vectorized_mix() {
+        let p = plane_with(|x, _| x as u8);
+        let rect = BlockRect::new(0, 0, 16, 16);
+        let pred = vec![0u8; 256];
+        let mut probe = CountingProbe::new();
+        sad_plane_pred(&mut probe, &p, rect, &pred);
+        let m = probe.mix();
+        assert!(m.avx >= 16 * 2, "avx {}", m.avx);
+        // Unrolled by 4: one loop branch per four rows.
+        assert_eq!(m.branch, 4);
+        // Accumulator spills every other row.
+        assert_eq!(m.store, 8);
+        assert!(m.load >= 32);
+    }
+
+    #[test]
+    fn write_pred_copies() {
+        let mut out = Plane::new(32, 32, 0).unwrap();
+        let rect = BlockRect::new(0, 0, 4, 4);
+        let pred: Vec<u8> = (0..16).map(|i| i as u8 * 10).collect();
+        write_pred(&mut NullProbe, &mut out, rect, &pred);
+        assert_eq!(out.get(3, 3), 150);
+    }
+}

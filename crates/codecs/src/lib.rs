@@ -1,0 +1,71 @@
+//! Encoder models for the `vstress` workbench.
+//!
+//! The paper characterizes five encoders — SVT-AV1, libaom, libvpx-VP9,
+//! x264 and x265 — and attributes SVT-AV1's order-of-magnitude runtime gap
+//! to its *search space*: AV1 gives the encoder ten ways to partition each
+//! block where VP9 offers four, more intra modes, and deeper
+//! rate-distortion optimization, multiplying the work per pixel. This
+//! crate rebuilds that mechanism from scratch in Rust:
+//!
+//! * one shared coding substrate — integer DCT family transforms with an
+//!   exact inverse ([`transform`]), dead-zone scalar quantization
+//!   ([`quant`]), an adaptive binary range coder with a real decodable
+//!   bitstream ([`entropy`], [`bitstream`]), intra prediction
+//!   ([`predict`]), motion search and compensation ([`mesearch`], [`mc`]),
+//!   λ-based RDO ([`rdo`]) and an in-loop deblocking filter ([`deblock`]);
+//! * five [`CodecId`]s configured over that substrate with codec-faithful
+//!   tool sets ([`codecs`]): partition-shape sets, intra-mode sets,
+//!   motion-search breadth, and speed-preset tables;
+//! * a matching [`decoder`] that reproduces the encoder's reconstruction
+//!   bit-exactly from the bitstream (the round-trip invariant the test
+//!   suite leans on);
+//! * full instrumentation: every hot kernel reports its abstract
+//!   instruction stream through a [`Probe`](vstress_trace::Probe), so an
+//!   encode can be "run on" the cache/branch/pipeline simulators;
+//! * a [`taskgraph`] emitter describing each encoder's threading structure
+//!   (SVT-AV1 segment pipeline, x264 wavefront rows, x265's serial
+//!   lookahead, libaom tiles) for the thread-scalability study.
+//!
+//! ```
+//! use vstress_codecs::{CodecId, Encoder, EncoderParams};
+//! use vstress_trace::CountingProbe;
+//! use vstress_video::vbench::{self, FidelityConfig};
+//!
+//! let clip = vbench::clip("desktop").unwrap().synthesize(&FidelityConfig::smoke());
+//! let enc = Encoder::new(CodecId::SvtAv1, EncoderParams::new(50, 8)).unwrap();
+//! let mut probe = CountingProbe::new();
+//! let out = enc.encode(&clip, &mut probe).unwrap();
+//! assert!(out.mean_psnr() > 25.0);
+//! assert!(probe.mix().total() > 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod batch;
+pub mod bitstream;
+pub mod blocks;
+pub mod codecs;
+pub mod deblock;
+pub mod decoder;
+pub mod encoder;
+pub mod entropy;
+pub mod error;
+pub mod frame_coder;
+pub mod kernels;
+pub mod mc;
+pub mod mesearch;
+pub mod params;
+pub mod predict;
+pub mod quant;
+pub mod rdo;
+pub mod taskgraph;
+pub mod transform;
+
+pub use codecs::CodecId;
+pub use decoder::Decoder;
+pub use encoder::{EncodeResult, Encoder};
+pub use error::CodecError;
+pub use params::EncoderParams;
+pub use batch::encode_batch;
+pub use taskgraph::{TaskKind, TaskTrace};

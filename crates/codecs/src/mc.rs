@@ -1,0 +1,153 @@
+//! Motion compensation: prediction from a reference frame at integer or
+//! half-pel motion vectors.
+
+use crate::blocks::BlockRect;
+use vstress_trace::{Kernel, Probe};
+use vstress_video::Plane;
+
+/// A motion vector in half-pel units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct MotionVector {
+    /// Horizontal component, half-pel units.
+    pub x: i32,
+    /// Vertical component, half-pel units.
+    pub y: i32,
+}
+
+impl MotionVector {
+    /// A zero vector.
+    pub const ZERO: MotionVector = MotionVector { x: 0, y: 0 };
+
+    /// Builds from integer-pel components.
+    pub fn from_fullpel(x: i32, y: i32) -> Self {
+        MotionVector { x: x * 2, y: y * 2 }
+    }
+
+    /// Whether either component has a half-pel fraction.
+    pub fn is_subpel(&self) -> bool {
+        self.x % 2 != 0 || self.y % 2 != 0
+    }
+}
+
+/// Produces the motion-compensated prediction of `rect` from `refp`
+/// displaced by `mv`, into `dst` (`rect.w * rect.h`).
+///
+/// Half-pel positions are bilinearly interpolated (the 2-tap filter —
+/// real codecs use 6–8 taps, but tap count only scales the same
+/// instruction stream). Out-of-frame references clamp to the border.
+///
+/// # Panics
+///
+/// Panics if `dst` is smaller than the block.
+pub fn motion_compensate<P: Probe>(
+    probe: &mut P,
+    refp: &Plane,
+    rect: BlockRect,
+    mv: MotionVector,
+    dst: &mut [u8],
+) {
+    assert!(dst.len() >= rect.area());
+    probe.set_kernel(Kernel::InterPred);
+    let ix = mv.x >> 1;
+    let iy = mv.y >> 1;
+    let fx = (mv.x & 1) != 0;
+    let fy = (mv.y & 1) != 0;
+    for y in 0..rect.h {
+        let sy = rect.y as isize + y as isize + iy as isize;
+        for x in 0..rect.w {
+            let sx = rect.x as isize + x as isize + ix as isize;
+            let p00 = refp.get_clamped(sx, sy) as u32;
+            let v = match (fx, fy) {
+                (false, false) => p00,
+                (true, false) => (p00 + refp.get_clamped(sx + 1, sy) as u32).div_ceil(2),
+                (false, true) => (p00 + refp.get_clamped(sx, sy + 1) as u32).div_ceil(2),
+                (true, true) => {
+                    let p10 = refp.get_clamped(sx + 1, sy) as u32;
+                    let p01 = refp.get_clamped(sx, sy + 1) as u32;
+                    let p11 = refp.get_clamped(sx + 1, sy + 1) as u32;
+                    (p00 + p10 + p01 + p11 + 2) / 4
+                }
+            };
+            dst[y * rect.w + x] = v as u8;
+        }
+        let vecs = (rect.w as u64).div_ceil(32);
+        let cx = (rect.x as isize + ix as isize).clamp(0, refp.width() as isize - 1) as usize;
+        let cy = sy.clamp(0, refp.height() as isize - 1) as usize;
+        probe.load(refp.sample_addr(cx, cy), rect.w.min(32) as u32);
+        if fy {
+            let cy1 = (sy + 1).clamp(0, refp.height() as isize - 1) as usize;
+            probe.load(refp.sample_addr(cx, cy1), rect.w.min(32) as u32);
+        }
+        probe.store(dst.as_ptr() as u64 + (y * rect.w) as u64, rect.w.min(32) as u32);
+        let filter_ops = if fx || fy { 3 } else { 1 };
+        probe.avx(vecs * filter_ops);
+        if y % 4 == 3 || y + 1 == rect.h {
+            probe.branch(vstress_trace::site_pc!(), y + 1 != rect.h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstress_trace::NullProbe;
+
+    fn gradient_plane() -> Plane {
+        let mut p = Plane::new(32, 32, 0).unwrap();
+        for y in 0..32 {
+            for x in 0..32 {
+                p.set(x, y, (x * 8) as u8);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn zero_mv_copies_the_block() {
+        let p = gradient_plane();
+        let rect = BlockRect::new(8, 8, 8, 8);
+        let mut dst = vec![0u8; 64];
+        motion_compensate(&mut NullProbe, &p, rect, MotionVector::ZERO, &mut dst);
+        for y in 0..8 {
+            for x in 0..8 {
+                assert_eq!(dst[y * 8 + x], p.get(8 + x, 8 + y));
+            }
+        }
+    }
+
+    #[test]
+    fn fullpel_mv_shifts() {
+        let p = gradient_plane();
+        let rect = BlockRect::new(8, 8, 4, 4);
+        let mut dst = vec![0u8; 16];
+        motion_compensate(&mut NullProbe, &p, rect, MotionVector::from_fullpel(2, 0), &mut dst);
+        assert_eq!(dst[0], p.get(10, 8));
+    }
+
+    #[test]
+    fn halfpel_interpolates_horizontally() {
+        let p = gradient_plane(); // value = 8x, so half-pel at x gives 8x+4.
+        let rect = BlockRect::new(4, 4, 4, 4);
+        let mut dst = vec![0u8; 16];
+        motion_compensate(&mut NullProbe, &p, rect, MotionVector { x: 1, y: 0 }, &mut dst);
+        let expect = (p.get(4, 4) as u32 + p.get(5, 4) as u32).div_ceil(2);
+        assert_eq!(dst[0] as u32, expect);
+        assert_eq!(dst[0] as i32 - p.get(4, 4) as i32, 4);
+    }
+
+    #[test]
+    fn subpel_detection() {
+        assert!(!MotionVector::from_fullpel(3, -2).is_subpel());
+        assert!(MotionVector { x: 1, y: 0 }.is_subpel());
+        assert!(MotionVector { x: 0, y: -3 }.is_subpel());
+    }
+
+    #[test]
+    fn out_of_frame_reference_clamps() {
+        let p = gradient_plane();
+        let rect = BlockRect::new(0, 0, 4, 4);
+        let mut dst = vec![0u8; 16];
+        motion_compensate(&mut NullProbe, &p, rect, MotionVector::from_fullpel(-10, -10), &mut dst);
+        assert_eq!(dst[0], p.get(0, 0));
+    }
+}

@@ -1,0 +1,380 @@
+//! Motion estimation: candidate seeding, diamond refinement, optional
+//! exhaustive windows and half-pel refinement.
+//!
+//! Search breadth is the speed-preset dial with the largest runtime
+//! leverage (the paper's Fig. 11a spans nearly three orders of magnitude
+//! from preset 0 to 8); the [`MeSettings`] gates below are what the
+//! per-codec preset tables manipulate.
+
+use crate::blocks::BlockRect;
+use crate::kernels::sad_plane_plane;
+use crate::mc::MotionVector;
+use vstress_trace::{Kernel, Probe};
+use vstress_video::Plane;
+
+/// Motion-search effort parameters (full-pel units unless noted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MeSettings {
+    /// Clamp on |mv| per axis.
+    pub range: i32,
+    /// Run an exhaustive scan of ±`exhaustive_radius` (0 disables) before
+    /// diamond refinement — the slow-preset tool.
+    pub exhaustive_radius: i32,
+    /// Diamond refinement iterations budget.
+    pub refine_steps: u32,
+    /// Half-pel refinement pass.
+    pub subpel: bool,
+}
+
+/// Estimated bits to code a motion-vector component (sign + UVLC
+/// magnitude), in whole bits.
+fn mv_component_bits(v: i32) -> u64 {
+    let mag = v.unsigned_abs() as u64;
+    2 + 2 * (64 - (mag + 1).leading_zeros() as u64)
+}
+
+/// Rate-aware motion-vector cost: estimated bits priced at the search's
+/// λ (distortion units per bit). An unpriced MV cost makes wide searches
+/// *hurt* compression — they trade many signalling bits for tiny SAD
+/// gains.
+fn mv_cost(rate_lambda: u64, dx: i32, dy: i32) -> u64 {
+    rate_lambda * (mv_component_bits(dx) + mv_component_bits(dy))
+}
+
+/// Result of a motion search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeResult {
+    /// Best motion vector (half-pel units).
+    pub mv: MotionVector,
+    /// SAD + rate-proxy cost at the winner.
+    pub cost: u64,
+    /// Candidates evaluated (work metric used by tests).
+    pub evaluated: u32,
+}
+
+/// Searches for the best motion vector for `rect` in `refp`.
+///
+/// Seeds from the zero vector and `pred_mv` (the spatial predictor),
+/// optionally scans an exhaustive window, then refines with a
+/// large-diamond pattern and an optional half-pel pass.
+pub fn motion_search<P: Probe>(
+    probe: &mut P,
+    cur: &Plane,
+    rect: BlockRect,
+    refp: &Plane,
+    pred_mv: MotionVector,
+    settings: &MeSettings,
+    rate_lambda: u64,
+) -> MeResult {
+    probe.set_kernel(Kernel::MotionSearch);
+    let r = settings.range;
+    let clamp_mv = |v: i32| v.clamp(-r, r);
+    let mut evaluated = 0u32;
+
+    let eval = |probe: &mut P, dx: i32, dy: i32, evaluated: &mut u32| -> u64 {
+        probe.set_kernel(Kernel::MotionSearch);
+        probe.alu(4);
+        // Candidate bookkeeping (cost table update).
+        probe.store(evaluated as *const _ as u64, 8);
+        probe.branch(vstress_trace::site_pc!(), (dx + dy) % 2 == 0);
+        *evaluated += 1;
+        sad_plane_plane(probe, cur, rect, refp, dx, dy) + mv_cost(rate_lambda, dx, dy)
+    };
+
+    // Seed candidates.
+    let seeds = [(0, 0), (pred_mv.x >> 1, pred_mv.y >> 1)];
+    let mut best = (0i32, 0i32);
+    let mut best_cost = u64::MAX;
+    for &(dx, dy) in &seeds {
+        let (dx, dy) = (clamp_mv(dx), clamp_mv(dy));
+        let c = eval(probe, dx, dy, &mut evaluated);
+        if c < best_cost {
+            best_cost = c;
+            best = (dx, dy);
+        }
+    }
+
+    // Exhaustive window (slow presets only).
+    if settings.exhaustive_radius > 0 {
+        let er = settings.exhaustive_radius.min(r);
+        for dy in -er..=er {
+            for dx in -er..=er {
+                if (dx, dy) == (0, 0) {
+                    continue;
+                }
+                let c = eval(probe, dx, dy, &mut evaluated);
+                if c < best_cost {
+                    best_cost = c;
+                    best = (dx, dy);
+                }
+            }
+        }
+    } else {
+        // Coarse uneven-multi-hexagon-style grid: keeps the refinement
+        // from locking onto a local minimum of periodic texture.
+        let stride = (r / 3).clamp(2, 8);
+        let mut dy = -r;
+        while dy <= r {
+            let mut dx = -r;
+            while dx <= r {
+                if (dx, dy) != (0, 0) {
+                    let c = eval(probe, dx, dy, &mut evaluated);
+                    if c < best_cost {
+                        best_cost = c;
+                        best = (dx, dy);
+                    }
+                }
+                dx += stride;
+            }
+            dy += stride;
+        }
+    }
+
+    // Diamond refinement with shrinking step.
+    let mut step = (r / 4).clamp(1, 8);
+    let mut iterations = settings.refine_steps;
+    while iterations > 0 && step >= 1 {
+        let (cx, cy) = best;
+        let mut moved = false;
+        for &(ox, oy) in &[(step, 0), (-step, 0), (0, step), (0, -step)] {
+            let (dx, dy) = (clamp_mv(cx + ox), clamp_mv(cy + oy));
+            if (dx, dy) == (cx, cy) {
+                continue;
+            }
+            let c = eval(probe, dx, dy, &mut evaluated);
+            if c < best_cost {
+                best_cost = c;
+                best = (dx, dy);
+                moved = true;
+            }
+        }
+        if !moved {
+            step /= 2;
+        }
+        iterations -= 1;
+    }
+
+    let mut mv = MotionVector::from_fullpel(best.0, best.1);
+    let mut cost = best_cost;
+
+    // Half-pel refinement around the full-pel winner.
+    if settings.subpel {
+        let mut pred = vec![0u8; rect.area()];
+        for &(hx, hy) in &[(1i32, 0i32), (-1, 0), (0, 1), (0, -1), (1, 1), (-1, -1)] {
+            let cand = MotionVector { x: mv.x + hx, y: mv.y + hy };
+            crate::mc::motion_compensate(probe, refp, rect, cand, &mut pred);
+            let c = crate::kernels::sad_plane_pred(probe, cur, rect, &pred)
+                + mv_cost(rate_lambda, cand.x >> 1, cand.y >> 1);
+            evaluated += 1;
+            if c < cost {
+                cost = c;
+                mv = cand;
+            }
+        }
+    }
+
+    MeResult { mv, cost, evaluated }
+}
+
+/// Refinement search in a small window centred on `center` (an HME seed),
+/// also considering the spatial predictor `pred_mv`. Used by the
+/// mode-decision stage, whose job is local refinement rather than global
+/// search.
+#[allow(clippy::too_many_arguments)]
+pub fn motion_search_around<P: Probe>(
+    probe: &mut P,
+    cur: &Plane,
+    rect: BlockRect,
+    refp: &Plane,
+    center: MotionVector,
+    pred_mv: MotionVector,
+    settings: &MeSettings,
+    rate_lambda: u64,
+) -> MeResult {
+    probe.set_kernel(Kernel::MotionSearch);
+    let r = settings.range;
+    let (cx, cy) = (center.x >> 1, center.y >> 1);
+    let clamp_x = |v: i32| v.clamp(cx - r, cx + r);
+    let clamp_y = |v: i32| v.clamp(cy - r, cy + r);
+    let mut evaluated = 0u32;
+    let eval = |probe: &mut P, dx: i32, dy: i32, evaluated: &mut u32| -> u64 {
+        probe.set_kernel(Kernel::MotionSearch);
+        probe.alu(4);
+        probe.store(evaluated as *const _ as u64, 8);
+        probe.branch(vstress_trace::site_pc!(), (dx ^ dy) & 1 == 0);
+        *evaluated += 1;
+        sad_plane_plane(probe, cur, rect, refp, dx, dy) + mv_cost(rate_lambda, dx, dy)
+    };
+
+    let mut best = (cx, cy);
+    let mut best_cost = eval(probe, cx, cy, &mut evaluated);
+    let p = (clamp_x(pred_mv.x >> 1), clamp_y(pred_mv.y >> 1));
+    if p != best {
+        let c = eval(probe, p.0, p.1, &mut evaluated);
+        if c < best_cost {
+            best_cost = c;
+            best = p;
+        }
+    }
+
+    let mut step = (r / 2).max(1);
+    let mut iterations = settings.refine_steps.max(4);
+    while iterations > 0 && step >= 1 {
+        let (bx, by) = best;
+        let mut moved = false;
+        for &(ox, oy) in &[(step, 0), (-step, 0), (0, step), (0, -step)] {
+            let cand = (clamp_x(bx + ox), clamp_y(by + oy));
+            if cand == (bx, by) {
+                continue;
+            }
+            let c = eval(probe, cand.0, cand.1, &mut evaluated);
+            if c < best_cost {
+                best_cost = c;
+                best = cand;
+                moved = true;
+            }
+        }
+        if !moved {
+            step /= 2;
+        }
+        iterations -= 1;
+    }
+
+    let mut mv = MotionVector::from_fullpel(best.0, best.1);
+    let mut cost = best_cost;
+    if settings.subpel {
+        let mut pred = vec![0u8; rect.area()];
+        for &(hx, hy) in &[(1i32, 0i32), (-1, 0), (0, 1), (0, -1)] {
+            let cand = MotionVector { x: mv.x + hx, y: mv.y + hy };
+            crate::mc::motion_compensate(probe, refp, rect, cand, &mut pred);
+            let c = crate::kernels::sad_plane_pred(probe, cur, rect, &pred)
+                + mv_cost(rate_lambda, cand.x >> 1, cand.y >> 1);
+            evaluated += 1;
+            if c < cost {
+                cost = c;
+                mv = cand;
+            }
+        }
+    }
+    MeResult { mv, cost, evaluated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstress_trace::NullProbe;
+
+    /// Smooth, natural-video-like texture: the SAD landscape decreases
+    /// monotonically toward the true displacement, which is the terrain
+    /// pattern-based searches are designed for.
+    fn textured(shift: usize) -> Plane {
+        let mut p = Plane::new(64, 64, 0).unwrap();
+        for y in 0..64 {
+            for x in 0..64 {
+                let s = (x + shift) as f64;
+                let fy = y as f64;
+                let v = 128.0
+                    + 58.0 * (s * 0.19).sin()
+                    + 38.0 * (fy * 0.23 + s * 0.07).sin()
+                    + 18.0 * ((s + fy) * 0.11).cos();
+                p.set(x, y, v.clamp(0.0, 255.0) as u8);
+            }
+        }
+        p
+    }
+
+    fn fast() -> MeSettings {
+        MeSettings { range: 12, exhaustive_radius: 0, refine_steps: 16, subpel: false }
+    }
+
+    #[test]
+    fn finds_a_pure_translation() {
+        // Reference content shifted right by 4: best MV is (+4, 0).
+        let cur = textured(4);
+        let refp = textured(0);
+        let rect = BlockRect::new(16, 16, 16, 16);
+        let r = motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &fast(), 2);
+        assert_eq!((r.mv.x >> 1, r.mv.y >> 1), (4, 0), "cost {}", r.cost);
+    }
+
+    #[test]
+    fn exhaustive_never_loses_to_diamond() {
+        let cur = textured(7);
+        let refp = textured(0);
+        let rect = BlockRect::new(24, 24, 16, 16);
+        let diamond = motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &fast(), 2);
+        let mut slow = fast();
+        slow.exhaustive_radius = 10;
+        let exhaustive =
+            motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &slow, 2);
+        assert!(exhaustive.cost <= diamond.cost);
+        assert!(exhaustive.evaluated > diamond.evaluated * 2, "exhaustive must do more work");
+    }
+
+    #[test]
+    fn predictor_seed_helps_find_large_motion() {
+        let cur = textured(11);
+        let refp = textured(0);
+        let rect = BlockRect::new(32, 32, 16, 16);
+        let seeded = motion_search(
+            &mut NullProbe,
+            &cur,
+            rect,
+            &refp,
+            MotionVector::from_fullpel(11, 0),
+            &fast(),
+            2,
+        );
+        assert_eq!((seeded.mv.x >> 1, seeded.mv.y >> 1), (11, 0));
+    }
+
+    #[test]
+    fn mv_respects_range_clamp() {
+        let cur = textured(20);
+        let refp = textured(0);
+        let rect = BlockRect::new(32, 32, 8, 8);
+        let mut s = fast();
+        s.range = 4;
+        let r = motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &s, 2);
+        assert!((r.mv.x >> 1).abs() <= 4 && (r.mv.y >> 1).abs() <= 4);
+    }
+
+    #[test]
+    fn refinement_finds_motion_near_the_seed() {
+        let cur = textured(6);
+        let refp = textured(0);
+        let rect = BlockRect::new(16, 16, 16, 16);
+        // Seed two pixels off the true displacement: refinement closes it.
+        let seed = MotionVector::from_fullpel(4, 1);
+        let s = MeSettings { range: 4, exhaustive_radius: 0, refine_steps: 6, subpel: false };
+        let r = motion_search_around(
+            &mut NullProbe, &cur, rect, &refp, seed, MotionVector::ZERO, &s, 2,
+        );
+        assert_eq!((r.mv.x >> 1, r.mv.y >> 1), (6, 0), "cost {}", r.cost);
+    }
+
+    #[test]
+    fn refinement_stays_inside_its_window() {
+        let cur = textured(20);
+        let refp = textured(0);
+        let rect = BlockRect::new(24, 24, 8, 8);
+        let seed = MotionVector::from_fullpel(2, 2);
+        let s = MeSettings { range: 3, exhaustive_radius: 0, refine_steps: 8, subpel: false };
+        let r = motion_search_around(
+            &mut NullProbe, &cur, rect, &refp, seed, MotionVector::ZERO, &s, 2,
+        );
+        assert!((r.mv.x / 2 - 2).abs() <= 3 && (r.mv.y / 2 - 2).abs() <= 3);
+    }
+
+    #[test]
+    fn subpel_refinement_never_hurts() {
+        let cur = textured(3);
+        let refp = textured(0);
+        let rect = BlockRect::new(8, 8, 16, 16);
+        let full = motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &fast(), 2);
+        let mut s = fast();
+        s.subpel = true;
+        let sub = motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &s, 2);
+        assert!(sub.cost <= full.cost);
+    }
+}

@@ -1,0 +1,147 @@
+//! User-facing encoder parameters: CRF, speed preset, thread count.
+
+use crate::error::CodecError;
+
+/// Constant-Rate-Factor plus speed-preset parameters, the two dials the
+/// paper sweeps.
+///
+/// CRF ranges differ per codec family exactly as in the paper (§3.3):
+/// AV1/VP9-family codecs accept 0–63, H.26x-family 0–51, with *lower* CRF
+/// meaning higher quality in both. Preset direction also differs: the
+/// AV1/VP9 family counts 0 = slowest/best … 8 = fastest, the x264/x265
+/// family 0 = fastest … 9 = slowest; [`crate::codecs::ToolSet`] performs
+/// the per-codec normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct EncoderParams {
+    /// Constant rate factor (quality dial).
+    pub crf: u8,
+    /// Speed preset (codec-native direction).
+    pub preset: u8,
+    /// Maximum worker threads the encoder may use (≥ 1).
+    pub threads: usize,
+    /// Keyframe (intra-only frame) interval; 0 = only the first frame.
+    pub keyint: u8,
+}
+
+impl EncoderParams {
+    /// Creates parameters with a single thread and no periodic keyframes.
+    pub fn new(crf: u8, preset: u8) -> Self {
+        EncoderParams { crf, preset, threads: 1, keyint: 0 }
+    }
+
+    /// Sets the thread budget.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the keyframe interval (every `keyint`-th frame is coded
+    /// intra-only; 0 keeps only the first frame as a keyframe).
+    #[must_use]
+    pub fn with_keyint(mut self, keyint: u8) -> Self {
+        self.keyint = keyint;
+        self
+    }
+
+    /// Validates against a codec family's ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::InvalidParams`] when CRF or preset exceed the
+    /// family's range or `threads` is zero.
+    pub fn validate(&self, max_crf: u8, max_preset: u8) -> Result<(), CodecError> {
+        if self.crf > max_crf {
+            return Err(CodecError::InvalidParams {
+                what: "crf",
+                detail: format!("{} exceeds maximum {max_crf}", self.crf),
+            });
+        }
+        if self.preset > max_preset {
+            return Err(CodecError::InvalidParams {
+                what: "preset",
+                detail: format!("{} exceeds maximum {max_preset}", self.preset),
+            });
+        }
+        if self.threads == 0 {
+            return Err(CodecError::InvalidParams {
+                what: "threads",
+                detail: "thread count must be at least 1".to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Maps a CRF in `[0, max_crf]` onto the internal quantizer index
+/// `[MIN_QINDEX, MAX_QINDEX]`.
+///
+/// All five codec models share one qindex domain so that their quality
+/// output is directly comparable; each codec's CRF range is stretched
+/// linearly over it, matching how CRF is "a built-in quality control
+/// parameter which specifies a certain quality the encoder aims to meet".
+pub fn crf_to_qindex(crf: u8, max_crf: u8) -> u8 {
+    debug_assert!(crf <= max_crf);
+    let t = crf as f64 / max_crf as f64;
+    let q = MIN_QINDEX as f64 + t * (MAX_QINDEX - MIN_QINDEX) as f64;
+    q.round() as u8
+}
+
+/// Smallest quantizer index (finest quantization).
+pub const MIN_QINDEX: u8 = 4;
+/// Largest quantizer index (coarsest quantization).
+pub const MAX_QINDEX: u8 = 96;
+
+/// Quantization step for a quantizer index: an exponential ladder
+/// (doubling every 16 indices), like real codecs' q tables.
+pub fn qindex_to_qstep(qindex: u8) -> i32 {
+    let q = qindex.clamp(MIN_QINDEX, MAX_QINDEX);
+    // qstep = 4 * 2^(q/16), in fixed point (floor).
+    let base = 4.0 * (2f64).powf(q as f64 / 16.0);
+    base.round() as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_ranges() {
+        assert!(EncoderParams::new(63, 8).validate(63, 8).is_ok());
+        assert!(EncoderParams::new(64, 8).validate(63, 8).is_err());
+        assert!(EncoderParams::new(63, 9).validate(63, 8).is_err());
+        assert!(EncoderParams::new(10, 2).with_threads(0).validate(63, 8).is_err());
+    }
+
+    #[test]
+    fn crf_mapping_is_monotone_and_spans_range() {
+        assert_eq!(crf_to_qindex(0, 63), MIN_QINDEX);
+        assert_eq!(crf_to_qindex(63, 63), MAX_QINDEX);
+        let mut prev = 0;
+        for crf in 0..=63u8 {
+            let q = crf_to_qindex(crf, 63);
+            assert!(q >= prev, "qindex must be monotone in CRF");
+            prev = q;
+        }
+    }
+
+    #[test]
+    fn both_crf_families_cover_the_same_quality_span() {
+        assert_eq!(crf_to_qindex(0, 51), crf_to_qindex(0, 63));
+        assert_eq!(crf_to_qindex(51, 51), crf_to_qindex(63, 63));
+    }
+
+    #[test]
+    fn qstep_doubles_every_16_indices() {
+        let a = qindex_to_qstep(32);
+        let b = qindex_to_qstep(48);
+        assert!((b as f64 / a as f64 - 2.0).abs() < 0.1, "{a} -> {b}");
+        assert!(qindex_to_qstep(MIN_QINDEX) >= 4);
+    }
+
+    #[test]
+    fn qstep_clamps_out_of_range() {
+        assert_eq!(qindex_to_qstep(0), qindex_to_qstep(MIN_QINDEX));
+        assert_eq!(qindex_to_qstep(255), qindex_to_qstep(MAX_QINDEX));
+    }
+}

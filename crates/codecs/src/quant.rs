@@ -1,0 +1,140 @@
+//! Dead-zone scalar quantization.
+
+use crate::params::qindex_to_qstep;
+use vstress_trace::{Kernel, Probe};
+
+/// Quantizer derived from a qindex: a uniform step with a dead zone, the
+/// structure shared by all the modelled codecs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Quantizer {
+    qstep: i32,
+    /// Rounding offset in 1/8 qstep units (3/8 ≈ intra default).
+    dead_zone_eighths: i32,
+}
+
+impl Quantizer {
+    /// Builds a quantizer for a qindex.
+    pub fn from_qindex(qindex: u8) -> Self {
+        Quantizer { qstep: qindex_to_qstep(qindex), dead_zone_eighths: 3 }
+    }
+
+    /// The quantization step.
+    #[inline]
+    pub fn qstep(&self) -> i32 {
+        self.qstep
+    }
+
+    /// Quantizes one coefficient to a level.
+    #[inline]
+    pub fn quantize(&self, coeff: i32) -> i32 {
+        let mag = coeff.unsigned_abs() as i64;
+        let round = (self.qstep as i64 * self.dead_zone_eighths as i64) / 8;
+        let level = ((mag + round) / self.qstep as i64) as i32;
+        if coeff < 0 {
+            -level
+        } else {
+            level
+        }
+    }
+
+    /// Reconstructs a coefficient from a level.
+    #[inline]
+    pub fn dequantize(&self, level: i32) -> i32 {
+        level * self.qstep
+    }
+
+    /// Quantizes a whole tile in place (levels out, via `dst`), returning
+    /// the number of nonzero levels. Instrumented as a vector kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != dst.len()`.
+    pub fn quantize_block<P: Probe>(&self, probe: &mut P, src: &[i32], dst: &mut [i32]) -> usize {
+        assert_eq!(src.len(), dst.len());
+        probe.set_kernel(Kernel::Quant);
+        let mut nonzero = 0;
+        for (s, d) in src.iter().zip(dst.iter_mut()) {
+            *d = self.quantize(*s);
+            if *d != 0 {
+                nonzero += 1;
+            }
+        }
+        let n = src.len() as u64;
+        probe.avx(n.div_ceil(8) * 3);
+        probe.load(src.as_ptr() as u64, (src.len() * 4).min(64) as u32);
+        probe.store(dst.as_ptr() as u64, (dst.len() * 4).min(64) as u32);
+        probe.alu(2);
+        nonzero
+    }
+
+    /// Dequantizes a whole tile. Instrumented as a vector kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != dst.len()`.
+    pub fn dequantize_block<P: Probe>(&self, probe: &mut P, src: &[i32], dst: &mut [i32]) {
+        assert_eq!(src.len(), dst.len());
+        probe.set_kernel(Kernel::Dequant);
+        for (s, d) in src.iter().zip(dst.iter_mut()) {
+            *d = self.dequantize(*s);
+        }
+        let n = src.len() as u64;
+        probe.avx(n.div_ceil(8));
+        probe.load(src.as_ptr() as u64, (src.len() * 4).min(64) as u32);
+        probe.store(dst.as_ptr() as u64, (dst.len() * 4).min(64) as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstress_trace::NullProbe;
+
+    #[test]
+    fn small_coefficients_die_in_the_dead_zone() {
+        let q = Quantizer::from_qindex(64); // qstep = 4 * 2^4 = 64
+        assert_eq!(q.qstep(), 64);
+        assert_eq!(q.quantize(20), 0);
+        assert_eq!(q.quantize(-20), 0);
+    }
+
+    #[test]
+    fn quantize_dequantize_error_is_bounded_by_step() {
+        let q = Quantizer::from_qindex(48);
+        for c in (-2000..2000).step_by(7) {
+            let rec = q.dequantize(q.quantize(c));
+            assert!((rec - c).abs() <= q.qstep(), "c {c} rec {rec} step {}", q.qstep());
+        }
+    }
+
+    #[test]
+    fn quantization_is_odd_symmetric() {
+        let q = Quantizer::from_qindex(40);
+        for c in [1, 7, 63, 120, 999] {
+            assert_eq!(q.quantize(-c), -q.quantize(c));
+        }
+    }
+
+    #[test]
+    fn coarser_quantizer_kills_more_coefficients() {
+        let coeffs: Vec<i32> = (0..64).map(|i| (i * 13 % 200) - 100).collect();
+        let mut out = vec![0i32; 64];
+        let fine = Quantizer::from_qindex(8).quantize_block(&mut NullProbe, &coeffs, &mut out);
+        let coarse = Quantizer::from_qindex(100).quantize_block(&mut NullProbe, &coeffs, &mut out);
+        assert!(coarse < fine, "coarse {coarse} fine {fine}");
+    }
+
+    #[test]
+    fn block_roundtrip_matches_scalar_path() {
+        let q = Quantizer::from_qindex(32);
+        let coeffs: Vec<i32> = (0..16).map(|i| i * 50 - 400).collect();
+        let mut levels = vec![0i32; 16];
+        let mut recon = vec![0i32; 16];
+        q.quantize_block(&mut NullProbe, &coeffs, &mut levels);
+        q.dequantize_block(&mut NullProbe, &levels, &mut recon);
+        for (i, &c) in coeffs.iter().enumerate() {
+            assert_eq!(levels[i], q.quantize(c));
+            assert_eq!(recon[i], q.dequantize(levels[i]));
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Rate-distortion optimization: λ derivation and RD cost bookkeeping.
+
+use crate::params::qindex_to_qstep;
+
+/// Fixed-point precision of rate values (1/256 bit).
+pub const RATE_SHIFT: u32 = 8;
+
+/// The Lagrangian multiplier λ scaled by 256 for integer math.
+///
+/// Standard HM/libaom-style derivation: λ ∝ (qstep)², so doubling the
+/// quantizer step quadruples the tolerance for extra distortion per bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Lambda {
+    /// λ in distortion-per-(1/256 bit) fixed point.
+    scaled: u64,
+}
+
+impl Lambda {
+    /// λ for a quantizer index.
+    pub fn from_qindex(qindex: u8) -> Self {
+        let q = qindex_to_qstep(qindex) as u64;
+        // lambda(bits) = 0.057 * qstep^2 (HEVC-like). `scaled` is the
+        // cost of one 1/256-bit unit of rate in distortion units; the
+        // /256 conversion happens in `cost` via RATE_SHIFT.
+        let scaled = (57 * q * q / 1000).max(1);
+        Lambda { scaled }
+    }
+
+    /// RD cost `D + λR` with `rate` in 1/256-bit units.
+    #[inline]
+    pub fn cost(&self, distortion: u64, rate_fixed: u64) -> u64 {
+        distortion.saturating_add(self.scaled.saturating_mul(rate_fixed) >> RATE_SHIFT)
+    }
+
+    /// The scaled λ (for tests and reports).
+    pub fn scaled(&self) -> u64 {
+        self.scaled
+    }
+}
+
+/// A running RD decision: keeps the cheapest candidate seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RdDecision<T> {
+    best: Option<T>,
+    best_cost: u64,
+}
+
+impl<T: Copy> RdDecision<T> {
+    /// An empty decision.
+    pub fn new() -> Self {
+        RdDecision { best: None, best_cost: u64::MAX }
+    }
+
+    /// Offers a candidate; keeps it if cheaper.
+    ///
+    /// Returns `true` when the candidate became the new best.
+    pub fn offer(&mut self, candidate: T, cost: u64) -> bool {
+        if cost < self.best_cost {
+            self.best = Some(candidate);
+            self.best_cost = cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The winning candidate, if any was offered.
+    pub fn winner(&self) -> Option<(T, u64)> {
+        self.best.map(|b| (b, self.best_cost))
+    }
+
+    /// Best cost so far (`u64::MAX` when empty).
+    pub fn best_cost(&self) -> u64 {
+        self.best_cost
+    }
+}
+
+impl<T: Copy> Default for RdDecision<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_grows_quadratically_with_qstep() {
+        let l1 = Lambda::from_qindex(32).scaled();
+        let l2 = Lambda::from_qindex(48).scaled(); // qstep doubles
+        let ratio = l2 as f64 / l1 as f64;
+        assert!((3.0..5.0).contains(&ratio), "expected ~4x, got {ratio}");
+    }
+
+    #[test]
+    fn cost_trades_rate_against_distortion() {
+        let l = Lambda::from_qindex(64);
+        // At coarse quant, spending bits is expensive: high-rate low-D
+        // loses to low-rate high-D at some point.
+        let cheap_bits = l.cost(10_000, 10 * 256);
+        let many_bits = l.cost(0, 200 * 256);
+        assert!(cheap_bits < many_bits, "{cheap_bits} vs {many_bits}");
+        // At fine quant the trade flips.
+        let lf = Lambda::from_qindex(4);
+        assert!(lf.cost(10_000, 10 * 256) > lf.cost(0, 200 * 256));
+    }
+
+    #[test]
+    fn decision_keeps_minimum() {
+        let mut d = RdDecision::new();
+        assert!(d.offer("a", 100));
+        assert!(!d.offer("b", 150));
+        assert!(d.offer("c", 50));
+        assert_eq!(d.winner(), Some(("c", 50)));
+    }
+
+    #[test]
+    fn empty_decision_has_no_winner() {
+        let d: RdDecision<u8> = RdDecision::new();
+        assert_eq!(d.winner(), None);
+        assert_eq!(d.best_cost(), u64::MAX);
+    }
+
+    #[test]
+    fn cost_saturates_instead_of_overflowing() {
+        let l = Lambda::from_qindex(112);
+        let c = l.cost(u64::MAX - 5, u64::MAX / 2);
+        assert_eq!(c, u64::MAX);
+    }
+}

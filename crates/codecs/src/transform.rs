@@ -1,0 +1,316 @@
+//! Integer transforms: the DCT-II family (4/8/16/32) and Hadamard (SATD).
+//!
+//! Fixed-point separable DCT with 12-bit basis precision, the same
+//! structure as the AV1/HEVC integer transforms. The forward/inverse pair
+//! is not bit-exact invertible (no integer DCT is); what correctness
+//! requires — and what the tests pin down — is that (a) the round-trip
+//! error is bounded by rounding (≤ 1 per sample for fine content), and
+//! (b) encoder and decoder run the *identical* inverse, so reconstructions
+//! match bit-for-bit.
+//!
+//! All kernels are instrumented: each row/column pass reports vector
+//! loads/stores and AVX-class multiply-accumulate work through the
+//! supplied [`Probe`].
+
+use std::sync::OnceLock;
+use vstress_trace::{Kernel, Probe};
+
+/// Supported square transform sizes.
+pub const TX_SIZES: [usize; 4] = [4, 8, 16, 32];
+
+/// Fixed-point precision of the DCT basis.
+const BASIS_BITS: u32 = 12;
+/// Extra precision retained between the two 1-D passes.
+const INTER_BITS: u32 = 6;
+
+/// Arithmetic right shift with round-to-nearest.
+#[inline]
+fn rshift_round(v: i64, bits: u32) -> i64 {
+    (v + (1 << (bits - 1))) >> bits
+}
+
+fn basis(n: usize) -> &'static Vec<i32> {
+    static TABLES: OnceLock<[Vec<i32>; 4]> = OnceLock::new();
+    let tables = TABLES.get_or_init(|| {
+        let mk = |n: usize| {
+            let mut b = vec![0i32; n * n];
+            let scale = (1i64 << BASIS_BITS) as f64;
+            for k in 0..n {
+                let norm = if k == 0 { (1.0 / n as f64).sqrt() } else { (2.0 / n as f64).sqrt() };
+                for j in 0..n {
+                    let angle = std::f64::consts::PI * (j as f64 + 0.5) * k as f64 / n as f64;
+                    b[k * n + j] = (norm * angle.cos() * scale).round() as i32;
+                }
+            }
+            b
+        };
+        [mk(4), mk(8), mk(16), mk(32)]
+    });
+    match n {
+        4 => &tables[0],
+        8 => &tables[1],
+        16 => &tables[2],
+        32 => &tables[3],
+        _ => panic!("unsupported transform size {n}"),
+    }
+}
+
+#[inline]
+fn instrument_pass<P: Probe>(probe: &mut P, n: usize, scratch_addr: u64) {
+    // One 1-D pass over an n x n tile: each output row is n dot products
+    // of length n, vectorized 8 lanes wide, with the intermediate row
+    // written back to scratch.
+    let vecs = (n as u64).div_ceil(8);
+    probe.avx(n as u64 * vecs * 2); // mul + add per vector
+    for i in 0..n as u64 {
+        probe.load(scratch_addr + i * 64, (n * 4).min(64) as u32);
+        probe.store(scratch_addr + i * 64, (n * 4).min(64) as u32);
+    }
+    probe.alu(n as u64); // rounding / shifting
+}
+
+/// Forward 2-D DCT of an `n x n` residual tile (row-major `src`) into
+/// `dst` (coefficients, natural order).
+///
+/// Output coefficients carry the extra `BASIS_BITS` scaling of one pass;
+/// the second pass's scaling is folded out, matching how real integer
+/// transforms manage dynamic range.
+///
+/// # Panics
+///
+/// Panics if `n` is not one of [`TX_SIZES`] or the slices are not `n*n`.
+pub fn forward<P: Probe>(probe: &mut P, n: usize, src: &[i32], dst: &mut [i32]) {
+    assert!(TX_SIZES.contains(&n), "unsupported transform size {n}");
+    assert_eq!(src.len(), n * n);
+    assert_eq!(dst.len(), n * n);
+    probe.set_kernel(Kernel::FwdTransform);
+    let b = basis(n);
+    let mut tmp = vec![0i64; n * n];
+    // Rows: tmp = src * B^T (each output = dot(src_row, basis_row_k)),
+    // keeping INTER_BITS of extra precision for the second pass.
+    for y in 0..n {
+        for k in 0..n {
+            let mut acc = 0i64;
+            for j in 0..n {
+                acc += src[y * n + j] as i64 * b[k * n + j] as i64;
+            }
+            tmp[y * n + k] = rshift_round(acc, BASIS_BITS - INTER_BITS);
+        }
+    }
+    instrument_pass(probe, n, tmp.as_ptr() as u64);
+    // Columns: dst = B * tmp.
+    for k in 0..n {
+        for x in 0..n {
+            let mut acc = 0i64;
+            for j in 0..n {
+                acc += b[k * n + j] as i64 * tmp[j * n + x];
+            }
+            dst[k * n + x] = rshift_round(acc, BASIS_BITS + INTER_BITS) as i32;
+        }
+    }
+    instrument_pass(probe, n, tmp.as_ptr() as u64);
+    // Report the scratch stores once per pass pair.
+    for _ in 0..n {
+        probe.store(tmp.as_ptr() as u64, (n * 4).min(64) as u32);
+    }
+}
+
+/// Inverse 2-D DCT; exact mirror of [`forward`]'s scaling.
+///
+/// # Panics
+///
+/// Panics if `n` is not one of [`TX_SIZES`] or the slices are not `n*n`.
+pub fn inverse<P: Probe>(probe: &mut P, n: usize, src: &[i32], dst: &mut [i32]) {
+    assert!(TX_SIZES.contains(&n), "unsupported transform size {n}");
+    assert_eq!(src.len(), n * n);
+    assert_eq!(dst.len(), n * n);
+    probe.set_kernel(Kernel::InvTransform);
+    let b = basis(n);
+    let mut tmp = vec![0i64; n * n];
+    // Columns first: tmp = B^T * src, with extra precision retained.
+    for j in 0..n {
+        for x in 0..n {
+            let mut acc = 0i64;
+            for k in 0..n {
+                acc += b[k * n + j] as i64 * src[k * n + x] as i64;
+            }
+            tmp[j * n + x] = rshift_round(acc, BASIS_BITS - INTER_BITS);
+        }
+    }
+    instrument_pass(probe, n, tmp.as_ptr() as u64);
+    // Rows: dst = tmp * B.
+    for y in 0..n {
+        for j in 0..n {
+            let mut acc = 0i64;
+            for k in 0..n {
+                acc += tmp[y * n + k] * b[k * n + j] as i64;
+            }
+            dst[y * n + j] = rshift_round(acc, BASIS_BITS + INTER_BITS) as i32;
+        }
+    }
+    instrument_pass(probe, n, tmp.as_ptr() as u64);
+    for _ in 0..n {
+        probe.store(tmp.as_ptr() as u64, (n * 4).min(64) as u32);
+    }
+}
+
+/// 4x4 Hadamard-transformed absolute difference of a residual tile — the
+/// SATD cost metric used during mode search.
+///
+/// # Panics
+///
+/// Panics if `res.len() != 16`.
+pub fn satd4<P: Probe>(probe: &mut P, res: &[i32]) -> u64 {
+    assert_eq!(res.len(), 16);
+    probe.set_kernel(Kernel::Satd);
+    let mut m = [0i32; 16];
+    // Rows.
+    for y in 0..4 {
+        let r = &res[y * 4..y * 4 + 4];
+        let a0 = r[0] + r[1];
+        let a1 = r[0] - r[1];
+        let a2 = r[2] + r[3];
+        let a3 = r[2] - r[3];
+        m[y * 4] = a0 + a2;
+        m[y * 4 + 1] = a1 + a3;
+        m[y * 4 + 2] = a0 - a2;
+        m[y * 4 + 3] = a1 - a3;
+    }
+    // Columns + absolute sum.
+    let mut sum = 0u64;
+    for x in 0..4 {
+        let a0 = m[x] + m[4 + x];
+        let a1 = m[x] - m[4 + x];
+        let a2 = m[8 + x] + m[12 + x];
+        let a3 = m[8 + x] - m[12 + x];
+        sum += (a0 + a2).unsigned_abs() as u64
+            + (a1 + a3).unsigned_abs() as u64
+            + (a0 - a2).unsigned_abs() as u64
+            + (a1 - a3).unsigned_abs() as u64;
+    }
+    probe.avx(7);
+    probe.sse(1);
+    probe.alu(4);
+    // Butterfly intermediates spill to the stack tile.
+    probe.store(m.as_ptr() as u64, 64);
+    probe.store(m.as_ptr() as u64 + 32, 32);
+    // Normalize to the same scale as SAD (Hadamard gain is 4 for 4x4).
+    sum / 4
+}
+
+/// SATD of an arbitrary `w x h` residual, computed over 4x4 tiles.
+///
+/// # Panics
+///
+/// Panics if `res.len() != w * h` or the dimensions are not multiples of 4.
+pub fn satd<P: Probe>(probe: &mut P, w: usize, h: usize, res: &[i32]) -> u64 {
+    assert_eq!(res.len(), w * h);
+    assert!(w.is_multiple_of(4) && h.is_multiple_of(4), "SATD tiles are 4x4");
+    let mut total = 0u64;
+    let mut tile = [0i32; 16];
+    for ty in (0..h).step_by(4) {
+        for tx in (0..w).step_by(4) {
+            for y in 0..4 {
+                for x in 0..4 {
+                    tile[y * 4 + x] = res[(ty + y) * w + tx + x];
+                }
+            }
+            probe.load(res.as_ptr() as u64 + (ty * w + tx) as u64 * 4, 16);
+            total += satd4(probe, &tile);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstress_trace::{CountingProbe, NullProbe};
+
+    fn roundtrip_error(n: usize, src: &[i32]) -> i32 {
+        let mut coeffs = vec![0i32; n * n];
+        let mut recon = vec![0i32; n * n];
+        let mut p = NullProbe;
+        forward(&mut p, n, src, &mut coeffs);
+        inverse(&mut p, n, &coeffs, &mut recon);
+        src.iter().zip(&recon).map(|(a, b)| (a - b).abs()).max().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_error_is_bounded_for_all_sizes() {
+        for &n in &TX_SIZES {
+            // Pixel-range residuals (−255..=255).
+            let src: Vec<i32> =
+                (0..n * n).map(|i| ((i * 2654435761) % 511) as i32 - 255).collect();
+            let err = roundtrip_error(n, &src);
+            assert!(err <= 2, "size {n} round-trip error {err}");
+        }
+    }
+
+    #[test]
+    fn dc_content_transforms_to_dc_coefficient() {
+        let n = 8;
+        let src = vec![100i32; 64];
+        let mut coeffs = vec![0i32; 64];
+        forward(&mut NullProbe, n, &src, &mut coeffs);
+        // All energy in coefficient (0,0).
+        let dc = coeffs[0].abs();
+        let ac_max = coeffs[1..].iter().map(|c| c.abs()).max().unwrap();
+        assert!(dc > 100, "dc {dc}");
+        assert!(ac_max <= 1, "ac leakage {ac_max}");
+    }
+
+    #[test]
+    fn zero_input_gives_zero_output() {
+        for &n in &TX_SIZES {
+            let src = vec![0i32; n * n];
+            let mut coeffs = vec![99i32; n * n];
+            forward(&mut NullProbe, n, &src, &mut coeffs);
+            assert!(coeffs.iter().all(|&c| c == 0));
+        }
+    }
+
+    #[test]
+    fn energy_is_roughly_preserved() {
+        let n = 16;
+        let src: Vec<i32> = (0..256).map(|i| ((i * 97) % 255) - 127).collect();
+        let mut coeffs = vec![0i32; 256];
+        forward(&mut NullProbe, n, &src, &mut coeffs);
+        let e_src: f64 = src.iter().map(|&x| (x as f64) * (x as f64)).sum();
+        let e_dst: f64 = coeffs.iter().map(|&x| (x as f64) * (x as f64)).sum();
+        let ratio = e_dst / e_src;
+        assert!((0.9..1.1).contains(&ratio), "Parseval ratio {ratio}");
+    }
+
+    #[test]
+    fn satd_zero_for_zero_residual() {
+        assert_eq!(satd(&mut NullProbe, 8, 8, &[0; 64]), 0);
+    }
+
+    #[test]
+    fn satd_scales_with_residual_magnitude() {
+        let small: Vec<i32> = (0..64).map(|i| if i % 2 == 0 { 1 } else { -1 }).collect();
+        let big: Vec<i32> = small.iter().map(|&x| x * 10).collect();
+        let s = satd(&mut NullProbe, 8, 8, &small);
+        let b = satd(&mut NullProbe, 8, 8, &big);
+        assert_eq!(b, s * 10);
+    }
+
+    #[test]
+    fn transforms_emit_instrumentation() {
+        let mut probe = CountingProbe::new();
+        let src = vec![5i32; 64];
+        let mut dst = vec![0i32; 64];
+        forward(&mut probe, 8, &src, &mut dst);
+        let m = probe.mix();
+        assert!(m.avx > 0, "transform must report AVX work");
+        assert!(m.load > 0 && m.store > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported transform size")]
+    fn bad_size_panics() {
+        let mut dst = vec![0i32; 9];
+        forward(&mut NullProbe, 3, &[0; 9], &mut dst);
+    }
+}

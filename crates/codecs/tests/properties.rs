@@ -1,0 +1,205 @@
+//! Property-based tests of the coding substrate's invariants.
+
+use proptest::prelude::*;
+use vstress_codecs::entropy::{decode_uvlc, encode_uvlc, Context, RangeDecoder, RangeEncoder};
+use vstress_codecs::frame_coder::{decode_tu, encode_tu, zigzag, CoderState};
+use vstress_codecs::bitstream::FrameContexts;
+use vstress_codecs::quant::Quantizer;
+use vstress_codecs::transform;
+use vstress_trace::NullProbe;
+
+proptest! {
+    /// The range coder round-trips any bin sequence under any context mix.
+    #[test]
+    fn range_coder_roundtrips(bins in prop::collection::vec((0u8..4, any::<bool>()), 1..2000)) {
+        let mut enc = RangeEncoder::new();
+        let mut ctxs: Vec<Context> = (0..4).map(Context::new).collect();
+        let mut p = NullProbe;
+        for &(c, bin) in &bins {
+            enc.encode(&mut p, &mut ctxs[c as usize], bin);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut ctxs: Vec<Context> = (0..4).map(Context::new).collect();
+        for (i, &(c, bin)) in bins.iter().enumerate() {
+            prop_assert_eq!(dec.decode(&mut p, &mut ctxs[c as usize]), bin, "bin {}", i);
+        }
+    }
+
+    /// Bypass literals round-trip any value at any width.
+    #[test]
+    fn literals_roundtrip(values in prop::collection::vec((any::<u32>(), 1u32..=32), 1..200)) {
+        let mut enc = RangeEncoder::new();
+        let mut p = NullProbe;
+        for &(v, n) in &values {
+            let masked = if n == 32 { v } else { v & ((1 << n) - 1) };
+            enc.encode_literal(&mut p, masked, n);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        for &(v, n) in &values {
+            let masked = if n == 32 { v } else { v & ((1 << n) - 1) };
+            prop_assert_eq!(dec.decode_literal(&mut p, n), masked);
+        }
+    }
+
+    /// UVLC round-trips arbitrary u32 values.
+    #[test]
+    fn uvlc_roundtrips(values in prop::collection::vec(any::<u32>(), 1..100)) {
+        let mut enc = RangeEncoder::new();
+        let mut ctxs = [Context::new(1), Context::new(2), Context::new(3)];
+        let mut p = NullProbe;
+        for &v in &values {
+            encode_uvlc(&mut enc, &mut p, &mut ctxs, v);
+        }
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut ctxs = [Context::new(1), Context::new(2), Context::new(3)];
+        for &v in &values {
+            prop_assert_eq!(decode_uvlc(&mut dec, &mut p, &mut ctxs), v);
+        }
+    }
+
+    /// Transform-unit coefficient coding round-trips any level pattern at
+    /// every coding TU size.
+    #[test]
+    fn tu_coding_roundtrips(
+        size_idx in 0usize..3,
+        seed in any::<u64>(),
+        density in 0u32..100,
+    ) {
+        let n = [4usize, 8, 16][size_idx];
+        let mut x = seed | 1;
+        let mut levels = vec![0i32; n * n];
+        for l in levels.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if (x >> 32) % 100 < density as u64 {
+                *l = ((x >> 16) % 63) as i32 - 31;
+            }
+        }
+        let mut enc = RangeEncoder::new();
+        let mut ctxs = FrameContexts::new();
+        let mut p = NullProbe;
+        encode_tu(&mut enc, &mut p, &mut ctxs, n, &levels, true);
+        let bytes = enc.finish();
+        let mut dec = RangeDecoder::new(&bytes);
+        let mut ctxs = FrameContexts::new();
+        let mut out = vec![0i32; n * n];
+        decode_tu(&mut dec, &mut p, &mut ctxs, n, &mut out, true);
+        prop_assert_eq!(out, levels);
+    }
+
+    /// Zigzag is a permutation for every size it will ever be asked for.
+    #[test]
+    fn zigzag_is_permutation(n in prop::sample::select(vec![4usize, 8, 16, 32])) {
+        let mut z = zigzag(n).into_owned();
+        z.sort_unstable();
+        prop_assert!(z.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    /// Forward/inverse DCT round-trip error is bounded by rounding for any
+    /// pixel-range residual.
+    #[test]
+    fn transform_roundtrip_error_bounded(
+        n in prop::sample::select(vec![4usize, 8, 16, 32]),
+        seed in any::<u64>(),
+    ) {
+        let mut x = seed | 1;
+        let src: Vec<i32> = (0..n * n)
+            .map(|_| {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                ((x >> 33) % 511) as i32 - 255
+            })
+            .collect();
+        let mut coeffs = vec![0i32; n * n];
+        let mut recon = vec![0i32; n * n];
+        transform::forward(&mut NullProbe, n, &src, &mut coeffs);
+        transform::inverse(&mut NullProbe, n, &coeffs, &mut recon);
+        for (a, b) in src.iter().zip(&recon) {
+            prop_assert!((a - b).abs() <= 2, "error {} at size {}", (a - b).abs(), n);
+        }
+    }
+
+    /// Quantize/dequantize error never exceeds one quantization step, and
+    /// quantization is odd-symmetric.
+    #[test]
+    fn quantizer_error_bounded(qindex in 4u8..=96, coeff in -100_000i32..100_000) {
+        let q = Quantizer::from_qindex(qindex);
+        let rec = q.dequantize(q.quantize(coeff));
+        prop_assert!((rec - coeff).abs() <= q.qstep(), "err {} step {}", rec - coeff, q.qstep());
+        prop_assert_eq!(q.quantize(-coeff), -q.quantize(coeff));
+    }
+
+    /// Coarser quantizers never produce more nonzero levels on the same
+    /// coefficients.
+    #[test]
+    fn quantizer_monotone_in_coarseness(seed in any::<u64>()) {
+        let mut x = seed | 1;
+        let coeffs: Vec<i32> = (0..64)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 40) % 2001) as i32 - 1000
+            })
+            .collect();
+        let mut out = vec![0i32; 64];
+        let mut prev_nonzero = usize::MAX;
+        for qindex in [8u8, 32, 64, 96] {
+            let q = Quantizer::from_qindex(qindex);
+            let nz = q.quantize_block(&mut NullProbe, &coeffs, &mut out);
+            prop_assert!(nz <= prev_nonzero, "qindex {}: {} > {}", qindex, nz, prev_nonzero);
+            prev_nonzero = nz;
+        }
+    }
+}
+
+#[test]
+fn coder_state_default_matches_new() {
+    // Both sides build identical initial state through either entry point.
+    let a = CoderState::new();
+    let b = CoderState::default();
+    assert_eq!(a.last_mv, b.last_mv);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The decoder never panics on arbitrary input bytes — it either
+    /// errors cleanly or produces (garbage) frames.
+    #[test]
+    fn decoder_is_panic_free_on_garbage(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = vstress_codecs::Decoder::new().decode(&data, &mut NullProbe);
+    }
+
+    /// The decoder never panics on a valid header followed by corrupted
+    /// payload bytes (the adversarial case: parsing machinery runs).
+    #[test]
+    fn decoder_survives_payload_corruption(
+        seed in any::<u64>(),
+        flip_at in 0usize..10_000,
+        flip_mask in 1u8..=255,
+    ) {
+        use vstress_codecs::{CodecId, Encoder, EncoderParams};
+        use vstress_video::synth::{SceneClass, SynthParams};
+        // One small real bitstream, corrupted at an arbitrary payload byte.
+        let clip = SynthParams {
+            width: 32,
+            height: 32,
+            frame_count: 2,
+            fps: 30.0,
+            entropy: 3.0,
+            class: SceneClass::Natural,
+            seed,
+        }
+        .synthesize("fuzz")
+        .unwrap();
+        let enc = Encoder::new(CodecId::LibvpxVp9, EncoderParams::new(40, 6)).unwrap();
+        let out = enc.encode(&clip, &mut NullProbe).unwrap();
+        let mut bytes = out.bitstream;
+        let header = vstress_codecs::bitstream::SequenceHeader::BYTES;
+        if bytes.len() > header {
+            let idx = header + flip_at % (bytes.len() - header);
+            bytes[idx] ^= flip_mask;
+        }
+        let _ = vstress_codecs::Decoder::new().decode(&bytes, &mut NullProbe);
+    }
+}

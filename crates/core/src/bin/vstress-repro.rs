@@ -1,0 +1,127 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! vstress-repro                    # quick profile, all experiments
+//! vstress-repro --paper            # full profile (slow; used for EXPERIMENTS.md)
+//! vstress-repro --csv out/         # also write each table as CSV into out/
+//! vstress-repro fig01 fig05        # subset of experiments
+//! ```
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use vstress::experiments::{
+    catalogue, cbp, crf_sweep, decode_cost, mix, preset_sweep, profile, runtime_quality,
+    threads, ExperimentConfig,
+};
+use vstress::Table;
+
+/// Prints a table and optionally mirrors it to `<csv_dir>/<slug>.csv`.
+fn emit(csv_dir: &Option<PathBuf>, slug: &str, table: &Table) {
+    println!("{table}");
+    if let Some(dir) = csv_dir {
+        let path = dir.join(format!("{slug}.csv"));
+        if let Err(e) = std::fs::write(&path, table.to_csv()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let csv_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    if let Some(dir) = &csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let mut positional: Vec<String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--csv" {
+            skip_next = true;
+            continue;
+        }
+        if !a.starts_with("--") {
+            positional.push(a.clone());
+        }
+    }
+    let wanted: BTreeSet<String> = positional.into_iter().collect();
+    let cfg = if paper { ExperimentConfig::paper() } else { ExperimentConfig::quick() };
+    let run_all = wanted.is_empty();
+    let want = |id: &str| run_all || wanted.contains(id);
+
+    eprintln!(
+        "vstress-repro: profile = {}, clips = {:?}",
+        if paper { "paper" } else { "quick" },
+        cfg.clips
+    );
+
+    if want("table1") {
+        emit(&csv_dir, "table1", &catalogue::table1_vbench());
+    }
+    if want("fig01") {
+        let (t, _) = runtime_quality::fig01_runtime_vs_crf(&cfg).expect("fig01");
+        emit(&csv_dir, "fig01", &t);
+    }
+    if want("fig02") || want("fig02a") || want("fig02b") {
+        let (t, _) = runtime_quality::fig02a_bdrate(&cfg).expect("fig02a");
+        emit(&csv_dir, "fig02a", &t);
+        emit(&csv_dir, "fig02b", &runtime_quality::fig02b_psnr_vs_time(&cfg).expect("fig02b"));
+    }
+    if want("table2") {
+        emit(&csv_dir, "table2", &mix::table2_instruction_mix(&cfg).expect("table2"));
+    }
+    if want("fig03") {
+        emit(&csv_dir, "fig03", &mix::fig03_opmix_sweep(&cfg).expect("fig03"));
+    }
+    if want("fig04") || want("fig05") || want("fig06") || want("fig07") {
+        let points = crf_sweep::crf_sweep(&cfg).expect("crf sweep");
+        emit(&csv_dir, "fig04", &crf_sweep::fig04_crf_sweep(&points));
+        emit(&csv_dir, "fig05", &crf_sweep::fig05_topdown(&points));
+        emit(&csv_dir, "fig06", &crf_sweep::fig06_microarch(&points));
+        emit(&csv_dir, "fig07", &crf_sweep::fig07_missrate(&points));
+    }
+    if want("fig08") {
+        let (t, _) = cbp::fig08_cbp(&cfg).expect("fig08");
+        emit(&csv_dir, "fig08", &t);
+    }
+    if want("fig09") {
+        let (t, _) = cbp::fig09_cbp(&cfg).expect("fig09");
+        emit(&csv_dir, "fig09", &t);
+    }
+    if want("fig10") {
+        let (t, _) = cbp::fig10_cbp(&cfg).expect("fig10");
+        emit(&csv_dir, "fig10", &t);
+    }
+    if want("fig11") {
+        let points = preset_sweep::preset_sweep(&cfg).expect("fig11");
+        emit(&csv_dir, "fig11ab", &preset_sweep::fig11ab_runtime_quality(&points));
+        emit(&csv_dir, "fig11cde", &preset_sweep::fig11cde_microarch(&points));
+    }
+    if want("fig12") || want("fig13") || want("fig14") || want("fig15") {
+        let (tables, _) = threads::fig12_15_thread_scaling(&cfg).expect("fig12-15");
+        for (i, t) in tables.iter().enumerate() {
+            emit(&csv_dir, &format!("fig{}", 12 + i), t);
+        }
+    }
+    if want("fig16") {
+        emit(&csv_dir, "fig16", &threads::fig16_topdown_threads(&cfg).expect("fig16"));
+    }
+    if want("decode") {
+        let (t, _) = decode_cost::table_decode_vs_encode(&cfg).expect("decode cost");
+        emit(&csv_dir, "decode_cost", &t);
+    }
+    if want("profile") {
+        emit(&csv_dir, "hot_kernels", &profile::table_hot_kernels(&cfg).expect("profile"));
+    }
+}

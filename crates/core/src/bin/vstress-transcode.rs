@@ -1,0 +1,149 @@
+//! Encode/decode CLI over real files.
+//!
+//! ```text
+//! vstress-transcode encode <in.y4m|clip:NAME> <out.vst> [codec] [crf] [preset] [keyint]
+//! vstress-transcode decode <in.vst> <out.y4m>
+//! vstress-transcode info   <in.vst>
+//! vstress-transcode trace  <in.y4m|clip:NAME> <out.vbt> [crf] [preset]
+//! ```
+//!
+//! `trace` captures a mid-run branch window (the paper's Pin protocol)
+//! into a CBP-style trace file replayable by `branch_predictor_lab`.
+//!
+//! Inputs may be Y4M files or `clip:<vbench-name>` to synthesize one of
+//! the catalogue clips. Codec names: svt-av1 (default), libaom, vp9,
+//! x264, x265.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+use vstress::codecs::{CodecId, Decoder, Encoder, EncoderParams};
+use vstress::trace::NullProbe;
+use vstress::video::vbench::{self, FidelityConfig};
+use vstress::video::{y4m, Clip};
+
+fn parse_codec(name: &str) -> Option<CodecId> {
+    match name {
+        "svt-av1" | "svt" | "av1" => Some(CodecId::SvtAv1),
+        "libaom" | "aom" => Some(CodecId::Libaom),
+        "vp9" | "libvpx-vp9" => Some(CodecId::LibvpxVp9),
+        "x264" | "h264" => Some(CodecId::X264),
+        "x265" | "hevc" => Some(CodecId::X265),
+        _ => None,
+    }
+}
+
+fn load_clip(spec: &str) -> Result<Clip, String> {
+    if let Some(name) = spec.strip_prefix("clip:") {
+        let c = vbench::clip(name).map_err(|e| e.to_string())?;
+        return Ok(c.synthesize(&FidelityConfig::default()));
+    }
+    let file = File::open(spec).map_err(|e| format!("{spec}: {e}"))?;
+    y4m::read_y4m(BufReader::new(file), spec).map_err(|e| e.to_string())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("encode") => {
+            let input = args.get(1).ok_or("encode needs an input")?;
+            let output = args.get(2).ok_or("encode needs an output path")?;
+            let codec = parse_codec(args.get(3).map(String::as_str).unwrap_or("svt-av1"))
+                .ok_or("unknown codec")?;
+            let default_crf = codec.max_crf() / 2;
+            let crf: u8 = args
+                .get(4)
+                .map(|s| s.parse().map_err(|_| "bad crf"))
+                .transpose()?
+                .unwrap_or(default_crf);
+            let preset: u8 = args
+                .get(5)
+                .map(|s| s.parse().map_err(|_| "bad preset"))
+                .transpose()?
+                .unwrap_or(codec.max_preset() / 2);
+            let keyint: u8 = args
+                .get(6)
+                .map(|s| s.parse().map_err(|_| "bad keyint"))
+                .transpose()?
+                .unwrap_or(0);
+            let clip = load_clip(input)?;
+            let enc =
+                Encoder::new(codec, EncoderParams::new(crf, preset).with_keyint(keyint))
+                    .map_err(|e| e.to_string())?;
+            let out = enc.encode(&clip, &mut NullProbe).map_err(|e| e.to_string())?;
+            std::fs::write(output, &out.bitstream).map_err(|e| e.to_string())?;
+            eprintln!(
+                "{codec}: {} frames, {:.1} kbps, {:.2} dB PSNR -> {output} ({} bytes)",
+                clip.frames().len(),
+                out.bitrate_kbps,
+                out.mean_psnr(),
+                out.bitstream.len()
+            );
+            Ok(())
+        }
+        Some("decode") => {
+            let input = args.get(1).ok_or("decode needs an input")?;
+            let output = args.get(2).ok_or("decode needs an output path")?;
+            let data = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+            let dec = Decoder::new().decode(&data, &mut NullProbe).map_err(|e| e.to_string())?;
+            let clip = Clip::from_frames("decoded", dec.frames, dec.header.fps as f64)
+                .map_err(|e| e.to_string())?;
+            let file = File::create(output).map_err(|e| e.to_string())?;
+            y4m::write_y4m(&clip, BufWriter::new(file)).map_err(|e| e.to_string())?;
+            eprintln!(
+                "decoded {} {} frames ({}x{}) -> {output}",
+                dec.header.codec,
+                clip.frames().len(),
+                dec.header.width,
+                dec.header.height
+            );
+            Ok(())
+        }
+        Some("trace") => {
+            let input = args.get(1).ok_or("trace needs an input")?;
+            let output = args.get(2).ok_or("trace needs an output path")?;
+            let crf: u8 = args.get(3).map(|s| s.parse().map_err(|_| "bad crf")).transpose()?.unwrap_or(63);
+            let preset: u8 =
+                args.get(4).map(|s| s.parse().map_err(|_| "bad preset")).transpose()?.unwrap_or(8);
+            let clip = load_clip(input)?;
+            let enc = Encoder::new(CodecId::SvtAv1, EncoderParams::new(crf, preset))
+                .map_err(|e| e.to_string())?;
+            let mut counter = vstress::trace::CountingProbe::new();
+            enc.encode(&clip, &mut counter).map_err(|e| e.to_string())?;
+            use vstress::trace::Probe;
+            let total = counter.retired();
+            let mut window = vstress::trace::BranchWindowProbe::mid_run(total, total / 2);
+            enc.encode(&clip, &mut window).map_err(|e| e.to_string())?;
+            let records = window.into_records();
+            let file = File::create(output).map_err(|e| e.to_string())?;
+            vstress::trace::io::write_branch_trace(&records, BufWriter::new(file))
+                .map_err(|e| e.to_string())?;
+            eprintln!("captured {} branches -> {output}", records.len());
+            Ok(())
+        }
+        Some("info") => {
+            let input = args.get(1).ok_or("info needs an input")?;
+            let data = std::fs::read(input).map_err(|e| format!("{input}: {e}"))?;
+            let (h, payload) = vstress::codecs::bitstream::SequenceHeader::parse(&data)
+                .map_err(|e| e.to_string())?;
+            println!("codec:      {}", h.codec);
+            println!("dimensions: {}x{} @ {} fps", h.width, h.height, h.fps);
+            println!("frames:     {}", h.frame_count);
+            println!("base q:     {}", h.qindex);
+            println!("tools:      sb{} min{} depth{} refs{}", h.superblock, h.min_block, h.max_depth, h.ref_frames);
+            println!("payload:    {} bytes", payload.len());
+            Ok(())
+        }
+        _ => Err("usage: vstress-transcode encode|decode|info ...".to_owned()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Table 1 — the vbench clip catalogue.
+
+use crate::table::Table;
+use vstress_video::vbench::CATALOGUE;
+
+/// Reproduces the paper's Table 1: the list of vbench clips with
+/// resolution, frame rate and entropy.
+pub fn table1_vbench() -> Table {
+    let mut t = Table::new(
+        "Table 1 — the vbench clips (synthesized equivalents)",
+        &["Video", "Resolution", "FPS", "Entropy", "Scene class"],
+    );
+    for spec in &CATALOGUE {
+        t.push_row(vec![
+            spec.name.to_owned(),
+            spec.resolution.label().to_owned(),
+            spec.fps.to_string(),
+            format!("{:.2}", spec.entropy),
+            format!("{:?}", spec.class),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_rows_matching_the_catalogue() {
+        let t = table1_vbench();
+        assert_eq!(t.rows.len(), 15);
+        assert!(t.rows.iter().any(|r| r[0] == "game1" && r[1] == "1080p" && r[2] == "60"));
+        assert!(t.rows.iter().any(|r| r[0] == "chicken" && r[1] == "2160p"));
+    }
+
+    #[test]
+    fn entropy_column_is_ascendingish() {
+        let t = table1_vbench();
+        let first: f64 = t.rows.first().unwrap()[3].parse().unwrap();
+        let last: f64 = t.rows.last().unwrap()[3].parse().unwrap();
+        assert!(last > first);
+    }
+}

@@ -1,0 +1,36 @@
+//! Execution-time modelling.
+
+/// Clock frequency of the paper's machine (Xeon E5-2650 v4), in GHz.
+pub const CLOCK_GHZ: f64 = 2.8;
+
+/// Converts modelled core cycles to seconds on the paper's machine.
+pub fn cycles_to_seconds(cycles: f64) -> f64 {
+    cycles / (CLOCK_GHZ * 1e9)
+}
+
+/// Converts an instruction count to seconds at an assumed IPC — the cheap
+/// runtime model used where the paper only needs relative execution times
+/// and a full pipeline simulation would be wasteful.
+pub fn instructions_to_seconds(instructions: u64, ipc: f64) -> f64 {
+    if ipc <= 0.0 {
+        return 0.0;
+    }
+    cycles_to_seconds(instructions as f64 / ipc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_conversion() {
+        assert!((cycles_to_seconds(2.8e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instruction_conversion() {
+        let s = instructions_to_seconds(5_600_000_000, 2.0);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(instructions_to_seconds(100, 0.0), 0.0);
+    }
+}

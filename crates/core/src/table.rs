@@ -1,0 +1,137 @@
+//! Plain-text result tables (the workbench's figure/table output format).
+
+/// A titled, column-aligned table of strings.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Table {
+    /// Table title (e.g. `"Fig. 4b — execution time vs CRF"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row should have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders as CSV (header row first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_owned()
+            }
+        };
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < w.len() {
+                    w[i] = w[i].max(cell.len());
+                } else {
+                    w.push(cell.len());
+                }
+            }
+        }
+        w
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "## {}", self.title)?;
+        let w = self.widths();
+        let fmt_row = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = w.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(f, "{}", "-".repeat(w.iter().sum::<usize>() + 2 * w.len().saturating_sub(1)))?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 2 decimals (the tables' default precision).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a float with 1 decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a count in scientific notation (`1.7E+11` style, as Table 2).
+pub fn sci(v: u64) -> String {
+    format!("{:.1E}", v as f64).replace('E', "E+").replace("E+-", "E-")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.push_row(vec!["short".into(), "1".into()]);
+        t.push_row(vec!["a-very-long-name".into(), "2".into()]);
+        let s = format!("{t}");
+        assert!(s.contains("## demo"));
+        assert!(s.contains("a-very-long-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        // All data lines have the value column starting at the same offset.
+        let off1 = lines[2].find('1');
+        let off2 = lines[3].find('2');
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["1,5".into(), "plain".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.starts_with("a,b\n"));
+    }
+
+    #[test]
+    fn sci_matches_table2_style() {
+        assert_eq!(sci(170_000_000_000), "1.7E+11");
+        assert_eq!(sci(95_000_000_000), "9.5E+10");
+    }
+}

@@ -1,0 +1,262 @@
+//! The characterization pipeline: one encode, fully instrumented.
+
+use crate::runtime::cycles_to_seconds;
+use vstress_codecs::taskgraph::TaskTrace;
+use vstress_codecs::{CodecError, CodecId, Encoder, EncoderParams};
+use vstress_pipeline::{CoreModel, CoreReport};
+use vstress_trace::{CountingProbe, HotKernelProfile, OpMix, TeeProbe};
+use vstress_video::vbench::{self, FidelityConfig};
+use vstress_video::{Clip, VideoError};
+
+/// Everything needed to run one characterized encode.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// vbench clip name.
+    pub clip: &'static str,
+    /// Codec model.
+    pub codec: CodecId,
+    /// Encoder parameters.
+    pub params: EncoderParams,
+    /// Clip synthesis fidelity.
+    pub fidelity: FidelityConfig,
+    /// Cache-hierarchy scale divisor (match `fidelity.dimension_divisor`).
+    pub cache_divisor: usize,
+    /// Whether to run the pipeline model (cycles, top-down, MPKI). When
+    /// `false`, only the instruction mix is gathered — roughly 3x faster.
+    pub model_pipeline: bool,
+}
+
+impl RunSpec {
+    /// A spec at reduced "smoke" fidelity (tests, doc examples).
+    pub fn quick(clip: &'static str, codec: CodecId, params: EncoderParams) -> Self {
+        RunSpec {
+            clip,
+            codec,
+            params,
+            fidelity: FidelityConfig::smoke(),
+            cache_divisor: 16,
+            model_pipeline: true,
+        }
+    }
+
+    /// A spec at the workbench's default fidelity.
+    pub fn standard(clip: &'static str, codec: CodecId, params: EncoderParams) -> Self {
+        RunSpec {
+            clip,
+            codec,
+            params,
+            fidelity: FidelityConfig::default(),
+            cache_divisor: 8,
+            model_pipeline: true,
+        }
+    }
+
+    /// Disables the pipeline model (instruction mix only).
+    #[must_use]
+    pub fn counting_only(mut self) -> Self {
+        self.model_pipeline = false;
+        self
+    }
+}
+
+/// Result of one characterized encode — the paper's full per-run
+/// measurement set.
+#[derive(Debug, Clone)]
+pub struct CharacterizationRun {
+    /// The spec's codec.
+    pub codec: CodecId,
+    /// The spec's parameters.
+    pub params: EncoderParams,
+    /// Clip name.
+    pub clip: String,
+    /// Retired-instruction mix (Pin substitute output).
+    pub mix: OpMix,
+    /// Hot-kernel profile (gprof substitute output).
+    pub profile: HotKernelProfile,
+    /// Core-model report (perf + top-down substitute). When the spec ran
+    /// counting-only, this report carries zero cycles.
+    pub core: CoreReport,
+    /// Modelled execution time in seconds (0 when counting-only).
+    pub seconds: f64,
+    /// Mean luma PSNR of the reconstruction.
+    pub mean_psnr: f64,
+    /// Bitrate in kbps.
+    pub bitrate_kbps: f64,
+    /// Total encoded bits.
+    pub total_bits: u64,
+    /// Per-stage task costs for the threading study.
+    pub tasks: TaskTrace,
+}
+
+/// Errors from the characterization pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WorkbenchError {
+    /// Unknown clip or synthesis failure.
+    Video(VideoError),
+    /// Encoder rejected the parameters or input.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for WorkbenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkbenchError::Video(e) => write!(f, "video: {e}"),
+            WorkbenchError::Codec(e) => write!(f, "codec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkbenchError {}
+
+impl From<VideoError> for WorkbenchError {
+    fn from(e: VideoError) -> Self {
+        WorkbenchError::Video(e)
+    }
+}
+
+impl From<CodecError> for WorkbenchError {
+    fn from(e: CodecError) -> Self {
+        WorkbenchError::Codec(e)
+    }
+}
+
+/// Synthesizes the spec's clip.
+pub fn clip_for(spec: &RunSpec) -> Result<Clip, WorkbenchError> {
+    Ok(vbench::clip(spec.clip)?.synthesize(&spec.fidelity))
+}
+
+/// Runs one fully characterized encode.
+///
+/// # Errors
+///
+/// Returns [`WorkbenchError`] for unknown clips or invalid parameters.
+pub fn characterize(spec: &RunSpec) -> Result<CharacterizationRun, WorkbenchError> {
+    let clip = clip_for(spec)?;
+    characterize_clip(spec, &clip)
+}
+
+/// Like [`characterize`], but reuses an already-synthesized clip.
+pub fn characterize_clip(
+    spec: &RunSpec,
+    clip: &Clip,
+) -> Result<CharacterizationRun, WorkbenchError> {
+    let encoder = Encoder::new(spec.codec, spec.params)?;
+    if spec.model_pipeline {
+        let mut probe = TeeProbe::new(
+            CountingProbe::new(),
+            CoreModel::broadwell_scaled(spec.cache_divisor),
+        );
+        let out = encoder.encode(clip, &mut probe)?;
+        let (counting, core) = probe.into_parts();
+        let report = core.into_report();
+        Ok(CharacterizationRun {
+            codec: spec.codec,
+            params: spec.params,
+            clip: clip.name().to_owned(),
+            mix: counting.mix(),
+            profile: counting.profile().clone(),
+            seconds: cycles_to_seconds(report.cycles),
+            core: report,
+            mean_psnr: out.mean_psnr(),
+            bitrate_kbps: out.bitrate_kbps,
+            total_bits: out.total_bits(),
+            tasks: out.tasks,
+        })
+    } else {
+        let mut probe = CountingProbe::new();
+        let out = encoder.encode(clip, &mut probe)?;
+        // A zeroed report keeps the type simple for counting-only runs.
+        let report = CoreModel::broadwell_scaled(spec.cache_divisor).into_report();
+        Ok(CharacterizationRun {
+            codec: spec.codec,
+            params: spec.params,
+            clip: clip.name().to_owned(),
+            mix: probe.mix(),
+            profile: probe.profile().clone(),
+            seconds: 0.0,
+            core: report,
+            mean_psnr: out.mean_psnr(),
+            bitrate_kbps: out.bitrate_kbps,
+            total_bits: out.total_bits(),
+            tasks: out.tasks,
+        })
+    }
+}
+
+/// Maps an AV1-family CRF (0–63) onto the equivalent x264/x265 CRF
+/// (0–51), preserving the quality point (both stretch over the same
+/// internal quantizer ladder).
+pub fn equivalent_h26x_crf(av1_crf: u8) -> u8 {
+    ((av1_crf as u32 * 51 + 31) / 63) as u8
+}
+
+/// Maps an AV1-family preset (0 slow – 8 fast) onto the equivalent
+/// x264/x265 preset (0 fast – 9 slow).
+pub fn equivalent_h26x_preset(av1_preset: u8) -> u8 {
+    let speed = av1_preset as f64 / 8.0;
+    ((1.0 - speed) * 9.0).round() as u8
+}
+
+/// The (crf, preset) pair for `codec` matching an AV1-family quality/speed
+/// point — the cross-codec normalization every comparison figure needs.
+pub fn equivalent_params(codec: CodecId, av1_crf: u8, av1_preset: u8) -> EncoderParams {
+    match codec {
+        CodecId::SvtAv1 | CodecId::Libaom | CodecId::LibvpxVp9 => {
+            EncoderParams::new(av1_crf, av1_preset)
+        }
+        CodecId::X264 | CodecId::X265 => {
+            EncoderParams::new(equivalent_h26x_crf(av1_crf), equivalent_h26x_preset(av1_preset))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_characterization_produces_all_measurements() {
+        let spec = RunSpec::quick("cat", CodecId::LibvpxVp9, EncoderParams::new(40, 6));
+        let run = characterize(&spec).unwrap();
+        assert!(run.mix.total() > 0);
+        assert!(run.core.instructions > 0);
+        assert!(run.seconds > 0.0);
+        assert!(run.mean_psnr > 20.0);
+        assert!(run.total_bits > 0);
+        assert!(!run.tasks.frames.is_empty());
+        assert!(run.profile.total() > 0);
+    }
+
+    #[test]
+    fn counting_only_skips_the_pipeline() {
+        let spec =
+            RunSpec::quick("cat", CodecId::X264, EncoderParams::new(30, 5)).counting_only();
+        let run = characterize(&spec).unwrap();
+        assert!(run.mix.total() > 0);
+        assert_eq!(run.seconds, 0.0);
+        assert_eq!(run.core.instructions, 0);
+    }
+
+    #[test]
+    fn unknown_clip_is_an_error() {
+        let spec = RunSpec::quick("nope", CodecId::X264, EncoderParams::new(30, 5));
+        assert!(matches!(characterize(&spec), Err(WorkbenchError::Video(_))));
+    }
+
+    #[test]
+    fn equivalent_params_preserve_quality_point() {
+        use vstress_codecs::params::crf_to_qindex;
+        for crf in [0u8, 10, 31, 63] {
+            let h = equivalent_h26x_crf(crf);
+            let qa = crf_to_qindex(crf, 63);
+            let qh = crf_to_qindex(h, 51);
+            assert!((qa as i32 - qh as i32).abs() <= 2, "crf {crf}: {qa} vs {qh}");
+        }
+        // Preset direction flips.
+        assert_eq!(equivalent_h26x_preset(0), 9);
+        assert_eq!(equivalent_h26x_preset(8), 0);
+        let p = equivalent_params(CodecId::X265, 40, 4);
+        assert_eq!(p.crf, equivalent_h26x_crf(40));
+    }
+}

@@ -1,0 +1,172 @@
+//! Core-model parameters.
+
+use vstress_trace::Kernel;
+
+/// Parameters of the interval core model.
+///
+/// Defaults model the paper's Intel Xeon E5-2650 v4 (Broadwell): 4-wide,
+/// 192-entry ROB, 60-entry unified reservation station, 72-entry load
+/// queue, 42-entry store queue. The *exposure* fields encode how much of
+/// each miss latency an out-of-order window fails to hide; they are the
+/// calibrated quantities of the model (see DESIGN.md §5, pipeline notes).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoreConfig {
+    /// Pipeline width in slots per cycle (dispatch = retire width).
+    pub width: u32,
+    /// Reorder-buffer entries.
+    pub rob: u32,
+    /// Reservation-station entries.
+    pub rs: u32,
+    /// Load-queue entries.
+    pub lq: u32,
+    /// Store-queue entries.
+    pub sq: u32,
+    /// Full branch-mispredict pipeline-restart penalty in cycles.
+    pub mispredict_penalty: u32,
+    /// Fraction of the mispredict penalty attributed to bad speculation
+    /// (wrong-path slots + recovery); the remainder is the fetch-refill
+    /// bubble, attributed to frontend latency — matching Intel's top-down
+    /// event mapping.
+    pub mispredict_bad_spec_fraction: f64,
+    /// Fraction of an L2-hit load's extra latency left exposed (most is
+    /// hidden by the OoO window).
+    pub exposure_l2: f64,
+    /// Fraction of an LLC-hit load's extra latency left exposed.
+    pub exposure_llc: f64,
+    /// Fraction of a DRAM load's latency left exposed.
+    pub exposure_mem: f64,
+    /// Store-miss exposure multiplier relative to loads (stores retire
+    /// from the store buffer and rarely stall the pipe).
+    pub store_exposure_scale: f64,
+    /// Instruction distance within which consecutive load misses are
+    /// considered overlapping (memory-level parallelism window; on the
+    /// order of the ROB reach).
+    pub mlp_window: u64,
+    /// Maximum modelled memory-level parallelism.
+    pub max_mlp: u32,
+    /// Fraction of in-flight uops assumed dependent on an outstanding
+    /// miss (drives reservation-station pressure during stalls).
+    pub dependent_fraction: f64,
+    /// I-cache miss exposure (fetch bubbles are hard to hide).
+    pub exposure_icache: f64,
+    /// Mean instruction length in bytes for fetch-stream synthesis.
+    pub inst_bytes: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::broadwell()
+    }
+}
+
+impl CoreConfig {
+    /// The paper's evaluation core (Xeon E5-2650 v4, Broadwell).
+    pub fn broadwell() -> Self {
+        CoreConfig {
+            width: 4,
+            rob: 192,
+            rs: 60,
+            lq: 72,
+            sq: 42,
+            mispredict_penalty: 16,
+            mispredict_bad_spec_fraction: 0.65,
+            exposure_l2: 0.6,
+            exposure_llc: 0.8,
+            exposure_mem: 0.9,
+            store_exposure_scale: 0.25,
+            mlp_window: 72,
+            max_mlp: 4,
+            dependent_fraction: 0.35,
+            exposure_icache: 0.9,
+            inst_bytes: 4,
+        }
+    }
+
+    /// Sustained instruction-level parallelism the scheduler extracts for
+    /// code of kernel `k`, in instructions per cycle.
+    ///
+    /// Leaf SIMD loops are dispatch-limited (ILP ≈ width); the adaptive
+    /// binary range coder carries a loop-borne dependency (ILP < 1.5);
+    /// mode-decision control code sits in between. These limits are what
+    /// bounds video encoders to IPC ≈ 2 on a 4-wide machine even with low
+    /// miss rates — the paper's central "retiring ≈ 50%" observation.
+    pub fn kernel_ilp(&self, k: Kernel) -> f64 {
+        match k {
+            Kernel::Sad | Kernel::Satd => 3.3,
+            Kernel::FwdTransform | Kernel::InvTransform => 3.0,
+            Kernel::Quant | Kernel::Dequant => 2.8,
+            Kernel::IntraPred | Kernel::InterPred => 2.8,
+            Kernel::MotionSearch => 2.4,
+            Kernel::Deblock => 2.6,
+            Kernel::EntropyCoder => 1.35,
+            Kernel::ModeDecision => 1.9,
+            Kernel::RateControl => 2.1,
+            Kernel::FrameSetup => 2.8,
+            Kernel::Packetize => 2.4,
+            // `Kernel` is non_exhaustive; future kernels default to the
+            // dispatch-limited rate.
+            _ => 2.8,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero width/structures or out-of-range fractions.
+    pub fn validate(&self) {
+        assert!(self.width >= 1 && self.width <= 16);
+        assert!(self.rob > 0 && self.rs > 0 && self.lq > 0 && self.sq > 0);
+        for f in [
+            self.mispredict_bad_spec_fraction,
+            self.exposure_l2,
+            self.exposure_llc,
+            self.exposure_mem,
+            self.store_exposure_scale,
+            self.dependent_fraction,
+            self.exposure_icache,
+        ] {
+            assert!((0.0..=1.0).contains(&f), "fractions must be in [0,1], got {f}");
+        }
+        assert!(self.max_mlp >= 1);
+        assert!(self.inst_bytes >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadwell_validates() {
+        CoreConfig::broadwell().validate();
+    }
+
+    #[test]
+    fn ilp_never_exceeds_width() {
+        let c = CoreConfig::broadwell();
+        for k in Kernel::ALL {
+            let ilp = c.kernel_ilp(k);
+            assert!(ilp >= 1.0 && ilp <= c.width as f64, "{k}: {ilp}");
+        }
+    }
+
+    #[test]
+    fn entropy_coder_is_the_serial_bottleneck() {
+        let c = CoreConfig::broadwell();
+        let entropy = c.kernel_ilp(Kernel::EntropyCoder);
+        for k in Kernel::ALL {
+            if k != Kernel::EntropyCoder {
+                assert!(c.kernel_ilp(k) > entropy);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn bad_fraction_panics() {
+        let mut c = CoreConfig::broadwell();
+        c.exposure_mem = 1.5;
+        c.validate();
+    }
+}

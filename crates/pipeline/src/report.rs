@@ -1,0 +1,250 @@
+//! Model outputs: cycles, IPC, top-down slots, resource stalls.
+
+use vstress_cache::HierarchyStats;
+
+/// Top-down slot fractions (they sum to 1).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TopDownSlots {
+    /// Slots that retired useful uops.
+    pub retiring: f64,
+    /// Slots wasted on wrong-path work and recovery.
+    pub bad_speculation: f64,
+    /// Slots starved because the frontend supplied no uops.
+    pub frontend: f64,
+    /// Slots stalled in the backend (memory + core).
+    pub backend: f64,
+    /// Memory subcomponent of `backend`.
+    pub backend_memory: f64,
+    /// Core (execution-resource) subcomponent of `backend`.
+    pub backend_core: f64,
+}
+
+/// Stall-cycle counters per back-end structure (paper Fig. 6e–6h).
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ResourceStalls {
+    /// Cycles stalled with the reorder buffer full.
+    pub rob: f64,
+    /// Cycles stalled with the reservation station full.
+    pub rs: f64,
+    /// Cycles stalled with the load queue full.
+    pub lq: f64,
+    /// Cycles stalled with the store queue full.
+    pub sq: f64,
+}
+
+/// Aggregate result of modelling one instrumented run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CoreReport {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Modelled core cycles.
+    pub cycles: f64,
+    /// Pipeline width used for slot accounting.
+    pub width: u32,
+    /// Retired branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub branch_mispredicts: u64,
+    /// Slot counts per category (slots, not fractions).
+    pub slots_retiring: f64,
+    /// Wasted slots: bad speculation.
+    pub slots_bad_spec: f64,
+    /// Wasted slots: frontend-bound.
+    pub slots_frontend: f64,
+    /// Wasted slots: backend memory-bound.
+    pub slots_backend_mem: f64,
+    /// Wasted slots: backend core-bound.
+    pub slots_backend_core: f64,
+    /// Resource-stall cycle counters.
+    pub resource_stalls: ResourceStalls,
+    /// Cache-hierarchy statistics (includes the modelled I-cache).
+    pub cache: HierarchyStats,
+    /// Data-side miss events attributed to the kernel active at miss time
+    /// (indexed by [`vstress_trace::Kernel::index`]).
+    pub misses_by_kernel: [u64; 15],
+}
+
+impl CoreReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+
+    /// Branch misprediction rate in `[0, 1]`.
+    pub fn branch_miss_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+
+    /// Branch mispredicts per kilo-instruction.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 / self.instructions as f64 * 1000.0
+        }
+    }
+
+    /// L1D misses per kilo-instruction.
+    pub fn l1d_mpki(&self) -> f64 {
+        self.cache.l1d.mpki(self.instructions)
+    }
+
+    /// L2 misses per kilo-instruction.
+    pub fn l2_mpki(&self) -> f64 {
+        self.cache.l2.mpki(self.instructions)
+    }
+
+    /// LLC misses per kilo-instruction.
+    pub fn llc_mpki(&self) -> f64 {
+        self.cache.llc.mpki(self.instructions)
+    }
+
+    /// Normalized top-down fractions.
+    ///
+    /// Total slots are `width * cycles`; the four top categories are
+    /// normalized onto them so the result always sums to 1.
+    pub fn topdown(&self) -> TopDownSlots {
+        let total = self.slots_retiring
+            + self.slots_bad_spec
+            + self.slots_frontend
+            + self.slots_backend_mem
+            + self.slots_backend_core;
+        if total <= 0.0 {
+            return TopDownSlots {
+                retiring: 0.0,
+                bad_speculation: 0.0,
+                frontend: 0.0,
+                backend: 0.0,
+                backend_memory: 0.0,
+                backend_core: 0.0,
+            };
+        }
+        let backend_memory = self.slots_backend_mem / total;
+        let backend_core = self.slots_backend_core / total;
+        TopDownSlots {
+            retiring: self.slots_retiring / total,
+            bad_speculation: self.slots_bad_spec / total,
+            frontend: self.slots_frontend / total,
+            backend: backend_memory + backend_core,
+            backend_memory,
+            backend_core,
+        }
+    }
+}
+
+impl std::fmt::Display for CoreReport {
+    /// `perf stat`-style rendering of the modelled counters.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let td = self.topdown();
+        writeln!(f, "{:>16}  instructions", self.instructions)?;
+        writeln!(f, "{:>16.0}  cycles               # {:.2} IPC", self.cycles, self.ipc())?;
+        writeln!(
+            f,
+            "{:>16}  branches             # {:.2}% miss rate, {:.2} MPKI",
+            self.branches,
+            self.branch_miss_rate() * 100.0,
+            self.branch_mpki()
+        )?;
+        writeln!(
+            f,
+            "{:>16}  L1D misses           # {:.2} MPKI",
+            self.cache.l1d.misses,
+            self.l1d_mpki()
+        )?;
+        writeln!(
+            f,
+            "{:>16}  L2 misses            # {:.2} MPKI",
+            self.cache.l2.misses,
+            self.l2_mpki()
+        )?;
+        writeln!(
+            f,
+            "{:>16}  LLC misses           # {:.3} MPKI",
+            self.cache.llc.misses,
+            self.llc_mpki()
+        )?;
+        writeln!(
+            f,
+            "        top-down: retiring {:.1}%  bad-spec {:.1}%  frontend {:.1}%  backend {:.1}% (mem {:.1}% / core {:.1}%)",
+            td.retiring * 100.0,
+            td.bad_speculation * 100.0,
+            td.frontend * 100.0,
+            td.backend * 100.0,
+            td.backend_memory * 100.0,
+            td.backend_core * 100.0
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> CoreReport {
+        CoreReport {
+            instructions: 1000,
+            cycles: 500.0,
+            width: 4,
+            branches: 100,
+            branch_mispredicts: 5,
+            slots_retiring: 1000.0,
+            slots_bad_spec: 100.0,
+            slots_frontend: 300.0,
+            slots_backend_mem: 400.0,
+            slots_backend_core: 200.0,
+            resource_stalls: ResourceStalls::default(),
+            cache: HierarchyStats::default(),
+            misses_by_kernel: [0; 15],
+        }
+    }
+
+    #[test]
+    fn ipc_and_rates() {
+        let r = report();
+        assert!((r.ipc() - 2.0).abs() < 1e-12);
+        assert!((r.branch_miss_rate() - 0.05).abs() < 1e-12);
+        assert!((r.branch_mpki() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topdown_sums_to_one() {
+        let td = report().topdown();
+        assert!((td.retiring + td.bad_speculation + td.frontend + td.backend - 1.0).abs() < 1e-12);
+        assert!((td.backend - (td.backend_memory + td.backend_core)).abs() < 1e-12);
+        assert!((td.retiring - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_the_headline_counters() {
+        let s = format!("{}", report());
+        assert!(s.contains("instructions"));
+        assert!(s.contains("IPC"));
+        assert!(s.contains("top-down"));
+        assert!(s.contains("retiring 50.0%"));
+    }
+
+    #[test]
+    fn degenerate_report_is_safe() {
+        let mut r = report();
+        r.instructions = 0;
+        r.cycles = 0.0;
+        r.branches = 0;
+        r.slots_retiring = 0.0;
+        r.slots_bad_spec = 0.0;
+        r.slots_frontend = 0.0;
+        r.slots_backend_mem = 0.0;
+        r.slots_backend_core = 0.0;
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.branch_miss_rate(), 0.0);
+        assert_eq!(r.topdown().retiring, 0.0);
+    }
+}

@@ -1,0 +1,487 @@
+//! Deterministic multi-core scheduling of encoder task graphs — the
+//! engine behind the paper's thread-scalability study (Figs. 12–16).
+//!
+//! The instrumented encoders measure the real instruction cost of every
+//! unit of parallel work and emit, per codec, the dependency structure
+//! their threading design implies
+//! ([`vstress_codecs::taskgraph::build_task_graph`]). This crate
+//! schedules those graphs on `n` cores with a critical-path-priority list
+//! scheduler and reports makespan, speedup, per-core utilisation and
+//! imbalance. A shared-LLC [`ContentionModel`] translates schedule
+//! concurrency and imbalance into the backend-bound inflation the paper
+//! observes for x265 (Fig. 16).
+//!
+//! ```
+//! use vstress_codecs::taskgraph::{FrameTaskTrace, TaskTrace, build_task_graph};
+//! use vstress_codecs::CodecId;
+//! use vstress_sched::schedule;
+//!
+//! let trace = TaskTrace {
+//!     frames: (0..4)
+//!         .map(|_| FrameTaskTrace {
+//!             sb_rows: vec![10_000; 8],
+//!             lookahead: 2_000,
+//!             filter: 1_000,
+//!         })
+//!         .collect(),
+//! };
+//! let g = build_task_graph(CodecId::SvtAv1, &trace);
+//! let s1 = schedule(&g, 1);
+//! let s8 = schedule(&g, 8);
+//! assert!(s1.makespan > s8.makespan, "more cores must not slow things down");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+use vstress_codecs::taskgraph::TaskGraph;
+
+/// Result of scheduling a task graph on a fixed number of cores.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Schedule {
+    /// Number of cores used.
+    pub cores: usize,
+    /// Completion time of the last task (instruction units).
+    pub makespan: u64,
+    /// Busy time per core.
+    pub per_core_busy: Vec<u64>,
+    /// Start time of each task (by task id).
+    pub start_times: Vec<u64>,
+}
+
+impl Schedule {
+    /// Mean number of simultaneously busy cores over the makespan.
+    pub fn avg_concurrency(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        self.per_core_busy.iter().sum::<u64>() as f64 / self.makespan as f64
+    }
+
+    /// Load imbalance: busiest core's share over the mean share (1.0 =
+    /// perfectly even). The paper attributes x265's poor scaling and
+    /// backend growth to exactly this quantity.
+    pub fn imbalance(&self) -> f64 {
+        let busy: Vec<u64> = self.per_core_busy.clone();
+        let total: u64 = busy.iter().sum();
+        if total == 0 || busy.is_empty() {
+            return 1.0;
+        }
+        let mean = total as f64 / busy.len() as f64;
+        let max = *busy.iter().max().expect("nonempty") as f64;
+        (max / mean).max(1.0)
+    }
+
+    /// Fraction of core-time spent idle (blocked on dependencies).
+    pub fn idle_fraction(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        let capacity = self.makespan as f64 * self.cores as f64;
+        1.0 - self.per_core_busy.iter().sum::<u64>() as f64 / capacity
+    }
+}
+
+/// Schedules `graph` on `cores` cores with critical-path list scheduling.
+///
+/// Tasks become ready when all dependencies finish; among ready tasks the
+/// one with the longest downstream critical path runs first. Tasks marked
+/// `main_thread_only` only run on core 0 (the x265 lookahead model).
+///
+/// ```
+/// use vstress_codecs::taskgraph::{Task, TaskGraph, TaskKind};
+/// use vstress_sched::schedule;
+///
+/// // Two independent unit tasks: two cores halve the makespan.
+/// let mut g = TaskGraph::default();
+/// for id in 0..2 {
+///     g.tasks.push(Task {
+///         id, cost: 100, kind: TaskKind::CodeRow, frame: 0,
+///         deps: vec![], main_thread_only: false,
+///     });
+/// }
+/// assert_eq!(schedule(&g, 1).makespan, 200);
+/// assert_eq!(schedule(&g, 2).makespan, 100);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn schedule(graph: &TaskGraph, cores: usize) -> Schedule {
+    assert!(cores > 0, "need at least one core");
+    let n = graph.tasks.len();
+    // Downstream critical path per task (priority).
+    let mut downstream = vec![0u64; n];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for t in &graph.tasks {
+        for &d in &t.deps {
+            dependents[d].push(t.id);
+        }
+    }
+    for t in graph.tasks.iter().rev() {
+        let down = dependents[t.id]
+            .iter()
+            .map(|&s| downstream[s])
+            .max()
+            .unwrap_or(0);
+        downstream[t.id] = down + t.cost;
+    }
+
+    // Event-driven simulation: a task is *released* when every dependency
+    // has actually finished; free cores pick the released task with the
+    // longest downstream path. This avoids the list-scheduling anomaly of
+    // reserving a core for a task whose dependencies are still running.
+    let mut unmet: Vec<usize> = graph.tasks.iter().map(|t| t.deps.len()).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| unmet[i] == 0).collect();
+    let mut core_busy_until: Vec<Option<(u64, usize)>> = vec![None; cores];
+    let mut busy = vec![0u64; cores];
+    let mut start_times = vec![0u64; n];
+    let mut finished = 0usize;
+    let mut now = 0u64;
+    let mut makespan = 0u64;
+
+    while finished < n {
+        // Assign released tasks to free cores.
+        loop {
+            let mut assigned = false;
+            // Core 0 first so pinned tasks are never starved by it taking
+            // unpinned work while a pinned task waits.
+            for core in 0..cores {
+                if core_busy_until[core].is_some() {
+                    continue;
+                }
+                let candidate = ready
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &t)| core == 0 || !graph.tasks[t].main_thread_only)
+                    .max_by(|(_, &a), (_, &b)| {
+                        // Pinned tasks take precedence on core 0.
+                        let pa = graph.tasks[a].main_thread_only && core == 0;
+                        let pb = graph.tasks[b].main_thread_only && core == 0;
+                        pa.cmp(&pb).then(downstream[a].cmp(&downstream[b])).then(b.cmp(&a))
+                    })
+                    .map(|(i, &t)| (i, t));
+                if let Some((ri, task_id)) = candidate {
+                    ready.swap_remove(ri);
+                    start_times[task_id] = now;
+                    let finish = now + graph.tasks[task_id].cost;
+                    core_busy_until[core] = Some((finish, task_id));
+                    busy[core] += graph.tasks[task_id].cost;
+                    assigned = true;
+                }
+            }
+            if !assigned {
+                break;
+            }
+        }
+
+        // Advance to the next completion.
+        let next = core_busy_until
+            .iter()
+            .filter_map(|c| c.map(|(f, _)| f))
+            .min()
+            .expect("some task must be running while unfinished tasks remain");
+        now = next;
+        makespan = makespan.max(now);
+        for slot in core_busy_until.iter_mut() {
+            if let Some((f, task_id)) = *slot {
+                if f == now {
+                    *slot = None;
+                    finished += 1;
+                    for &s in &dependents[task_id] {
+                        unmet[s] -= 1;
+                        if unmet[s] == 0 {
+                            ready.push(s);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Schedule { cores, makespan, per_core_busy: busy, start_times }
+}
+
+impl Schedule {
+    /// Renders a coarse per-core timeline (one lane per core, `#` = busy),
+    /// for eyeballing pipeline fill, serial gaps and imbalance.
+    ///
+    /// `width` is the number of character columns the makespan maps onto.
+    pub fn render_timeline(&self, graph: &TaskGraph, width: usize) -> String {
+        let width = width.max(8);
+        let mut lanes = vec![vec![b'.'; width]; self.cores];
+        // Reconstruct core assignment: greedily place each task on the
+        // core whose busy intervals it extends (the scheduler is
+        // deterministic, so start times identify the layout).
+        let mut core_free = vec![0u64; self.cores];
+        let mut order: Vec<usize> = (0..graph.tasks.len()).collect();
+        order.sort_by_key(|&i| self.start_times[i]);
+        let span = self.makespan.max(1);
+        for &id in &order {
+            let start = self.start_times[id];
+            let cost = graph.tasks[id].cost;
+            let core = if graph.tasks[id].main_thread_only {
+                0
+            } else {
+                (0..self.cores)
+                    .find(|&c| core_free[c] <= start)
+                    .unwrap_or(0)
+            };
+            core_free[core] = start + cost;
+            let a = (start as u128 * width as u128 / span as u128) as usize;
+            let b = (((start + cost) as u128 * width as u128).div_ceil(span as u128) as usize)
+                .min(width);
+            for cell in &mut lanes[core][a..b.max(a + 1).min(width)] {
+                *cell = b'#';
+            }
+        }
+        let mut out = String::new();
+        for (c, lane) in lanes.iter().enumerate() {
+            out.push_str(&format!("core {c}: "));
+            out.push_str(std::str::from_utf8(lane).expect("ascii"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Speedup of `cores` cores over one core.
+pub fn speedup(graph: &TaskGraph, cores: usize) -> f64 {
+    let serial = schedule(graph, 1).makespan;
+    let parallel = schedule(graph, cores).makespan;
+    if parallel == 0 {
+        1.0
+    } else {
+        serial as f64 / parallel as f64
+    }
+}
+
+/// The full 1..=`max_cores` speedup curve.
+pub fn speedup_curve(graph: &TaskGraph, max_cores: usize) -> Vec<f64> {
+    (1..=max_cores).map(|c| speedup(graph, c)).collect()
+}
+
+/// Shared-LLC contention: how much a schedule inflates memory-bound
+/// backend stalls.
+///
+/// Two mechanisms, both visible in the paper's Fig. 16:
+///
+/// * even concurrency mildly pressures the shared LLC
+///   (`concurrency_weight`), and
+/// * *imbalanced* schedules (x265: a loaded main thread racing helper
+///   threads) interleave antagonistic access streams, which hurts far
+///   more (`imbalance_weight`).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ContentionModel {
+    /// Backend inflation per unit of extra average concurrency.
+    pub concurrency_weight: f64,
+    /// Backend inflation per unit of imbalance above 1.
+    pub imbalance_weight: f64,
+}
+
+impl Default for ContentionModel {
+    fn default() -> Self {
+        ContentionModel { concurrency_weight: 0.012, imbalance_weight: 0.12 }
+    }
+}
+
+impl ContentionModel {
+    /// Imbalance below this threshold is considered benign (ordinary
+    /// wavefront ramp-up/down, not antagonistic sharing).
+    pub const IMBALANCE_FLOOR: f64 = 1.5;
+
+    /// Multiplier applied to memory-bound backend slots under `sched`.
+    pub fn backend_inflation(&self, sched: &Schedule) -> f64 {
+        let conc = (sched.avg_concurrency() - 1.0).max(0.0);
+        let imb = (sched.imbalance() - Self::IMBALANCE_FLOOR).max(0.0);
+        // Imbalance only matters when helpers actually run concurrently.
+        let gate = if sched.cores > 1 && sched.avg_concurrency() > 1.05 { 1.0 } else { 0.0 };
+        1.0 + self.concurrency_weight * conc + self.imbalance_weight * imb * gate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vstress_codecs::taskgraph::{build_task_graph, FrameTaskTrace, TaskTrace};
+    use vstress_codecs::CodecId;
+
+    fn trace(frames: usize, rows: usize, row_cost: u64) -> TaskTrace {
+        TaskTrace {
+            frames: (0..frames)
+                .map(|_| FrameTaskTrace {
+                    sb_rows: vec![row_cost; rows],
+                    lookahead: row_cost / 2,
+                    filter: row_cost / 4,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn one_core_makespan_equals_total_cost() {
+        let g = build_task_graph(CodecId::SvtAv1, &trace(4, 6, 1000));
+        let s = schedule(&g, 1);
+        assert_eq!(s.makespan, g.total_cost());
+        assert_eq!(s.per_core_busy, vec![g.total_cost()]);
+        assert!((s.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn makespan_bounded_by_critical_path_and_total() {
+        for codec in CodecId::ALL {
+            let g = build_task_graph(codec, &trace(5, 8, 900));
+            for cores in [1, 2, 4, 8, 16] {
+                let s = schedule(&g, cores);
+                assert!(s.makespan >= g.critical_path(), "{codec} {cores} cores");
+                assert!(s.makespan <= g.total_cost(), "{codec} {cores} cores");
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_monotone_in_cores() {
+        // List scheduling has no anomaly here because priorities are
+        // critical-path based and costs uniform per kind.
+        for codec in CodecId::ALL {
+            let g = build_task_graph(codec, &trace(6, 8, 1200));
+            let mut prev = schedule(&g, 1).makespan;
+            for cores in 2..=8 {
+                let s = schedule(&g, cores);
+                assert!(
+                    s.makespan <= prev + prev / 8,
+                    "{codec}: {cores} cores regressed {prev} -> {}",
+                    s.makespan
+                );
+                prev = s.makespan;
+            }
+        }
+    }
+
+    #[test]
+    fn svt_scales_best_x265_scales_worst() {
+        // The paper's Fig. 12–15 ordering at 8 threads.
+        let t = trace(8, 8, 10_000);
+        let svt = speedup(&build_task_graph(CodecId::SvtAv1, &t), 8);
+        let x264 = speedup(&build_task_graph(CodecId::X264, &t), 8);
+        let aom = speedup(&build_task_graph(CodecId::Libaom, &t), 8);
+        let x265 = speedup(&build_task_graph(CodecId::X265, &t), 8);
+        assert!(svt > x264, "svt {svt} vs x264 {x264}");
+        assert!(svt > aom, "svt {svt} vs aom {aom}");
+        assert!(x264 > x265, "x264 {x264} vs x265 {x265}");
+        assert!(svt > 4.0, "svt should approach the paper's ~6x: {svt}");
+        assert!(x265 < 2.5, "x265 should stall near the paper's ~1.3x: {x265}");
+    }
+
+    #[test]
+    fn speedup_curve_is_nondecreasing_for_svt() {
+        let g = build_task_graph(CodecId::SvtAv1, &trace(8, 8, 10_000));
+        let curve = speedup_curve(&g, 8);
+        assert_eq!(curve.len(), 8);
+        assert!((curve[0] - 1.0).abs() < 1e-9);
+        for w in curve.windows(2) {
+            assert!(w[1] >= w[0] * 0.95, "curve dipped: {curve:?}");
+        }
+    }
+
+    #[test]
+    fn x265_schedule_is_imbalanced() {
+        let t = trace(8, 8, 10_000);
+        let x265 = schedule(&build_task_graph(CodecId::X265, &t), 8);
+        let svt = schedule(&build_task_graph(CodecId::SvtAv1, &t), 8);
+        assert!(
+            x265.imbalance() > svt.imbalance(),
+            "x265 {} vs svt {}",
+            x265.imbalance(),
+            svt.imbalance()
+        );
+    }
+
+    #[test]
+    fn contention_inflates_x265_backend_most() {
+        let t = trace(8, 8, 10_000);
+        let model = ContentionModel::default();
+        let infl = |codec| model.backend_inflation(&schedule(&build_task_graph(codec, &t), 8));
+        let x265 = infl(CodecId::X265);
+        let svt = infl(CodecId::SvtAv1);
+        let x264 = infl(CodecId::X264);
+        assert!(x265 > svt && x265 > x264, "x265 {x265} svt {svt} x264 {x264}");
+        assert!(svt < 1.15, "even schedules stay near 1.0: {svt}");
+    }
+
+    #[test]
+    fn single_core_has_no_contention() {
+        let t = trace(4, 4, 100);
+        let model = ContentionModel::default();
+        let s = schedule(&build_task_graph(CodecId::X265, &t), 1);
+        assert!((model.backend_inflation(&s) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn start_times_respect_dependencies() {
+        let g = build_task_graph(CodecId::X264, &trace(3, 5, 700));
+        let s = schedule(&g, 4);
+        for task in &g.tasks {
+            for &d in &task.deps {
+                let dep_end = s.start_times[d] + g.tasks[d].cost;
+                assert!(
+                    s.start_times[task.id] >= dep_end,
+                    "task {} started before dep {d} finished",
+                    task.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_renders_one_lane_per_core() {
+        let g = build_task_graph(CodecId::SvtAv1, &trace(3, 4, 1000));
+        let s = schedule(&g, 4);
+        let tl = s.render_timeline(&g, 40);
+        assert_eq!(tl.lines().count(), 4);
+        assert!(tl.contains("core 0: "));
+        assert!(tl.contains('#'), "some busy time must render");
+        // A serial x265 schedule shows an (almost) fully busy lane 0.
+        let gx = build_task_graph(CodecId::X265, &trace(3, 4, 1000));
+        let sx = schedule(&gx, 4);
+        let tlx = sx.render_timeline(&gx, 40);
+        let lane0 = tlx.lines().next().unwrap();
+        let busy0 = lane0.matches('#').count();
+        assert!(busy0 > 25, "x265 main lane should be mostly busy: {tlx}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        let g = build_task_graph(CodecId::X264, &trace(1, 2, 10));
+        let _ = schedule(&g, 0);
+    }
+}
+
+#[cfg(test)]
+mod shape_checks {
+    use super::*;
+    use vstress_codecs::taskgraph::{build_task_graph, FrameTaskTrace, TaskTrace};
+    use vstress_codecs::CodecId;
+
+    #[test]
+    fn print_speedup_curves() {
+        let t = TaskTrace {
+            frames: (0..8)
+                .map(|_| FrameTaskTrace { sb_rows: vec![10_000; 8], lookahead: 5_000, filter: 2_500 })
+                .collect(),
+        };
+        for codec in CodecId::ALL {
+            let g = build_task_graph(codec, &t);
+            let curve = speedup_curve(&g, 8);
+            let s8 = schedule(&g, 8);
+            eprintln!(
+                "{:<12} curve={:?} imb={:.2} conc={:.2}",
+                codec.name(),
+                curve.iter().map(|v| (v * 100.0).round() / 100.0).collect::<Vec<_>>(),
+                s8.imbalance(),
+                s8.avg_concurrency()
+            );
+        }
+    }
+}

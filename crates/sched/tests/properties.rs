@@ -1,0 +1,123 @@
+//! Property-based tests of scheduler invariants on arbitrary task graphs.
+
+use proptest::prelude::*;
+use vstress_codecs::taskgraph::{build_task_graph, FrameTaskTrace, Task, TaskGraph, TaskKind, TaskTrace};
+use vstress_codecs::CodecId;
+use vstress_sched::{schedule, speedup};
+
+/// Builds a random layered DAG (deps always point backwards).
+fn arbitrary_graph(seed: u64, tasks: usize, max_deps: usize, pin_some: bool) -> TaskGraph {
+    let mut x = seed | 1;
+    let mut rng = move || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        x >> 16
+    };
+    let mut g = TaskGraph::default();
+    for id in 0..tasks {
+        let cost = rng() % 1000 + 1;
+        let dep_count = if id == 0 { 0 } else { (rng() as usize) % (max_deps + 1) };
+        let mut deps: Vec<usize> = (0..dep_count).map(|_| (rng() as usize) % id).collect();
+        deps.sort_unstable();
+        deps.dedup();
+        let pinned = pin_some && rng() % 10 == 0;
+        g.tasks.push(Task {
+            id,
+            cost,
+            kind: TaskKind::CodeRow,
+            frame: 0,
+            deps,
+            main_thread_only: pinned,
+        });
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Makespan is bracketed by the critical path (below) and the serial
+    /// cost (above) for any DAG and core count.
+    #[test]
+    fn makespan_bounds(
+        seed in any::<u64>(),
+        tasks in 1usize..120,
+        cores in 1usize..12,
+        pin in any::<bool>(),
+    ) {
+        let g = arbitrary_graph(seed, tasks, 3, pin);
+        let s = schedule(&g, cores);
+        prop_assert!(s.makespan >= g.critical_path());
+        prop_assert!(s.makespan <= g.total_cost());
+        // Work conservation: busy time equals total cost.
+        prop_assert_eq!(s.per_core_busy.iter().sum::<u64>(), g.total_cost());
+    }
+
+    /// One core serializes exactly.
+    #[test]
+    fn single_core_is_serial(seed in any::<u64>(), tasks in 1usize..80) {
+        let g = arbitrary_graph(seed, tasks, 2, false);
+        let s = schedule(&g, 1);
+        prop_assert_eq!(s.makespan, g.total_cost());
+        prop_assert!((s.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    /// Start times respect dependencies for any graph.
+    #[test]
+    fn dependencies_respected(seed in any::<u64>(), tasks in 2usize..100, cores in 1usize..8) {
+        let g = arbitrary_graph(seed, tasks, 4, true);
+        let s = schedule(&g, cores);
+        for t in &g.tasks {
+            for &d in &t.deps {
+                prop_assert!(
+                    s.start_times[t.id] >= s.start_times[d] + g.tasks[d].cost,
+                    "task {} started before dep {}",
+                    t.id, d
+                );
+            }
+        }
+    }
+
+    /// Speedup never exceeds the core count and never falls below ~1.
+    #[test]
+    fn speedup_is_physical(seed in any::<u64>(), tasks in 1usize..100, cores in 1usize..10) {
+        let g = arbitrary_graph(seed, tasks, 3, false);
+        let su = speedup(&g, cores);
+        prop_assert!(su <= cores as f64 + 1e-9, "speedup {} on {} cores", su, cores);
+        prop_assert!(su >= 0.999, "speedup {}", su);
+    }
+
+    /// Scheduling is deterministic.
+    #[test]
+    fn scheduling_is_deterministic(seed in any::<u64>(), tasks in 1usize..80, cores in 1usize..8) {
+        let g = arbitrary_graph(seed, tasks, 3, true);
+        let a = schedule(&g, cores);
+        let b = schedule(&g, cores);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every codec's generated graph preserves total measured work and is
+    /// schedulable at any core count.
+    #[test]
+    fn codec_graphs_are_schedulable(
+        frames in 1usize..6,
+        rows in 1usize..8,
+        cost in 1u64..10_000,
+        cores in 1usize..9,
+    ) {
+        let trace = TaskTrace {
+            frames: (0..frames)
+                .map(|_| FrameTaskTrace {
+                    sb_rows: vec![cost; rows],
+                    lookahead: cost / 2,
+                    filter: cost / 3,
+                })
+                .collect(),
+        };
+        for codec in CodecId::ALL {
+            let g = build_task_graph(codec, &trace);
+            prop_assert_eq!(g.total_cost(), trace.total_instructions(), "{}", codec);
+            let s = schedule(&g, cores);
+            prop_assert!(s.makespan >= g.critical_path());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Hot-kernel identities for profiling and instruction-fetch modelling.
+
+/// The hot kernels of a block-based video encoder.
+///
+/// Kernels serve two purposes:
+///
+/// 1. **Profiling attribution** — the gprof-substitute
+///    [`crate::profile::HotKernelProfile`] accumulates instruction counts per
+///    kernel, reproducing the paper's "find hot functions" step.
+/// 2. **Instruction-fetch modelling** — each kernel is assigned a synthetic
+///    code region ([`Kernel::code_base`]) and a static code footprint
+///    ([`Kernel::code_footprint`]), so the pipeline model can synthesize a
+///    realistic instruction-fetch address stream (small hot loops hit in the
+///    L1I; hopping between many kernels, as RDO does, misses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[repr(u8)]
+#[non_exhaustive]
+pub enum Kernel {
+    /// Frame-level setup: padding, plane management, downsampling.
+    FrameSetup,
+    /// Sum of absolute differences between candidate blocks.
+    Sad,
+    /// Sum of absolute transformed differences (Hadamard cost).
+    Satd,
+    /// Full-pel and sub-pel motion-vector search control.
+    MotionSearch,
+    /// Motion compensation / inter prediction sample generation.
+    InterPred,
+    /// Intra prediction sample generation.
+    IntraPred,
+    /// Forward transform (DCT family).
+    FwdTransform,
+    /// Inverse transform.
+    InvTransform,
+    /// Quantization.
+    Quant,
+    /// Dequantization.
+    Dequant,
+    /// Adaptive binary range encoding/decoding.
+    EntropyCoder,
+    /// Partition search and mode-decision control (RDO driver).
+    ModeDecision,
+    /// In-loop deblocking filter.
+    Deblock,
+    /// Rate control and lambda/Q adaptation.
+    RateControl,
+    /// Bitstream packaging outside the arithmetic coder.
+    Packetize,
+}
+
+impl Kernel {
+    /// All kernels, in declaration order.
+    pub const ALL: [Kernel; 15] = [
+        Kernel::FrameSetup,
+        Kernel::Sad,
+        Kernel::Satd,
+        Kernel::MotionSearch,
+        Kernel::InterPred,
+        Kernel::IntraPred,
+        Kernel::FwdTransform,
+        Kernel::InvTransform,
+        Kernel::Quant,
+        Kernel::Dequant,
+        Kernel::EntropyCoder,
+        Kernel::ModeDecision,
+        Kernel::Deblock,
+        Kernel::RateControl,
+        Kernel::Packetize,
+    ];
+
+    /// Stable index of this kernel in [`Kernel::ALL`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable name used in profiles and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::FrameSetup => "frame_setup",
+            Kernel::Sad => "sad",
+            Kernel::Satd => "satd",
+            Kernel::MotionSearch => "motion_search",
+            Kernel::InterPred => "inter_pred",
+            Kernel::IntraPred => "intra_pred",
+            Kernel::FwdTransform => "fwd_transform",
+            Kernel::InvTransform => "inv_transform",
+            Kernel::Quant => "quant",
+            Kernel::Dequant => "dequant",
+            Kernel::EntropyCoder => "entropy_coder",
+            Kernel::ModeDecision => "mode_decision",
+            Kernel::Deblock => "deblock",
+            Kernel::RateControl => "rate_control",
+            Kernel::Packetize => "packetize",
+        }
+    }
+
+    /// Base address of the kernel's synthetic code region.
+    ///
+    /// Regions are spaced 256 KiB apart in a text-segment-like range so no
+    /// two kernels share instruction-cache lines.
+    #[inline]
+    pub fn code_base(self) -> u64 {
+        0x0000_4000_0000_0000 + (self.index() as u64) * (256 << 10)
+    }
+
+    /// Static code footprint in bytes.
+    ///
+    /// Leaf SIMD kernels are tight loops (small footprint, L1I-resident);
+    /// control-heavy kernels such as mode decision and the entropy coder
+    /// span far more code, which is what makes real encoders' frontends
+    /// stall when RDO hops between tools.
+    pub fn code_footprint(self) -> u64 {
+        match self {
+            Kernel::Sad | Kernel::Satd => 2 << 10,
+            Kernel::FwdTransform | Kernel::InvTransform => 6 << 10,
+            Kernel::Quant | Kernel::Dequant => 3 << 10,
+            Kernel::IntraPred => 10 << 10,
+            Kernel::InterPred => 12 << 10,
+            Kernel::MotionSearch => 16 << 10,
+            Kernel::Deblock => 8 << 10,
+            Kernel::EntropyCoder => 24 << 10,
+            Kernel::ModeDecision => 48 << 10,
+            Kernel::RateControl => 8 << 10,
+            Kernel::FrameSetup => 6 << 10,
+            Kernel::Packetize => 4 << 10,
+        }
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, k) in Kernel::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+    }
+
+    #[test]
+    fn code_regions_do_not_overlap() {
+        for (i, a) in Kernel::ALL.iter().enumerate() {
+            for b in &Kernel::ALL[i + 1..] {
+                let (lo, hi) = if a.code_base() < b.code_base() { (a, b) } else { (b, a) };
+                assert!(
+                    lo.code_base() + lo.code_footprint() <= hi.code_base(),
+                    "{lo} overlaps {hi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Kernel::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Kernel::ALL.len());
+    }
+}

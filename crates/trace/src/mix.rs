@@ -1,0 +1,188 @@
+//! Instruction-mix accounting (the paper's Table 2 and Fig. 3 categories).
+
+use std::ops::{Add, AddAssign};
+
+/// Instruction classes reported by the paper's Pin-based mix analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum OpClass {
+    /// Conditional and unconditional branches.
+    Branch,
+    /// Memory reads (scalar or vector).
+    Load,
+    /// Memory writes (scalar or vector).
+    Store,
+    /// 256-bit vector compute (the paper's "AVX" column).
+    Avx,
+    /// 128-bit vector compute (the paper's "SSE" column).
+    Sse,
+    /// Everything else: scalar ALU, moves, address generation.
+    Other,
+}
+
+impl OpClass {
+    /// All classes in Table 2 column order.
+    pub const ALL: [OpClass; 6] =
+        [OpClass::Branch, OpClass::Load, OpClass::Store, OpClass::Avx, OpClass::Sse, OpClass::Other];
+
+    /// Column label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Branch => "Branch",
+            OpClass::Load => "Load",
+            OpClass::Store => "Store",
+            OpClass::Avx => "AVX",
+            OpClass::Sse => "SSE",
+            OpClass::Other => "Other",
+        }
+    }
+}
+
+/// Retired-instruction counts per [`OpClass`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct OpMix {
+    /// Branch instructions.
+    pub branch: u64,
+    /// Load instructions.
+    pub load: u64,
+    /// Store instructions.
+    pub store: u64,
+    /// 256-bit vector compute instructions.
+    pub avx: u64,
+    /// 128-bit vector compute instructions.
+    pub sse: u64,
+    /// Remaining (scalar) instructions.
+    pub other: u64,
+}
+
+impl OpMix {
+    /// A mix with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total retired instructions.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.branch + self.load + self.store + self.avx + self.sse + self.other
+    }
+
+    /// Count for one class.
+    pub fn count(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::Branch => self.branch,
+            OpClass::Load => self.load,
+            OpClass::Store => self.store,
+            OpClass::Avx => self.avx,
+            OpClass::Sse => self.sse,
+            OpClass::Other => self.other,
+        }
+    }
+
+    /// Percentage of total instructions for one class (0 if empty).
+    pub fn percent(&self, class: OpClass) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.count(class) as f64 / total as f64 * 100.0
+        }
+    }
+
+    /// Adds `n` instructions of `class`.
+    #[inline]
+    pub fn bump(&mut self, class: OpClass, n: u64) {
+        match class {
+            OpClass::Branch => self.branch += n,
+            OpClass::Load => self.load += n,
+            OpClass::Store => self.store += n,
+            OpClass::Avx => self.avx += n,
+            OpClass::Sse => self.sse += n,
+            OpClass::Other => self.other += n,
+        }
+    }
+}
+
+impl Add for OpMix {
+    type Output = OpMix;
+
+    fn add(self, rhs: OpMix) -> OpMix {
+        OpMix {
+            branch: self.branch + rhs.branch,
+            load: self.load + rhs.load,
+            store: self.store + rhs.store,
+            avx: self.avx + rhs.avx,
+            sse: self.sse + rhs.sse,
+            other: self.other + rhs.other,
+        }
+    }
+}
+
+impl AddAssign for OpMix {
+    fn add_assign(&mut self, rhs: OpMix) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for OpMix {
+    fn sum<I: Iterator<Item = OpMix>>(iter: I) -> OpMix {
+        iter.fold(OpMix::default(), Add::add)
+    }
+}
+
+impl std::fmt::Display for OpMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1e} insts |", self.total() as f64)?;
+        for class in OpClass::ALL {
+            write!(f, " {} {:.1}%", class.label(), self.percent(class))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let mut m = OpMix::new();
+        m.bump(OpClass::Branch, 6);
+        m.bump(OpClass::Load, 26);
+        m.bump(OpClass::Store, 14);
+        m.bump(OpClass::Avx, 32);
+        m.bump(OpClass::Sse, 1);
+        m.bump(OpClass::Other, 21);
+        let total: f64 = OpClass::ALL.iter().map(|&c| m.percent(c)).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+        assert_eq!(m.total(), 100);
+    }
+
+    #[test]
+    fn empty_mix_is_safe() {
+        let m = OpMix::new();
+        assert_eq!(m.total(), 0);
+        assert_eq!(m.percent(OpClass::Load), 0.0);
+    }
+
+    #[test]
+    fn addition_accumulates() {
+        let mut a = OpMix::new();
+        a.bump(OpClass::Load, 5);
+        let mut b = OpMix::new();
+        b.bump(OpClass::Load, 3);
+        b.bump(OpClass::Avx, 2);
+        let c = a + b;
+        assert_eq!(c.load, 8);
+        assert_eq!(c.avx, 2);
+        a += b;
+        assert_eq!(a, c);
+        let summed: OpMix = [a, b].into_iter().sum();
+        assert_eq!(summed.load, 11);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = OpMix::new();
+        assert!(!format!("{m}").is_empty());
+    }
+}

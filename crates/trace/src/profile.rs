@@ -1,0 +1,113 @@
+//! Per-kernel instruction attribution — the gprof substitute.
+
+use crate::kernel::Kernel;
+
+/// Flat profile: retired-instruction counts per encoder kernel.
+///
+/// Reproduces the role of GNU gprof in the paper's methodology: locating
+/// the hot functions that deserve trace windows and closer study.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct HotKernelProfile {
+    counts: [u64; Kernel::ALL.len()],
+}
+
+impl HotKernelProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` instructions to kernel `k`.
+    #[inline]
+    pub fn add(&mut self, k: Kernel, n: u64) {
+        self.counts[k.index()] += n;
+    }
+
+    /// Instruction count attributed to kernel `k`.
+    pub fn count(&self, k: Kernel) -> u64 {
+        self.counts[k.index()]
+    }
+
+    /// Total attributed instructions.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merges another profile into this one.
+    pub fn merge(&mut self, other: &HotKernelProfile) {
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+    }
+
+    /// The `n` hottest kernels as `(kernel, instructions, percent)`,
+    /// hottest first. Kernels with zero count are omitted.
+    pub fn top(&self, n: usize) -> Vec<(Kernel, u64, f64)> {
+        let total = self.total();
+        let mut rows: Vec<(Kernel, u64)> = Kernel::ALL
+            .iter()
+            .map(|&k| (k, self.count(k)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        rows.truncate(n);
+        rows.into_iter()
+            .map(|(k, c)| (k, c, if total == 0 { 0.0 } else { c as f64 / total as f64 * 100.0 }))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for HotKernelProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:<16} {:>14} {:>7}", "kernel", "instructions", "%")?;
+        for (k, c, pct) in self.top(Kernel::ALL.len()) {
+            writeln!(f, "{:<16} {:>14} {:>6.2}%", k.name(), c, pct)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_count() {
+        let mut p = HotKernelProfile::new();
+        p.add(Kernel::Sad, 100);
+        p.add(Kernel::Sad, 50);
+        p.add(Kernel::Quant, 25);
+        assert_eq!(p.count(Kernel::Sad), 150);
+        assert_eq!(p.total(), 175);
+    }
+
+    #[test]
+    fn top_orders_descending_and_skips_zero() {
+        let mut p = HotKernelProfile::new();
+        p.add(Kernel::EntropyCoder, 10);
+        p.add(Kernel::ModeDecision, 90);
+        let top = p.top(5);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, Kernel::ModeDecision);
+        assert!((top[0].2 - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_elementwise() {
+        let mut a = HotKernelProfile::new();
+        a.add(Kernel::Sad, 1);
+        let mut b = HotKernelProfile::new();
+        b.add(Kernel::Sad, 2);
+        b.add(Kernel::Deblock, 3);
+        a.merge(&b);
+        assert_eq!(a.count(Kernel::Sad), 3);
+        assert_eq!(a.count(Kernel::Deblock), 3);
+    }
+
+    #[test]
+    fn display_contains_kernel_names() {
+        let mut p = HotKernelProfile::new();
+        p.add(Kernel::Satd, 5);
+        assert!(format!("{p}").contains("satd"));
+    }
+}

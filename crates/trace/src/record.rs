@@ -1,0 +1,118 @@
+//! Trace record types shared by the simulators.
+
+/// One dynamic conditional-branch execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct BranchRecord {
+    /// Synthetic program counter of the static branch site (see
+    /// [`crate::site_pc!`]).
+    pub pc: u64,
+    /// Resolved direction.
+    pub taken: bool,
+}
+
+/// One dynamic data-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct MemAccess {
+    /// Virtual byte address (real address of the live Rust buffer).
+    pub addr: u64,
+    /// Access size in bytes.
+    pub bytes: u32,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+}
+
+/// Consumer of dynamic branch outcomes.
+///
+/// Implemented by branch predictors, trace collectors and the pipeline
+/// model. `Vec<BranchRecord>` implements this for easy collection.
+pub trait BranchSink {
+    /// Observes one executed branch.
+    fn observe_branch(&mut self, pc: u64, taken: bool);
+}
+
+impl BranchSink for Vec<BranchRecord> {
+    #[inline]
+    fn observe_branch(&mut self, pc: u64, taken: bool) {
+        self.push(BranchRecord { pc, taken });
+    }
+}
+
+/// Consumer of dynamic memory accesses.
+///
+/// Implemented by cache simulators and trace collectors; `Vec<MemAccess>`
+/// implements this for easy collection.
+pub trait MemSink {
+    /// Observes one executed load or store.
+    fn observe_access(&mut self, access: MemAccess);
+}
+
+impl MemSink for Vec<MemAccess> {
+    #[inline]
+    fn observe_access(&mut self, access: MemAccess) {
+        self.push(access);
+    }
+}
+
+/// A sink that discards everything (useful to instantiate
+/// [`crate::SinkProbe`] with only one live side).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl BranchSink for NullSink {
+    #[inline]
+    fn observe_branch(&mut self, _pc: u64, _taken: bool) {}
+}
+
+impl MemSink for NullSink {
+    #[inline]
+    fn observe_access(&mut self, _access: MemAccess) {}
+}
+
+impl<B: BranchSink + ?Sized> BranchSink for &mut B {
+    #[inline]
+    fn observe_branch(&mut self, pc: u64, taken: bool) {
+        (**self).observe_branch(pc, taken);
+    }
+}
+
+impl<M: MemSink + ?Sized> MemSink for &mut M {
+    #[inline]
+    fn observe_access(&mut self, access: MemAccess) {
+        (**self).observe_access(access);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sinks_collect() {
+        let mut branches: Vec<BranchRecord> = Vec::new();
+        branches.observe_branch(0x100, true);
+        branches.observe_branch(0x104, false);
+        assert_eq!(branches.len(), 2);
+        assert!(branches[0].taken);
+
+        let mut mems: Vec<MemAccess> = Vec::new();
+        mems.observe_access(MemAccess { addr: 64, bytes: 32, is_store: false });
+        assert_eq!(mems[0].bytes, 32);
+    }
+
+    #[test]
+    fn null_sink_ignores() {
+        let mut s = NullSink;
+        s.observe_branch(1, true);
+        s.observe_access(MemAccess { addr: 0, bytes: 1, is_store: true });
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut v: Vec<BranchRecord> = Vec::new();
+        {
+            let r = &mut v;
+            r.observe_branch(7, true);
+        }
+        assert_eq!(v.len(), 1);
+    }
+}

@@ -1,0 +1,239 @@
+//! Bjøntegaard delta rate (BD-Rate) between rate/quality curves.
+//!
+//! BD-Rate (Bjøntegaard, VCEG-M33) reports the average percent bitrate
+//! difference between two encoders at equal quality. Following the standard
+//! method, each curve's `log10(bitrate)` is interpolated as a function of
+//! PSNR with a piecewise-cubic Hermite interpolant (PCHIP, as used by the
+//! JCT-VC reference tooling), both interpolants are integrated over the
+//! overlapping PSNR range, and the difference of means is converted back to
+//! a percentage.
+
+use crate::error::VideoError;
+
+/// One operating point on a rate/quality curve.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RatePoint {
+    /// Bitrate in kilobits per second; must be positive.
+    pub bitrate_kbps: f64,
+    /// Quality in dB (PSNR).
+    pub psnr_db: f64,
+}
+
+/// Computes BD-Rate of `test` relative to `anchor`, in percent.
+///
+/// Negative values mean `test` achieves the same PSNR with *less* bitrate
+/// than `anchor` (better compression). Both curves need at least four
+/// points, the convention of the reference implementation.
+///
+/// ```
+/// use vstress_video::bdrate::{bd_rate, RatePoint};
+///
+/// let anchor: Vec<RatePoint> = [(500.0, 32.0), (1000.0, 35.0), (2000.0, 38.0), (4000.0, 41.0)]
+///     .map(|(r, q)| RatePoint { bitrate_kbps: r, psnr_db: q })
+///     .into();
+/// // Same quality at half the rate: BD-Rate is -50%.
+/// let test: Vec<RatePoint> =
+///     anchor.iter().map(|p| RatePoint { bitrate_kbps: p.bitrate_kbps / 2.0, ..*p }).collect();
+/// let bd = bd_rate(&anchor, &test)?;
+/// assert!((bd + 50.0).abs() < 0.5);
+/// # Ok::<(), vstress_video::VideoError>(())
+/// ```
+///
+/// # Errors
+///
+/// * [`VideoError::CurveTooShort`] if either curve has fewer than 4 points.
+/// * [`VideoError::GeometryMismatch`] if the curves' PSNR ranges do not
+///   overlap or contain non-finite/non-positive values.
+pub fn bd_rate(anchor: &[RatePoint], test: &[RatePoint]) -> Result<f64, VideoError> {
+    let a = prepare(anchor)?;
+    let t = prepare(test)?;
+    let lo = a.first_q().max(t.first_q());
+    let hi = a.last_q().min(t.last_q());
+    if hi <= lo {
+        return Err(VideoError::GeometryMismatch { what: "PSNR ranges of BD-Rate curves" });
+    }
+    let int_a = a.integrate(lo, hi);
+    let int_t = t.integrate(lo, hi);
+    let avg_diff = (int_t - int_a) / (hi - lo);
+    Ok((10f64.powf(avg_diff) - 1.0) * 100.0)
+}
+
+/// A monotone piecewise-cubic Hermite interpolant of `log10(rate)` vs PSNR.
+#[derive(Debug)]
+struct Pchip {
+    /// Quality values, strictly increasing.
+    q: Vec<f64>,
+    /// log10(bitrate) values.
+    r: Vec<f64>,
+    /// Endpoint derivatives (Fritsch–Carlson).
+    d: Vec<f64>,
+}
+
+fn prepare(points: &[RatePoint]) -> Result<Pchip, VideoError> {
+    if points.len() < 4 {
+        return Err(VideoError::CurveTooShort { got: points.len(), need: 4 });
+    }
+    let mut pts: Vec<RatePoint> = points.to_vec();
+    for p in &pts {
+        if !(p.bitrate_kbps.is_finite() && p.bitrate_kbps > 0.0 && p.psnr_db.is_finite()) {
+            return Err(VideoError::GeometryMismatch { what: "BD-Rate curve values" });
+        }
+    }
+    pts.sort_by(|x, y| x.psnr_db.partial_cmp(&y.psnr_db).expect("finite PSNR"));
+    pts.dedup_by(|a, b| (a.psnr_db - b.psnr_db).abs() < 1e-9);
+    if pts.len() < 4 {
+        return Err(VideoError::CurveTooShort { got: pts.len(), need: 4 });
+    }
+    let q: Vec<f64> = pts.iter().map(|p| p.psnr_db).collect();
+    let r: Vec<f64> = pts.iter().map(|p| p.bitrate_kbps.log10()).collect();
+    let d = fritsch_carlson(&q, &r);
+    Ok(Pchip { q, r, d })
+}
+
+/// Fritsch–Carlson monotone derivative estimates for PCHIP.
+fn fritsch_carlson(x: &[f64], y: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    let mut h = vec![0.0; n - 1];
+    let mut delta = vec![0.0; n - 1];
+    for i in 0..n - 1 {
+        h[i] = x[i + 1] - x[i];
+        delta[i] = (y[i + 1] - y[i]) / h[i];
+    }
+    let mut d = vec![0.0; n];
+    d[0] = delta[0];
+    d[n - 1] = delta[n - 2];
+    for i in 1..n - 1 {
+        if delta[i - 1] * delta[i] <= 0.0 {
+            d[i] = 0.0;
+        } else {
+            let w1 = 2.0 * h[i] + h[i - 1];
+            let w2 = h[i] + 2.0 * h[i - 1];
+            d[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+        }
+    }
+    d
+}
+
+impl Pchip {
+    fn first_q(&self) -> f64 {
+        self.q[0]
+    }
+
+    fn last_q(&self) -> f64 {
+        *self.q.last().expect("nonempty")
+    }
+
+    /// Integrates the interpolant between `lo` and `hi` (both inside the
+    /// knot range) by summing exact cubic-segment integrals.
+    fn integrate(&self, lo: f64, hi: f64) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.q.len() - 1 {
+            let (x0, x1) = (self.q[i], self.q[i + 1]);
+            let a = lo.max(x0);
+            let b = hi.min(x1);
+            if b <= a {
+                continue;
+            }
+            total += self.segment_integral(i, a, b);
+        }
+        total
+    }
+
+    /// Integral of Hermite segment `i` from `a` to `b` via 4-point
+    /// Gauss–Legendre quadrature (exact for cubics).
+    fn segment_integral(&self, i: usize, a: f64, b: f64) -> f64 {
+        const GL_X: [f64; 4] =
+            [-0.861136311594053, -0.339981043584856, 0.339981043584856, 0.861136311594053];
+        const GL_W: [f64; 4] =
+            [0.347854845137454, 0.652145154862546, 0.652145154862546, 0.347854845137454];
+        let half = (b - a) / 2.0;
+        let mid = (a + b) / 2.0;
+        let mut acc = 0.0;
+        for k in 0..4 {
+            acc += GL_W[k] * self.eval_segment(i, mid + half * GL_X[k]);
+        }
+        acc * half
+    }
+
+    /// Evaluates Hermite segment `i` at quality `x`.
+    fn eval_segment(&self, i: usize, x: f64) -> f64 {
+        let h = self.q[i + 1] - self.q[i];
+        let t = (x - self.q[i]) / h;
+        let t2 = t * t;
+        let t3 = t2 * t;
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.r[i] + h10 * h * self.d[i] + h01 * self.r[i + 1] + h11 * h * self.d[i + 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(points: &[(f64, f64)]) -> Vec<RatePoint> {
+        points.iter().map(|&(r, q)| RatePoint { bitrate_kbps: r, psnr_db: q }).collect()
+    }
+
+    #[test]
+    fn identical_curves_give_zero() {
+        let c = curve(&[(500.0, 32.0), (1000.0, 35.0), (2000.0, 38.0), (4000.0, 41.0)]);
+        let bd = bd_rate(&c, &c).unwrap();
+        assert!(bd.abs() < 1e-9, "got {bd}");
+    }
+
+    #[test]
+    fn uniformly_cheaper_curve_is_negative() {
+        let anchor = curve(&[(500.0, 32.0), (1000.0, 35.0), (2000.0, 38.0), (4000.0, 41.0)]);
+        // Same quality ladder at half the rate => BD-Rate = -50%.
+        let test = curve(&[(250.0, 32.0), (500.0, 35.0), (1000.0, 38.0), (2000.0, 41.0)]);
+        let bd = bd_rate(&anchor, &test).unwrap();
+        assert!((bd + 50.0).abs() < 0.5, "got {bd}");
+    }
+
+    #[test]
+    fn uniformly_pricier_curve_is_positive() {
+        let anchor = curve(&[(500.0, 32.0), (1000.0, 35.0), (2000.0, 38.0), (4000.0, 41.0)]);
+        let test = curve(&[(1000.0, 32.0), (2000.0, 35.0), (4000.0, 38.0), (8000.0, 41.0)]);
+        let bd = bd_rate(&anchor, &test).unwrap();
+        assert!((bd - 100.0).abs() < 1.0, "got {bd}");
+    }
+
+    #[test]
+    fn antisymmetryish_sign_flip() {
+        let a = curve(&[(500.0, 31.0), (900.0, 34.5), (2100.0, 38.2), (4100.0, 40.9)]);
+        let b = curve(&[(450.0, 31.5), (800.0, 35.0), (1800.0, 38.5), (3600.0, 41.5)]);
+        let ab = bd_rate(&a, &b).unwrap();
+        let ba = bd_rate(&b, &a).unwrap();
+        assert!(ab * ba < 0.0, "BD-Rate must flip sign when curves swap: {ab} vs {ba}");
+    }
+
+    #[test]
+    fn short_curves_rejected() {
+        let c = curve(&[(500.0, 32.0), (1000.0, 35.0), (2000.0, 38.0)]);
+        assert!(matches!(bd_rate(&c, &c), Err(VideoError::CurveTooShort { .. })));
+    }
+
+    #[test]
+    fn disjoint_quality_ranges_rejected() {
+        let a = curve(&[(500.0, 30.0), (600.0, 31.0), (700.0, 32.0), (800.0, 33.0)]);
+        let b = curve(&[(500.0, 40.0), (600.0, 41.0), (700.0, 42.0), (800.0, 43.0)]);
+        assert!(bd_rate(&a, &b).is_err());
+    }
+
+    #[test]
+    fn nonpositive_rate_rejected() {
+        let a = curve(&[(0.0, 30.0), (600.0, 31.0), (700.0, 32.0), (800.0, 33.0)]);
+        assert!(bd_rate(&a, &a).is_err());
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let sorted = curve(&[(500.0, 32.0), (1000.0, 35.0), (2000.0, 38.0), (4000.0, 41.0)]);
+        let shuffled = curve(&[(2000.0, 38.0), (500.0, 32.0), (4000.0, 41.0), (1000.0, 35.0)]);
+        let bd = bd_rate(&sorted, &shuffled).unwrap();
+        assert!(bd.abs() < 1e-9);
+    }
+}

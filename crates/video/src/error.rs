@@ -1,0 +1,71 @@
+//! Error types for the video substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing or manipulating video data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VideoError {
+    /// A plane or frame was requested with a zero or otherwise unusable
+    /// dimension.
+    InvalidDimensions {
+        /// Requested width in samples.
+        width: usize,
+        /// Requested height in samples.
+        height: usize,
+        /// Human-readable reason the dimensions were rejected.
+        reason: &'static str,
+    },
+    /// A block view extended past the edge of its plane.
+    BlockOutOfBounds {
+        /// Block x origin.
+        x: usize,
+        /// Block y origin.
+        y: usize,
+        /// Block width.
+        w: usize,
+        /// Block height.
+        h: usize,
+        /// Plane width.
+        plane_w: usize,
+        /// Plane height.
+        plane_h: usize,
+    },
+    /// Two operands (frames or planes) had mismatched geometry.
+    GeometryMismatch {
+        /// Description of the mismatching operands.
+        what: &'static str,
+    },
+    /// A named vbench clip does not exist.
+    UnknownClip(String),
+    /// A rate/quality curve had too few points for BD-Rate integration.
+    CurveTooShort {
+        /// Number of points supplied.
+        got: usize,
+        /// Minimum number of points required.
+        need: usize,
+    },
+}
+
+impl fmt::Display for VideoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VideoError::InvalidDimensions { width, height, reason } => {
+                write!(f, "invalid dimensions {width}x{height}: {reason}")
+            }
+            VideoError::BlockOutOfBounds { x, y, w, h, plane_w, plane_h } => write!(
+                f,
+                "block {w}x{h} at ({x},{y}) exceeds plane bounds {plane_w}x{plane_h}"
+            ),
+            VideoError::GeometryMismatch { what } => {
+                write!(f, "geometry mismatch between {what}")
+            }
+            VideoError::UnknownClip(name) => write!(f, "unknown vbench clip `{name}`"),
+            VideoError::CurveTooShort { got, need } => {
+                write!(f, "rate/quality curve has {got} points, BD-Rate needs {need}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VideoError {}

@@ -1,0 +1,204 @@
+//! Frames (4:2:0 YUV triplets) and clips (frame sequences).
+
+use crate::error::VideoError;
+use crate::plane::Plane;
+
+/// One 4:2:0 picture: a luma plane plus two half-resolution chroma planes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    y: Plane,
+    u: Plane,
+    v: Plane,
+}
+
+impl Frame {
+    /// Creates a mid-grey frame of `width x height` luma samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::InvalidDimensions`] if either dimension is zero
+    /// or odd (4:2:0 chroma needs even luma dimensions).
+    pub fn new(width: usize, height: usize) -> Result<Self, VideoError> {
+        if width == 0 || height == 0 || !width.is_multiple_of(2) || !height.is_multiple_of(2) {
+            return Err(VideoError::InvalidDimensions {
+                width,
+                height,
+                reason: "4:2:0 frames need nonzero, even dimensions",
+            });
+        }
+        Ok(Frame {
+            y: Plane::new(width, height, 128)?,
+            u: Plane::new(width / 2, height / 2, 128)?,
+            v: Plane::new(width / 2, height / 2, 128)?,
+        })
+    }
+
+    /// Luma width in samples.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.y.width()
+    }
+
+    /// Luma height in samples.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.y.height()
+    }
+
+    /// The luma plane.
+    #[inline]
+    pub fn luma(&self) -> &Plane {
+        &self.y
+    }
+
+    /// Mutable luma plane.
+    #[inline]
+    pub fn luma_mut(&mut self) -> &mut Plane {
+        &mut self.y
+    }
+
+    /// The Cb chroma plane (half resolution).
+    #[inline]
+    pub fn cb(&self) -> &Plane {
+        &self.u
+    }
+
+    /// Mutable Cb chroma plane.
+    #[inline]
+    pub fn cb_mut(&mut self) -> &mut Plane {
+        &mut self.u
+    }
+
+    /// The Cr chroma plane (half resolution).
+    #[inline]
+    pub fn cr(&self) -> &Plane {
+        &self.v
+    }
+
+    /// Mutable Cr chroma plane.
+    #[inline]
+    pub fn cr_mut(&mut self) -> &mut Plane {
+        &mut self.v
+    }
+
+    /// Total number of samples across all three planes.
+    pub fn sample_count(&self) -> usize {
+        self.width() * self.height() * 3 / 2
+    }
+}
+
+/// A finite sequence of equally sized frames with a nominal frame rate.
+#[derive(Debug, Clone)]
+pub struct Clip {
+    name: String,
+    frames: Vec<Frame>,
+    fps: f64,
+}
+
+impl Clip {
+    /// Creates a clip from pre-built frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::GeometryMismatch`] if `frames` is empty or the
+    /// frames disagree on dimensions, and [`VideoError::InvalidDimensions`]
+    /// if `fps` is not strictly positive and finite.
+    pub fn from_frames(
+        name: impl Into<String>,
+        frames: Vec<Frame>,
+        fps: f64,
+    ) -> Result<Self, VideoError> {
+        if frames.is_empty() {
+            return Err(VideoError::GeometryMismatch { what: "clip and empty frame list" });
+        }
+        let (w, h) = (frames[0].width(), frames[0].height());
+        if frames.iter().any(|f| f.width() != w || f.height() != h) {
+            return Err(VideoError::GeometryMismatch { what: "frames within a clip" });
+        }
+        if !(fps.is_finite() && fps > 0.0) {
+            return Err(VideoError::InvalidDimensions {
+                width: w,
+                height: h,
+                reason: "fps must be finite and positive",
+            });
+        }
+        Ok(Clip { name: name.into(), frames, fps })
+    }
+
+    /// The clip's name (matches the vbench clip name for synthesized clips).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The frames of the clip, in display order.
+    #[inline]
+    pub fn frames(&self) -> &[Frame] {
+        &self.frames
+    }
+
+    /// Nominal frames per second.
+    #[inline]
+    pub fn fps(&self) -> f64 {
+        self.fps
+    }
+
+    /// Luma `(width, height)` shared by every frame.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.frames[0].width(), self.frames[0].height())
+    }
+
+    /// Duration in seconds implied by the frame count and frame rate.
+    pub fn duration_seconds(&self) -> f64 {
+        self.frames.len() as f64 / self.fps
+    }
+
+    /// Total luma+chroma samples across the whole clip.
+    pub fn total_samples(&self) -> usize {
+        self.frames.iter().map(Frame::sample_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_rejects_odd_dimensions() {
+        assert!(Frame::new(13, 8).is_err());
+        assert!(Frame::new(8, 13).is_err());
+        assert!(Frame::new(0, 0).is_err());
+    }
+
+    #[test]
+    fn frame_chroma_is_half_resolution() {
+        let f = Frame::new(64, 48).unwrap();
+        assert_eq!(f.cb().width(), 32);
+        assert_eq!(f.cb().height(), 24);
+        assert_eq!(f.cr().width(), 32);
+        assert_eq!(f.sample_count(), 64 * 48 * 3 / 2);
+    }
+
+    #[test]
+    fn clip_rejects_mismatched_frames() {
+        let a = Frame::new(16, 16).unwrap();
+        let b = Frame::new(32, 16).unwrap();
+        assert!(Clip::from_frames("x", vec![a, b], 30.0).is_err());
+    }
+
+    #[test]
+    fn clip_rejects_empty_and_bad_fps() {
+        assert!(Clip::from_frames("x", vec![], 30.0).is_err());
+        let a = Frame::new(16, 16).unwrap();
+        assert!(Clip::from_frames("x", vec![a.clone()], 0.0).is_err());
+        assert!(Clip::from_frames("x", vec![a], f64::NAN).is_err());
+    }
+
+    #[test]
+    fn clip_duration() {
+        let frames = vec![Frame::new(16, 16).unwrap(); 30];
+        let c = Clip::from_frames("x", frames, 30.0).unwrap();
+        assert!((c.duration_seconds() - 1.0).abs() < 1e-12);
+        assert_eq!(c.dimensions(), (16, 16));
+    }
+}

@@ -1,0 +1,45 @@
+//! Video substrate for the `vstress` workbench.
+//!
+//! This crate provides everything the encoder models in
+//! [`vstress-codecs`](https://docs.rs/vstress-codecs) consume as *input* and
+//! produce as *quality evidence*:
+//!
+//! * [`Plane`] and [`Frame`] — planar 4:2:0 YUV raster storage with padded
+//!   strides and block views, mirroring what a real encoder operates on.
+//! * [`vbench`] — the fifteen clip descriptions from Table 1 of the paper
+//!   (*"Do Video Encoding Workloads Stress the Microarchitecture?"*,
+//!   IISWC 2023) and a deterministic synthesizer that manufactures clips
+//!   with the listed resolution, frame-rate and entropy characteristics.
+//! * [`metrics`] — PSNR, MSE and bitrate calculations.
+//! * [`bdrate`] — Bjøntegaard delta-rate between two rate/quality curves.
+//! * [`y4m`] — YUV4MPEG2 file I/O, so real footage can stand in for the
+//!   synthesizer.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vstress_video::vbench::{self, FidelityConfig};
+//!
+//! let spec = vbench::clip("game1").expect("game1 is a vbench clip");
+//! let clip = spec.synthesize(&FidelityConfig::default());
+//! assert!(clip.frames().len() >= 2);
+//! let (w, h) = clip.dimensions();
+//! assert_eq!(w % 2, 0);
+//! assert_eq!(h % 2, 0);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod bdrate;
+pub mod error;
+pub mod frame;
+pub mod metrics;
+pub mod plane;
+pub mod synth;
+pub mod vbench;
+pub mod y4m;
+
+pub use error::VideoError;
+pub use frame::{Clip, Frame};
+pub use plane::Plane;

@@ -1,0 +1,268 @@
+//! Quality and rate metrics: MSE, PSNR and bitrate.
+
+use crate::error::VideoError;
+use crate::frame::{Clip, Frame};
+use crate::plane::Plane;
+
+/// PSNR cap used when two signals are identical (MSE = 0), following the
+/// common tooling convention of reporting 100 dB instead of infinity.
+pub const PSNR_CAP_DB: f64 = 100.0;
+
+/// Mean squared error between the accessible regions of two planes.
+///
+/// # Errors
+///
+/// Returns [`VideoError::GeometryMismatch`] if the planes differ in size.
+pub fn plane_mse(a: &Plane, b: &Plane) -> Result<f64, VideoError> {
+    if a.width() != b.width() || a.height() != b.height() {
+        return Err(VideoError::GeometryMismatch { what: "planes for MSE" });
+    }
+    let mut acc = 0u64;
+    for y in 0..a.height() {
+        let (ra, rb) = (a.row(y), b.row(y));
+        for (&pa, &pb) in ra.iter().zip(rb) {
+            let d = pa as i64 - pb as i64;
+            acc += (d * d) as u64;
+        }
+    }
+    Ok(acc as f64 / (a.width() * a.height()) as f64)
+}
+
+/// Converts an MSE to PSNR in dB for 8-bit content, capped at
+/// [`PSNR_CAP_DB`].
+pub fn mse_to_psnr(mse: f64) -> f64 {
+    if mse <= 0.0 {
+        PSNR_CAP_DB
+    } else {
+        (10.0 * ((255.0 * 255.0) / mse).log10()).min(PSNR_CAP_DB)
+    }
+}
+
+/// Luma PSNR between two frames.
+///
+/// The paper (like most encoder comparisons) reports luma PSNR; chroma
+/// planes are excluded here and measured separately by
+/// [`frame_psnr_weighted`] when a combined figure is wanted.
+///
+/// # Errors
+///
+/// Returns [`VideoError::GeometryMismatch`] if the frames differ in size.
+pub fn frame_psnr(a: &Frame, b: &Frame) -> Result<f64, VideoError> {
+    Ok(mse_to_psnr(plane_mse(a.luma(), b.luma())?))
+}
+
+/// 6:1:1-weighted YUV PSNR (the weighting used by the AOM test tooling).
+///
+/// # Errors
+///
+/// Returns [`VideoError::GeometryMismatch`] if the frames differ in size.
+pub fn frame_psnr_weighted(a: &Frame, b: &Frame) -> Result<f64, VideoError> {
+    let y = plane_mse(a.luma(), b.luma())?;
+    let u = plane_mse(a.cb(), b.cb())?;
+    let v = plane_mse(a.cr(), b.cr())?;
+    Ok(mse_to_psnr((6.0 * y + u + v) / 8.0))
+}
+
+/// Average per-frame luma PSNR across two equal-length clips.
+///
+/// This is the paper's sequence-PSNR convention: "typically, the PSNR of
+/// each frame is averaged to find the PSNR of an entire video sequence".
+///
+/// # Errors
+///
+/// Returns [`VideoError::GeometryMismatch`] if the clips differ in frame
+/// count or frame geometry.
+pub fn sequence_psnr(a: &Clip, b: &Clip) -> Result<f64, VideoError> {
+    if a.frames().len() != b.frames().len() {
+        return Err(VideoError::GeometryMismatch { what: "clips for sequence PSNR" });
+    }
+    let mut total = 0.0;
+    for (fa, fb) in a.frames().iter().zip(b.frames()) {
+        total += frame_psnr(fa, fb)?;
+    }
+    Ok(total / a.frames().len() as f64)
+}
+
+/// Bitrate in kilobits per second given a payload size and clip timing.
+///
+/// `bits` is the total encoded size; duration comes from
+/// `frame_count / fps`, matching how the paper reports kbps.
+pub fn bitrate_kbps(bits: u64, frame_count: usize, fps: f64) -> f64 {
+    if frame_count == 0 || !(fps.is_finite() && fps > 0.0) {
+        return 0.0;
+    }
+    let seconds = frame_count as f64 / fps;
+    bits as f64 / seconds / 1000.0
+}
+
+/// Structural similarity (SSIM) between two planes, computed over 8x8
+/// windows with the standard constants — the perceptual companion metric
+/// to PSNR used throughout encoder evaluations.
+///
+/// Returns a value in `[-1, 1]` (1 = identical).
+///
+/// # Errors
+///
+/// Returns [`VideoError::GeometryMismatch`] if the planes differ in size.
+pub fn plane_ssim(a: &Plane, b: &Plane) -> Result<f64, VideoError> {
+    if a.width() != b.width() || a.height() != b.height() {
+        return Err(VideoError::GeometryMismatch { what: "planes for SSIM" });
+    }
+    const C1: f64 = 6.5025; // (0.01 * 255)^2
+    const C2: f64 = 58.5225; // (0.03 * 255)^2
+    let win = 8usize;
+    let mut total = 0.0;
+    let mut windows = 0usize;
+    let (w, h) = (a.width(), a.height());
+    let mut y = 0;
+    while y + win <= h {
+        let mut x = 0;
+        while x + win <= w {
+            let n = (win * win) as f64;
+            let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0f64, 0f64, 0f64, 0f64, 0f64);
+            for dy in 0..win {
+                for dx in 0..win {
+                    let va = a.get(x + dx, y + dy) as f64;
+                    let vb = b.get(x + dx, y + dy) as f64;
+                    sa += va;
+                    sb += vb;
+                    saa += va * va;
+                    sbb += vb * vb;
+                    sab += va * vb;
+                }
+            }
+            let mu_a = sa / n;
+            let mu_b = sb / n;
+            let var_a = saa / n - mu_a * mu_a;
+            let var_b = sbb / n - mu_b * mu_b;
+            let cov = sab / n - mu_a * mu_b;
+            let ssim = ((2.0 * mu_a * mu_b + C1) * (2.0 * cov + C2))
+                / ((mu_a * mu_a + mu_b * mu_b + C1) * (var_a + var_b + C2));
+            total += ssim;
+            windows += 1;
+            x += win;
+        }
+        y += win;
+    }
+    if windows == 0 {
+        return Err(VideoError::GeometryMismatch { what: "planes too small for an SSIM window" });
+    }
+    Ok(total / windows as f64)
+}
+
+/// Mean luma SSIM across two equal-length clips.
+///
+/// # Errors
+///
+/// Returns [`VideoError::GeometryMismatch`] on mismatched clips.
+pub fn sequence_ssim(a: &Clip, b: &Clip) -> Result<f64, VideoError> {
+    if a.frames().len() != b.frames().len() {
+        return Err(VideoError::GeometryMismatch { what: "clips for sequence SSIM" });
+    }
+    let mut total = 0.0;
+    for (fa, fb) in a.frames().iter().zip(b.frames()) {
+        total += plane_ssim(fa.luma(), fb.luma())?;
+    }
+    Ok(total / a.frames().len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(w: usize, h: usize, v: u8) -> Frame {
+        let mut f = Frame::new(w, h).unwrap();
+        f.luma_mut().fill(v);
+        f
+    }
+
+    #[test]
+    fn identical_planes_have_capped_psnr() {
+        let f = flat(16, 16, 120);
+        assert_eq!(frame_psnr(&f, &f).unwrap(), PSNR_CAP_DB);
+    }
+
+    #[test]
+    fn known_mse_value() {
+        let a = flat(16, 16, 100);
+        let b = flat(16, 16, 110);
+        let mse = plane_mse(a.luma(), b.luma()).unwrap();
+        assert!((mse - 100.0).abs() < 1e-9);
+        let psnr = mse_to_psnr(mse);
+        assert!((psnr - 28.13).abs() < 0.01, "got {psnr}");
+    }
+
+    #[test]
+    fn psnr_decreases_with_distortion() {
+        let a = flat(16, 16, 100);
+        let near = flat(16, 16, 102);
+        let far = flat(16, 16, 130);
+        assert!(frame_psnr(&a, &near).unwrap() > frame_psnr(&a, &far).unwrap());
+    }
+
+    #[test]
+    fn mismatched_geometry_rejected() {
+        let a = flat(16, 16, 0);
+        let b = flat(32, 16, 0);
+        assert!(frame_psnr(&a, &b).is_err());
+    }
+
+    #[test]
+    fn weighted_psnr_includes_chroma() {
+        let a = flat(16, 16, 100);
+        let mut b = flat(16, 16, 100);
+        b.cb_mut().fill(90);
+        assert_eq!(frame_psnr(&a, &b).unwrap(), PSNR_CAP_DB);
+        assert!(frame_psnr_weighted(&a, &b).unwrap() < PSNR_CAP_DB);
+    }
+
+    #[test]
+    fn ssim_identical_is_one() {
+        let f = flat(16, 16, 77);
+        let s = plane_ssim(f.luma(), f.luma()).unwrap();
+        assert!((s - 1.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn ssim_decreases_with_structural_damage() {
+        let mut a = Frame::new(32, 32).unwrap();
+        for y in 0..32 {
+            for x in 0..32 {
+                a.luma_mut().set(x, y, ((x * 8) ^ (y * 8)) as u8);
+            }
+        }
+        // Mild uniform shift barely hurts SSIM; scrambling structure does.
+        let mut shifted = a.clone();
+        for y in 0..32 {
+            for x in 0..32 {
+                let v = shifted.luma().get(x, y).saturating_add(6);
+                shifted.luma_mut().set(x, y, v);
+            }
+        }
+        let mut scrambled = a.clone();
+        for y in 0..32 {
+            for x in 0..32 {
+                scrambled.luma_mut().set(x, y, a.luma().get(31 - x, y));
+            }
+        }
+        let s_shift = plane_ssim(a.luma(), shifted.luma()).unwrap();
+        let s_scram = plane_ssim(a.luma(), scrambled.luma()).unwrap();
+        assert!(s_shift > s_scram, "shift {s_shift} vs scramble {s_scram}");
+        assert!(s_shift > 0.9);
+    }
+
+    #[test]
+    fn ssim_rejects_tiny_planes() {
+        let a = Plane::new(4, 4, 0).unwrap();
+        assert!(plane_ssim(&a, &a).is_err());
+    }
+
+    #[test]
+    fn bitrate_math() {
+        // 1 Mbit over 1 second => 1000 kbps.
+        assert!((bitrate_kbps(1_000_000, 30, 30.0) - 1000.0).abs() < 1e-9);
+        // Degenerate inputs are safe.
+        assert_eq!(bitrate_kbps(100, 0, 30.0), 0.0);
+        assert_eq!(bitrate_kbps(100, 30, f64::NAN), 0.0);
+    }
+}

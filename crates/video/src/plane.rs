@@ -1,0 +1,282 @@
+//! A single raster plane of 8-bit samples.
+
+use crate::error::VideoError;
+
+/// Alignment (in samples) of each row of a [`Plane`].
+///
+/// Real encoders pad rows so that SIMD kernels can read whole vectors; we
+/// keep the same layout so the instrumented address streams show realistic
+/// strides.
+pub const ROW_ALIGN: usize = 32;
+
+/// A rectangular array of 8-bit samples with a padded stride.
+///
+/// `Plane` is the unit of pixel storage for both luma and chroma.
+/// The accessible region is `width x height`; each row occupies
+/// [`Plane::stride`] samples so rows start on a [`ROW_ALIGN`] boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plane {
+    data: Vec<u8>,
+    width: usize,
+    height: usize,
+    stride: usize,
+}
+
+impl Plane {
+    /// Creates a plane filled with `fill`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::InvalidDimensions`] if either dimension is zero
+    /// or absurdly large (> 2^16).
+    pub fn new(width: usize, height: usize, fill: u8) -> Result<Self, VideoError> {
+        if width == 0 || height == 0 {
+            return Err(VideoError::InvalidDimensions {
+                width,
+                height,
+                reason: "dimensions must be nonzero",
+            });
+        }
+        if width > 1 << 16 || height > 1 << 16 {
+            return Err(VideoError::InvalidDimensions {
+                width,
+                height,
+                reason: "dimensions exceed 65536",
+            });
+        }
+        let stride = width.div_ceil(ROW_ALIGN) * ROW_ALIGN;
+        Ok(Plane { data: vec![fill; stride * height], width, height, stride })
+    }
+
+    /// Width of the accessible region in samples.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the accessible region in samples.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Distance in samples between the starts of consecutive rows.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Base address of the underlying buffer.
+    ///
+    /// Instrumentation uses this to report *real* data addresses for the
+    /// cache simulator, so the simulated locality matches the program's
+    /// actual memory layout.
+    #[inline]
+    pub fn base_addr(&self) -> u64 {
+        self.data.as_ptr() as u64
+    }
+
+    /// Address of the sample at `(x, y)`, for instrumentation.
+    #[inline]
+    pub fn sample_addr(&self, x: usize, y: usize) -> u64 {
+        debug_assert!(x < self.width && y < self.height);
+        self.base_addr() + (y * self.stride + x) as u64
+    }
+
+    /// Returns the sample at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `(x, y)` is out of bounds.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.stride + x]
+    }
+
+    /// Returns the sample at `(x, y)`, clamping coordinates to the plane
+    /// edge (the standard "border extension" used by motion search).
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> u8 {
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        self.data[cy * self.stride + cx]
+    }
+
+    /// Sets the sample at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `(x, y)` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        debug_assert!(x < self.width && y < self.height);
+        self.data[y * self.stride + x] = v;
+    }
+
+    /// Immutable view of one row (the accessible `width` samples).
+    #[inline]
+    pub fn row(&self, y: usize) -> &[u8] {
+        let start = y * self.stride;
+        &self.data[start..start + self.width]
+    }
+
+    /// Mutable view of one row (the accessible `width` samples).
+    #[inline]
+    pub fn row_mut(&mut self, y: usize) -> &mut [u8] {
+        let start = y * self.stride;
+        &mut self.data[start..start + self.width]
+    }
+
+    /// Copies a `w x h` block starting at `(x, y)` into `dst` (row-major,
+    /// `w * h` samples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::BlockOutOfBounds`] if the block does not fit.
+    pub fn read_block(
+        &self,
+        x: usize,
+        y: usize,
+        w: usize,
+        h: usize,
+        dst: &mut Vec<u8>,
+    ) -> Result<(), VideoError> {
+        self.check_block(x, y, w, h)?;
+        dst.clear();
+        dst.reserve(w * h);
+        for row in 0..h {
+            let start = (y + row) * self.stride + x;
+            dst.extend_from_slice(&self.data[start..start + w]);
+        }
+        Ok(())
+    }
+
+    /// Writes a `w x h` row-major block at `(x, y)` from `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VideoError::BlockOutOfBounds`] if the block does not fit,
+    /// or [`VideoError::GeometryMismatch`] if `src.len() != w * h`.
+    pub fn write_block(
+        &mut self,
+        x: usize,
+        y: usize,
+        w: usize,
+        h: usize,
+        src: &[u8],
+    ) -> Result<(), VideoError> {
+        self.check_block(x, y, w, h)?;
+        if src.len() != w * h {
+            return Err(VideoError::GeometryMismatch { what: "block source and dimensions" });
+        }
+        for row in 0..h {
+            let start = (y + row) * self.stride + x;
+            self.data[start..start + w].copy_from_slice(&src[row * w..(row + 1) * w]);
+        }
+        Ok(())
+    }
+
+    /// Fills the whole accessible region with `v`.
+    pub fn fill(&mut self, v: u8) {
+        for y in 0..self.height {
+            let start = y * self.stride;
+            self.data[start..start + self.width].fill(v);
+        }
+    }
+
+    fn check_block(&self, x: usize, y: usize, w: usize, h: usize) -> Result<(), VideoError> {
+        if w == 0 || h == 0 || x + w > self.width || y + h > self.height {
+            return Err(VideoError::BlockOutOfBounds {
+                x,
+                y,
+                w,
+                h,
+                plane_w: self.width,
+                plane_h: self.height,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_dimensions() {
+        assert!(Plane::new(0, 4, 0).is_err());
+        assert!(Plane::new(4, 0, 0).is_err());
+    }
+
+    #[test]
+    fn stride_is_aligned_and_at_least_width() {
+        for w in [1, 7, 31, 32, 33, 100, 640] {
+            let p = Plane::new(w, 2, 0).unwrap();
+            assert!(p.stride() >= w);
+            assert_eq!(p.stride() % ROW_ALIGN, 0);
+        }
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut p = Plane::new(10, 10, 0).unwrap();
+        p.set(3, 7, 200);
+        assert_eq!(p.get(3, 7), 200);
+        assert_eq!(p.get(7, 3), 0);
+    }
+
+    #[test]
+    fn clamped_access_extends_borders() {
+        let mut p = Plane::new(4, 4, 9).unwrap();
+        p.set(0, 0, 1);
+        p.set(3, 3, 5);
+        assert_eq!(p.get_clamped(-10, -10), 1);
+        assert_eq!(p.get_clamped(100, 100), 5);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let mut p = Plane::new(16, 16, 0).unwrap();
+        let src: Vec<u8> = (0..64).map(|i| i as u8).collect();
+        p.write_block(4, 4, 8, 8, &src).unwrap();
+        let mut out = Vec::new();
+        p.read_block(4, 4, 8, 8, &mut out).unwrap();
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn block_out_of_bounds_is_rejected() {
+        let p = Plane::new(8, 8, 0).unwrap();
+        let mut out = Vec::new();
+        assert!(matches!(
+            p.read_block(4, 4, 8, 8, &mut out),
+            Err(VideoError::BlockOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn write_block_rejects_wrong_source_len() {
+        let mut p = Plane::new(8, 8, 0).unwrap();
+        assert!(p.write_block(0, 0, 4, 4, &[0u8; 15]).is_err());
+    }
+
+    #[test]
+    fn sample_addr_reflects_layout() {
+        let p = Plane::new(40, 4, 0).unwrap();
+        assert_eq!(p.sample_addr(0, 0), p.base_addr());
+        assert_eq!(p.sample_addr(3, 2), p.base_addr() + (2 * p.stride() + 3) as u64);
+    }
+
+    #[test]
+    fn fill_only_touches_accessible_region() {
+        let mut p = Plane::new(5, 5, 0).unwrap();
+        p.fill(77);
+        for y in 0..5 {
+            for x in 0..5 {
+                assert_eq!(p.get(x, y), 77);
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the video substrate's invariants.
+
+use proptest::prelude::*;
+use vstress_video::bdrate::{bd_rate, RatePoint};
+use vstress_video::metrics::{bitrate_kbps, mse_to_psnr, plane_mse};
+use vstress_video::Plane;
+
+proptest! {
+    /// Plane block read/write round-trips for any in-bounds geometry.
+    #[test]
+    fn plane_block_roundtrip(
+        x in 0usize..24,
+        y in 0usize..24,
+        w in 1usize..8,
+        h in 1usize..8,
+        fill in any::<u8>(),
+    ) {
+        let mut p = Plane::new(32, 32, 0).unwrap();
+        let src: Vec<u8> = (0..w * h).map(|i| fill.wrapping_add(i as u8)).collect();
+        p.write_block(x, y, w, h, &src).unwrap();
+        let mut out = Vec::new();
+        p.read_block(x, y, w, h, &mut out).unwrap();
+        prop_assert_eq!(out, src);
+    }
+
+    /// MSE is symmetric, zero iff identical, and PSNR is monotone in MSE.
+    #[test]
+    fn mse_properties(a in any::<u8>(), b in any::<u8>()) {
+        let mut pa = Plane::new(8, 8, a).unwrap();
+        let pb = Plane::new(8, 8, b).unwrap();
+        let m1 = plane_mse(&pa, &pb).unwrap();
+        let m2 = plane_mse(&pb, &pa).unwrap();
+        prop_assert_eq!(m1, m2);
+        prop_assert_eq!(m1 == 0.0, a == b);
+        if a != b {
+            prop_assert!(mse_to_psnr(m1) < mse_to_psnr(0.0));
+        }
+        // Perturb one sample: MSE strictly grows from equal planes.
+        if a == b {
+            pa.set(3, 3, a.wrapping_add(10));
+            let m3 = plane_mse(&pa, &pb).unwrap();
+            prop_assert!(m3 > 0.0);
+        }
+    }
+
+    /// BD-Rate of a curve against itself is zero, and scaling the rate
+    /// axis by k yields (k-1)*100 percent.
+    #[test]
+    fn bdrate_scaling_law(k in 1.1f64..4.0, base in 100.0f64..5000.0) {
+        let anchor: Vec<RatePoint> = (0..5)
+            .map(|i| RatePoint {
+                bitrate_kbps: base * (1.6f64).powi(i),
+                psnr_db: 30.0 + 2.5 * i as f64,
+            })
+            .collect();
+        let this = bd_rate(&anchor, &anchor).unwrap();
+        prop_assert!(this.abs() < 1e-6);
+        let scaled: Vec<RatePoint> = anchor
+            .iter()
+            .map(|p| RatePoint { bitrate_kbps: p.bitrate_kbps * k, psnr_db: p.psnr_db })
+            .collect();
+        let bd = bd_rate(&anchor, &scaled).unwrap();
+        prop_assert!((bd - (k - 1.0) * 100.0).abs() < 0.5, "k {} bd {}", k, bd);
+    }
+
+    /// BD-Rate flips sign when the curves swap roles.
+    #[test]
+    fn bdrate_antisymmetry_sign(shift in 1.05f64..2.0) {
+        let a: Vec<RatePoint> = (0..4)
+            .map(|i| RatePoint { bitrate_kbps: 500.0 * (2f64).powi(i), psnr_db: 31.0 + 3.0 * i as f64 })
+            .collect();
+        let b: Vec<RatePoint> =
+            a.iter().map(|p| RatePoint { bitrate_kbps: p.bitrate_kbps * shift, psnr_db: p.psnr_db }).collect();
+        let ab = bd_rate(&a, &b).unwrap();
+        let ba = bd_rate(&b, &a).unwrap();
+        prop_assert!(ab > 0.0 && ba < 0.0);
+    }
+
+    /// Bitrate scales linearly in bits and inversely in duration.
+    #[test]
+    fn bitrate_linearity(bits in 1u64..1_000_000, frames in 1usize..300, fps in 1.0f64..120.0) {
+        let one = bitrate_kbps(bits, frames, fps);
+        let double = bitrate_kbps(bits * 2, frames, fps);
+        prop_assert!((double / one - 2.0).abs() < 1e-9);
+        let longer = bitrate_kbps(bits, frames * 2, fps);
+        prop_assert!((one / longer - 2.0).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Y4M write/read round-trips arbitrary synthesized clips exactly.
+    #[test]
+    fn y4m_roundtrip_arbitrary_clips(
+        seed in any::<u64>(),
+        entropy in 0.0f64..8.0,
+        frames in 1usize..5,
+    ) {
+        use vstress_video::synth::{SceneClass, SynthParams};
+        use vstress_video::y4m;
+        let clip = SynthParams {
+            width: 48,
+            height: 32,
+            frame_count: frames,
+            fps: 24.0,
+            entropy,
+            class: SceneClass::Natural,
+            seed,
+        }
+        .synthesize("prop")
+        .unwrap();
+        let mut bytes = Vec::new();
+        y4m::write_y4m(&clip, &mut bytes).unwrap();
+        let back = y4m::read_y4m(std::io::Cursor::new(&bytes), "prop").unwrap();
+        prop_assert_eq!(back.frames().len(), clip.frames().len());
+        for (a, b) in clip.frames().iter().zip(back.frames()) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// SSIM is bounded, symmetric, and maximal iff identical.
+    #[test]
+    fn ssim_properties(a_fill in any::<u8>(), b_fill in any::<u8>(), noise in 0u8..40) {
+        use vstress_video::metrics::plane_ssim;
+        let mut pa = Plane::new(16, 16, a_fill).unwrap();
+        let pb = Plane::new(16, 16, b_fill).unwrap();
+        // Add structure so variance is nonzero.
+        for y in 0..16 {
+            for x in 0..16 {
+                let v = pa.get(x, y).wrapping_add(((x * 7 + y * 3) % noise.max(1) as usize) as u8);
+                pa.set(x, y, v);
+            }
+        }
+        let s_ab = plane_ssim(&pa, &pb).unwrap();
+        let s_ba = plane_ssim(&pb, &pa).unwrap();
+        prop_assert!((s_ab - s_ba).abs() < 1e-12, "symmetry");
+        prop_assert!((-1.0..=1.0 + 1e-12).contains(&s_ab));
+        let s_aa = plane_ssim(&pa, &pa).unwrap();
+        prop_assert!((s_aa - 1.0).abs() < 1e-9, "self-SSIM is 1, got {}", s_aa);
+    }
+}

@@ -1,0 +1,93 @@
+//! Branch-predictor lab: capture a mid-run branch trace from an encode
+//! (the paper's Pin + CBP methodology) and race the whole predictor zoo
+//! on it — the four paper configurations plus the extra baselines.
+//!
+//! ```text
+//! cargo run --release --example branch_predictor_lab [clip | trace.vbt]
+//! ```
+//!
+//! Pass a `.vbt` file (from `vstress-transcode trace`) to replay a stored
+//! trace instead of capturing one.
+
+use vstress::bpred::{harness, Bimodal, BranchPredictor, Gshare, Perceptron, Tage, TageWithLoop, Tournament, TwoLevelLocal};
+use vstress::codecs::{CodecId, Encoder, EncoderParams};
+use vstress::table::Table;
+use vstress::trace::{BranchWindowProbe, CountingProbe, Probe};
+use vstress::video::vbench::{self, FidelityConfig};
+
+fn main() {
+    let clip_name = std::env::args().nth(1).unwrap_or_else(|| "game2".to_owned());
+    let (trace, window_instrs) = if clip_name.ends_with(".vbt") {
+        let file = std::fs::File::open(&clip_name).unwrap_or_else(|e| {
+            eprintln!("{clip_name}: {e}");
+            std::process::exit(1);
+        });
+        let trace = vstress::trace::io::read_branch_trace(std::io::BufReader::new(file))
+            .unwrap_or_else(|e| {
+                eprintln!("{clip_name}: {e}");
+                std::process::exit(1);
+            });
+        let n = trace.len() as u64;
+        println!("loaded {} branches from {clip_name}", trace.len());
+        (trace, n.max(1))
+    } else {
+        let spec = match vbench::clip(&clip_name) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        };
+        let clip = spec.synthesize(&FidelityConfig::smoke());
+        let encoder = Encoder::new(CodecId::SvtAv1, EncoderParams::new(63, 8)).unwrap();
+
+        // Pass 1: place the window halfway through the run (paper protocol).
+        let mut counter = CountingProbe::new();
+        encoder.encode(&clip, &mut counter).unwrap();
+        let total = counter.retired();
+
+        // Pass 2: capture the branch window.
+        let mut window = BranchWindowProbe::mid_run(total, (total / 2).max(1));
+        encoder.encode(&clip, &mut window).unwrap();
+        let window_instrs = window.window_retired().max(1);
+        let trace = window.into_records();
+        println!(
+            "captured {} branches from a {}-instruction window ({} total retired)",
+            trace.len(),
+            window_instrs,
+            total
+        );
+        (trace, window_instrs)
+    };
+
+    let mut zoo: Vec<Box<dyn BranchPredictor>> = vec![
+        Box::new(Bimodal::with_budget_bytes(2 << 10)),
+        Box::new(TwoLevelLocal::new(10, 10)),
+        Box::new(Tournament::with_budget_bytes(8 << 10)),
+        Box::new(Gshare::with_budget_bytes(2 << 10)),
+        Box::new(Gshare::with_budget_bytes(32 << 10)),
+        Box::new(Perceptron::with_budget_bytes(8 << 10)),
+        Box::new(Tage::seznec_8kb()),
+        Box::new(TageWithLoop::seznec_8kb()),
+        Box::new(Tage::seznec_64kb()),
+    ];
+
+    let mut table = Table::new(
+        format!("predictor zoo on {clip_name} (SVT-AV1, preset 8, CRF 63)"),
+        &["predictor", "budget KB", "miss rate %", "MPKI"],
+    );
+    for p in &mut zoo {
+        let stats = harness::run_with_window(p, &trace, window_instrs);
+        table.push_row(vec![
+            p.label(),
+            format!("{:.1}", p.storage_bits() as f64 / 8.0 / 1024.0),
+            format!("{:.2}", stats.miss_rate() * 100.0),
+            format!("{:.3}", stats.mpki()),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "Expect the paper's two findings: bigger tables beat smaller ones\n\
+         within a family, and TAGE's geometric histories beat gshare."
+    );
+}

@@ -1,0 +1,64 @@
+//! Codec shootout: all five encoder models on one clip at an equivalent
+//! quality/speed point — the comparison behind the paper's Fig. 1/2.
+//!
+//! ```text
+//! cargo run --release --example codec_shootout [clip] [crf]
+//! ```
+
+use vstress::codecs::CodecId;
+use vstress::table::Table;
+use vstress::workbench::{characterize, equivalent_params, RunSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let clip = args
+        .first()
+        .map(|s| {
+            // Leak is fine in a short-lived example binary.
+            &*Box::leak(s.clone().into_boxed_str())
+        })
+        .unwrap_or("game1");
+    let crf: u8 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(35);
+
+    let mut table = Table::new(
+        format!("codec shootout — {clip}, AV1-family CRF {crf}, preset-4-equivalent"),
+        &["codec", "instructions", "seconds", "IPC", "PSNR dB", "SSIM", "kbps", "retiring"],
+    );
+    for codec in CodecId::ALL {
+        let params = equivalent_params(codec, crf, 4);
+        let spec = RunSpec::quick(clip, codec, params);
+        // SSIM needs the reconstruction; run the encode directly too.
+        let source = vstress::video::vbench::clip(clip)
+            .expect("clip validated above")
+            .synthesize(&spec.fidelity);
+        let encoder = vstress::codecs::Encoder::new(codec, params).expect("params validated");
+        let out = encoder
+            .encode(&source, &mut vstress::trace::NullProbe)
+            .expect("encode");
+        let recon =
+            vstress::video::Clip::from_frames("recon", out.recon.clone(), source.fps()).unwrap();
+        let ssim = vstress::video::metrics::sequence_ssim(&source, &recon).unwrap_or(0.0);
+        match characterize(&spec) {
+            Ok(run) => table.push_row(vec![
+                codec.name().to_owned(),
+                format!("{:.3e}", run.core.instructions as f64),
+                format!("{:.4}", run.seconds),
+                format!("{:.2}", run.core.ipc()),
+                format!("{:.2}", run.mean_psnr),
+                format!("{:.3}", ssim),
+                format!("{:.1}", run.bitrate_kbps),
+                format!("{:.2}", run.core.topdown().retiring),
+            ]),
+            Err(e) => {
+                eprintln!("{codec}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("{table}");
+    println!(
+        "The AV1-family models burn far more instructions at similar IPC —\n\
+         the paper's central finding: the slowdown is algorithmic, not\n\
+         microarchitectural."
+    );
+}

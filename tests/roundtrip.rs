@@ -1,0 +1,108 @@
+//! Cross-crate encode → decode round-trip integration tests.
+//!
+//! The strongest correctness anchor in the workbench: for every codec
+//! model, the decoder must reproduce the encoder's reconstruction
+//! bit-for-bit from the bitstream alone, across parameter corners and
+//! content classes.
+
+use vstress::codecs::{CodecId, Decoder, Encoder, EncoderParams};
+use vstress::trace::NullProbe;
+use vstress::video::vbench::{self, FidelityConfig};
+
+fn assert_roundtrip(codec: CodecId, crf: u8, preset: u8, clip_name: &str) {
+    let clip = vbench::clip(clip_name).unwrap().synthesize(&FidelityConfig::smoke());
+    let enc = Encoder::new(codec, EncoderParams::new(crf, preset)).unwrap();
+    let out = enc.encode(&clip, &mut NullProbe).unwrap();
+    let dec = Decoder::new().decode(&out.bitstream, &mut NullProbe).unwrap();
+    assert_eq!(dec.header.codec, codec);
+    assert_eq!(dec.frames.len(), out.recon.len());
+    for (i, (d, r)) in dec.frames.iter().zip(&out.recon).enumerate() {
+        assert_eq!(d, r, "{codec} crf {crf} preset {preset} {clip_name}: frame {i} differs");
+    }
+}
+
+#[test]
+fn all_codecs_roundtrip_at_mid_quality() {
+    for codec in CodecId::ALL {
+        let crf = codec.max_crf() / 2;
+        let preset = codec.max_preset() / 2;
+        assert_roundtrip(codec, crf, preset, "bike");
+    }
+}
+
+#[test]
+fn quality_extremes_roundtrip() {
+    // Finest and coarsest quantizers (most and least coefficient volume).
+    assert_roundtrip(CodecId::SvtAv1, 0, 8, "cat");
+    assert_roundtrip(CodecId::SvtAv1, 63, 8, "cat");
+    assert_roundtrip(CodecId::X264, 0, 9, "cat");
+    assert_roundtrip(CodecId::X264, 51, 0, "cat");
+}
+
+#[test]
+fn preset_extremes_roundtrip() {
+    // Slowest presets exercise exhaustive ME, extra quant passes and the
+    // full partition grammar.
+    assert_roundtrip(CodecId::SvtAv1, 40, 0, "desktop");
+    assert_roundtrip(CodecId::LibvpxVp9, 40, 0, "desktop");
+    assert_roundtrip(CodecId::X265, 30, 9, "desktop");
+}
+
+#[test]
+fn content_classes_roundtrip() {
+    for clip in ["desktop", "game3", "holi", "chicken"] {
+        assert_roundtrip(CodecId::Libaom, 35, 5, clip);
+    }
+}
+
+#[test]
+fn decoded_quality_matches_encoder_report() {
+    // The decoder's frames, compared to the source, must yield the same
+    // PSNR the encoder reported for its reconstruction.
+    let clip = vbench::clip("girl").unwrap().synthesize(&FidelityConfig::smoke());
+    let enc = Encoder::new(CodecId::SvtAv1, EncoderParams::new(30, 6)).unwrap();
+    let out = enc.encode(&clip, &mut NullProbe).unwrap();
+    let dec = Decoder::new().decode(&out.bitstream, &mut NullProbe).unwrap();
+    for (i, (src, d)) in clip.frames().iter().zip(&dec.frames).enumerate() {
+        let psnr = vstress::video::metrics::frame_psnr(src, d).unwrap();
+        assert!(
+            (psnr - out.frame_psnr[i]).abs() < 1e-9,
+            "frame {i}: decoder PSNR {psnr} vs encoder-reported {}",
+            out.frame_psnr[i]
+        );
+    }
+}
+
+#[test]
+fn bitstream_is_compact() {
+    // Sanity: encoded size beats raw size by a wide margin at high CRF.
+    let clip = vbench::clip("hall").unwrap().synthesize(&FidelityConfig::smoke());
+    let raw_bits = clip.total_samples() as u64 * 8;
+    let enc = Encoder::new(CodecId::SvtAv1, EncoderParams::new(55, 8)).unwrap();
+    let out = enc.encode(&clip, &mut NullProbe).unwrap();
+    assert!(
+        out.total_bits() * 4 < raw_bits,
+        "compression too weak: {} vs raw {}",
+        out.total_bits(),
+        raw_bits
+    );
+}
+
+#[test]
+fn corrupt_streams_fail_cleanly() {
+    let clip = vbench::clip("bike").unwrap().synthesize(&FidelityConfig::smoke());
+    let enc = Encoder::new(CodecId::X264, EncoderParams::new(26, 5)).unwrap();
+    let out = enc.encode(&clip, &mut NullProbe).unwrap();
+    // Header corruptions must error; payload corruptions must not panic.
+    let mut bad_magic = out.bitstream.clone();
+    bad_magic[0] ^= 0xff;
+    assert!(Decoder::new().decode(&bad_magic, &mut NullProbe).is_err());
+    let mut truncated = out.bitstream.clone();
+    truncated.truncate(10);
+    assert!(Decoder::new().decode(&truncated, &mut NullProbe).is_err());
+    // Bit-flips in the payload may decode to garbage but never panic.
+    let mut flipped = out.bitstream.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x55;
+    let _ = Decoder::new().decode(&flipped, &mut NullProbe);
+}

@@ -1,0 +1,112 @@
+//! Cross-crate simulator integration: instrumented encodes driving the
+//! branch predictors, cache hierarchy, and pipeline model together.
+
+use vstress::bpred::{harness::OnlinePredictor, Gshare, Tage};
+use vstress::cache::{Hierarchy, HierarchyConfig};
+use vstress::codecs::{CodecId, Encoder, EncoderParams};
+use vstress::pipeline::CoreModel;
+use vstress::trace::record::NullSink;
+use vstress::trace::{CountingProbe, Probe, SinkProbe, TeeProbe};
+use vstress::video::vbench::{self, FidelityConfig};
+
+fn clip() -> vstress::video::Clip {
+    vbench::clip("game2").unwrap().synthesize(&FidelityConfig::smoke())
+}
+
+#[test]
+fn online_predictor_attached_to_an_encode() {
+    let enc = Encoder::new(CodecId::SvtAv1, EncoderParams::new(40, 6)).unwrap();
+    let mut probe =
+        SinkProbe::new(OnlinePredictor::new(Gshare::with_budget_bytes(8 << 10)), NullSink);
+    enc.encode(&clip(), &mut probe).unwrap();
+    let retired = probe.retired();
+    let stats = probe.branch_sink().stats(retired);
+    assert!(stats.branches > 10_000, "branches {}", stats.branches);
+    assert!(stats.miss_rate() > 0.001 && stats.miss_rate() < 0.2, "{}", stats.miss_rate());
+    assert!(stats.mpki() > 0.0);
+}
+
+#[test]
+fn cache_hierarchy_attached_to_an_encode() {
+    let enc = Encoder::new(CodecId::X264, EncoderParams::new(26, 5)).unwrap();
+    let mut probe = SinkProbe::new(NullSink, Hierarchy::new(HierarchyConfig::broadwell_scaled(16)));
+    enc.encode(&clip(), &mut probe).unwrap();
+    let stats = probe.memory_sink().stats();
+    assert!(stats.l1d.accesses > 100_000);
+    assert!(stats.l1d.misses > 0);
+    assert!(stats.l1d.hits > stats.l1d.misses, "encoders should mostly hit L1");
+    // Inclusive-ish flow: L2 sees roughly the L1 misses.
+    assert!(stats.l2.accesses <= stats.l1d.misses + stats.l1i.misses + stats.l1d.writebacks);
+}
+
+#[test]
+fn tee_probe_keeps_counting_and_model_consistent() {
+    let enc = Encoder::new(CodecId::LibvpxVp9, EncoderParams::new(45, 4)).unwrap();
+    let mut probe = TeeProbe::new(CountingProbe::new(), CoreModel::broadwell_scaled(16));
+    enc.encode(&clip(), &mut probe).unwrap();
+    let (counting, model) = probe.into_parts();
+    let report = model.into_report();
+    assert_eq!(
+        counting.mix().total(),
+        report.instructions,
+        "both probes must retire the identical stream"
+    );
+    assert_eq!(counting.mix().branch, report.branches);
+}
+
+#[test]
+fn predictor_quality_ordering_holds_on_real_encoder_branches() {
+    // Collect the branch trace once, replay through three predictors.
+    let enc = Encoder::new(CodecId::SvtAv1, EncoderParams::new(50, 8)).unwrap();
+    let mut probe = SinkProbe::new(Vec::new(), NullSink);
+    enc.encode(&clip(), &mut probe).unwrap();
+    let (_, trace, _) = probe.into_parts();
+    assert!(trace.len() > 50_000, "trace too small: {}", trace.len());
+    let g2 = vstress::bpred::run(&mut Gshare::with_budget_bytes(2 << 10), &trace);
+    let t64 = vstress::bpred::run(&mut Tage::seznec_64kb(), &trace);
+    assert!(
+        t64.miss_rate() < g2.miss_rate(),
+        "tage-64KB {} must beat gshare-2KB {}",
+        t64.miss_rate(),
+        g2.miss_rate()
+    );
+}
+
+#[test]
+fn hot_kernel_profile_identifies_search_as_dominant() {
+    use vstress::trace::Kernel;
+    let enc = Encoder::new(CodecId::SvtAv1, EncoderParams::new(20, 2)).unwrap();
+    let mut probe = CountingProbe::new();
+    enc.encode(&clip(), &mut probe).unwrap();
+    let top = probe.profile().top(3);
+    assert!(!top.is_empty());
+    // At a slow preset the search kernels (SAD / motion search / SATD)
+    // must dominate the profile — the "hot function" result the paper's
+    // gprof step feeds into trace placement.
+    let search_kernels = [Kernel::Sad, Kernel::MotionSearch, Kernel::Satd];
+    assert!(
+        search_kernels.contains(&top[0].0),
+        "hottest kernel should be part of the search: {:?}",
+        top
+    );
+    let search_share: f64 = probe
+        .profile()
+        .top(Kernel::ALL.len())
+        .iter()
+        .filter(|(k, _, _)| search_kernels.contains(k))
+        .map(|(_, _, pct)| *pct)
+        .sum();
+    assert!(search_share > 30.0, "search share {search_share}%");
+}
+
+#[test]
+fn decode_runs_on_the_pipeline_model_too() {
+    let enc = Encoder::new(CodecId::SvtAv1, EncoderParams::new(35, 6)).unwrap();
+    let out = enc.encode(&clip(), &mut vstress::trace::NullProbe).unwrap();
+    let mut probe = CoreModel::broadwell_scaled(16);
+    let dec = vstress::codecs::Decoder::new().decode(&out.bitstream, &mut probe).unwrap();
+    assert!(!dec.frames.is_empty());
+    let report = probe.into_report();
+    assert!(report.instructions > 0);
+    assert!(report.ipc() > 0.5 && report.ipc() <= 4.0, "decode IPC {}", report.ipc());
+}
