@@ -136,10 +136,7 @@ fn ablate_cache_policies(c: &mut Criterion) {
                 h.load(m.addr, m.bytes);
             }
         }
-        eprintln!(
-            "[ablation] prefetch={prefetch:?}  L2 MPKI {:.3}",
-            h.stats().l2.mpki(*total)
-        );
+        eprintln!("[ablation] prefetch={prefetch:?}  L2 MPKI {:.3}", h.stats().l2.mpki(*total));
     }
     g.finish();
 }

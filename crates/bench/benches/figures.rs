@@ -70,10 +70,7 @@ fn bench_preset_and_threads(c: &mut Criterion) {
     g.bench_function("fig11_preset_sweep", |b| {
         b.iter(|| {
             let pts = preset_sweep::preset_sweep(&cfg).unwrap();
-            (
-                preset_sweep::fig11ab_runtime_quality(&pts),
-                preset_sweep::fig11cde_microarch(&pts),
-            )
+            (preset_sweep::fig11ab_runtime_quality(&pts), preset_sweep::fig11cde_microarch(&pts))
         })
     });
     g.bench_function("fig12_15_thread_scaling", |b| {

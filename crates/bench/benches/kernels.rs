@@ -6,8 +6,8 @@ use vstress::cache::{AccessKind, Cache, CacheConfig, Hierarchy, HierarchyConfig}
 use vstress::codecs::blocks::BlockRect;
 use vstress::codecs::entropy::{Context, RangeDecoder, RangeEncoder};
 use vstress::codecs::kernels::sad_plane_plane;
-use vstress::codecs::mesearch::{motion_search, MeSettings};
 use vstress::codecs::mc::MotionVector;
+use vstress::codecs::mesearch::{motion_search, MeSettings};
 use vstress::codecs::transform;
 use vstress::trace::NullProbe;
 use vstress::video::Plane;
@@ -70,9 +70,8 @@ fn bench_entropy(c: &mut Criterion) {
 
 fn bench_predictors(c: &mut Criterion) {
     let mut g = c.benchmark_group("bpred");
-    let trace: Vec<(u64, bool)> = (0..50_000u64)
-        .map(|i| (0x4000 + (i % 97) * 4, (i * 2654435761) % 5 < 2))
-        .collect();
+    let trace: Vec<(u64, bool)> =
+        (0..50_000u64).map(|i| (0x4000 + (i % 97) * 4, (i * 2654435761) % 5 < 2)).collect();
     g.throughput(Throughput::Elements(trace.len() as u64));
     g.bench_function("gshare_32kb", |b| {
         b.iter(|| {

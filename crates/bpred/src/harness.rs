@@ -81,11 +81,7 @@ impl<P: BranchPredictor> OnlinePredictor<P> {
     /// Statistics so far; `window_instructions` supplies the MPKI
     /// denominator (pass total retired instructions).
     pub fn stats(&self, window_instructions: u64) -> BpredStats {
-        BpredStats {
-            branches: self.branches,
-            mispredicts: self.mispredicts,
-            window_instructions,
-        }
+        BpredStats { branches: self.branches, mispredicts: self.mispredicts, window_instructions }
     }
 
     /// The wrapped predictor.

@@ -77,11 +77,8 @@ impl BranchPredictor for Perceptron {
 
     fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
         // Recompute if predict was skipped or interleaved.
-        let y = if predicted == (self.last_output >= 0) {
-            self.last_output
-        } else {
-            self.output(pc)
-        };
+        let y =
+            if predicted == (self.last_output >= 0) { self.last_output } else { self.output(pc) };
         let t = if taken { 1i32 } else { -1 };
         if (y >= 0) != taken || y.abs() <= self.theta {
             let hist_len = self.history_len;

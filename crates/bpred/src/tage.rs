@@ -65,8 +65,7 @@ impl TageConfig {
             return self.min_history;
         }
         let ratio = self.max_history as f64 / self.min_history as f64;
-        let l = self.min_history as f64
-            * ratio.powf(i as f64 / (self.num_tables - 1) as f64);
+        let l = self.min_history as f64 * ratio.powf(i as f64 / (self.num_tables - 1) as f64);
         (l.round() as usize).max(1)
     }
 }
@@ -158,10 +157,7 @@ impl Tage {
         }
         Tage {
             bimodal: vec![SatCounter::weakly_not_taken(); 1 << config.log_bimodal],
-            tables: vec![
-                vec![TageEntry::default(); 1 << config.log_entries];
-                config.num_tables
-            ],
+            tables: vec![vec![TageEntry::default(); 1 << config.log_entries]; config.num_tables],
             history: HistoryBundle::new(&specs),
             use_alt_on_na: 8,
             updates: 0,
@@ -271,11 +267,8 @@ impl Tage {
         for t in (start + skip)..self.config.num_tables {
             let idx = p.table_indices[t];
             if self.tables[t][idx].useful == 0 {
-                self.tables[t][idx] = TageEntry {
-                    ctr: if taken { 4 } else { 3 },
-                    tag: p.table_tags[t],
-                    useful: 0,
-                };
+                self.tables[t][idx] =
+                    TageEntry { ctr: if taken { 4 } else { 3 }, tag: p.table_tags[t], useful: 0 };
                 allocated = true;
                 break;
             }
@@ -371,8 +364,7 @@ impl BranchPredictor for Tage {
     fn storage_bits(&self) -> u64 {
         let bim = (1u64 << self.config.log_bimodal) * 2;
         let entry_bits = 3 + 2 + self.config.tag_bits as u64;
-        let tagged =
-            self.config.num_tables as u64 * (1u64 << self.config.log_entries) * entry_bits;
+        let tagged = self.config.num_tables as u64 * (1u64 << self.config.log_entries) * entry_bits;
         bim + tagged + self.config.max_history as u64 + 4
     }
 

@@ -1,7 +1,10 @@
 //! Property-based tests of the predictor framework's invariants.
 
 use proptest::prelude::*;
-use vstress_bpred::{harness, Bimodal, BranchPredictor, Gshare, Perceptron, Tage, TageWithLoop, Tournament, TwoLevelLocal};
+use vstress_bpred::{
+    harness, Bimodal, BranchPredictor, Gshare, Perceptron, Tage, TageWithLoop, Tournament,
+    TwoLevelLocal,
+};
 use vstress_trace::record::BranchRecord;
 
 fn arbitrary_trace(seed: u64, len: usize, sites: u64, bias: u64) -> Vec<BranchRecord> {

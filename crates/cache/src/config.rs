@@ -5,7 +5,9 @@ use crate::policy::ReplacementPolicy;
 /// Hardware prefetcher attached to the L2 (the paper's Broadwell has both
 /// an adjacent-line and a streamer/stride prefetcher; the ablation benches
 /// compare them).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub enum PrefetchKind {
     /// No prefetching.
     #[default]
@@ -127,7 +129,8 @@ impl HierarchyConfig {
         assert!(divisor.is_power_of_two() && divisor <= 64, "divisor must be 2^k <= 64");
         let mut c = Self::broadwell();
         let shrink = |cfg: &mut CacheConfig, floor: usize| {
-            cfg.size_bytes = (cfg.size_bytes / divisor).max(floor).max(cfg.ways * cfg.line_bytes * 2);
+            cfg.size_bytes =
+                (cfg.size_bytes / divisor).max(floor).max(cfg.ways * cfg.line_bytes * 2);
         };
         shrink(&mut c.l1d, 8 << 10);
         shrink(&mut c.l2, 32 << 10);

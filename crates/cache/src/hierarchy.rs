@@ -14,7 +14,9 @@ enum Prefetcher {
 }
 
 /// The level that ultimately serviced an access (deepest level touched).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum ServiceLevel {
     /// Hit in the first-level cache.
     L1,
@@ -244,7 +246,12 @@ mod tests {
 
     fn small() -> Hierarchy {
         // 1 KB L1, 4 KB L2, 16 KB LLC — tiny so tests exercise evictions.
-        let mk = |size| CacheConfig { size_bytes: size, ways: 4, line_bytes: 64, policy: ReplacementPolicy::Lru };
+        let mk = |size| CacheConfig {
+            size_bytes: size,
+            ways: 4,
+            line_bytes: 64,
+            policy: ReplacementPolicy::Lru,
+        };
         Hierarchy::new(HierarchyConfig {
             l1i: mk(1 << 10),
             l1d: mk(1 << 10),
@@ -278,7 +285,7 @@ mod tests {
     }
 
     #[test]
-    fn straddling_access_touches_two_lines(){
+    fn straddling_access_touches_two_lines() {
         let mut h = small();
         assert_eq!(h.load(0x1000 + 60, 8), ServiceLevel::Memory);
         // Both lines now resident.

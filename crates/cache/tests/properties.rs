@@ -10,7 +10,12 @@ fn tiny_config(ways: usize, policy: ReplacementPolicy) -> CacheConfig {
 }
 
 fn small_hierarchy() -> Hierarchy {
-    let mk = |size| CacheConfig { size_bytes: size, ways: 4, line_bytes: 64, policy: ReplacementPolicy::Lru };
+    let mk = |size| CacheConfig {
+        size_bytes: size,
+        ways: 4,
+        line_bytes: 64,
+        policy: ReplacementPolicy::Lru,
+    };
     Hierarchy::new(HierarchyConfig {
         l1i: mk(1 << 10),
         l1d: mk(1 << 10),

@@ -7,12 +7,84 @@
 //! Instrumentation is per-thread and local; batch mode reports only the
 //! encode results (attach probes in single-encode mode for
 //! characterization).
+//!
+//! The queue machinery is exposed as [`run_ordered`], a generic
+//! order-preserving fan-out that the `vstress` experiment executor
+//! reuses for characterization runs.
 
 use crate::encoder::{EncodeResult, Encoder};
 use crate::error::CodecError;
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use vstress_trace::NullProbe;
 use vstress_video::Clip;
+
+/// Runs `job(0..count)` on up to `threads` scoped worker threads and
+/// returns the results in index order.
+///
+/// Workers claim indices from a shared counter, so claimed indices are
+/// always a prefix of `0..count`. Once any job returns `Err`, a cancel
+/// flag stops idle workers from claiming further indices; jobs already
+/// in flight still finish. The returned error is the smallest-index
+/// error among the jobs that ran (the "first-by-index" contract: with
+/// one thread this is exactly the first failure the serial loop would
+/// have hit).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero, or if `job` panics on a worker thread
+/// (the panic is propagated when the scope joins).
+pub fn run_ordered<T, E, F>(count: usize, threads: usize, job: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let next = Mutex::new(0usize);
+    let cancelled = AtomicBool::new(false);
+    let results: Mutex<Vec<Option<Result<T, E>>>> = Mutex::new((0..count).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(count) {
+            scope.spawn(|| loop {
+                if cancelled.load(Ordering::Acquire) {
+                    break;
+                }
+                let idx = {
+                    let mut guard = next.lock().unwrap();
+                    if *guard >= count {
+                        break;
+                    }
+                    let i = *guard;
+                    *guard += 1;
+                    i
+                };
+                let outcome = job(idx);
+                if outcome.is_err() {
+                    cancelled.store(true, Ordering::Release);
+                }
+                results.lock().unwrap()[idx] = Some(outcome);
+            });
+        }
+    });
+
+    let collected = results.into_inner().unwrap();
+    let mut out = Vec::with_capacity(count);
+    for (i, slot) in collected.into_iter().enumerate() {
+        match slot {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(e),
+            // Claims are sequential, so an unclaimed slot can only follow
+            // a cancel, and the triggering Err sits at a smaller index.
+            None => unreachable!("slot {i} unclaimed yet no earlier worker error"),
+        }
+    }
+    Ok(out)
+}
 
 /// Encodes `clips` on up to `threads` worker threads, preserving input
 /// order in the result.
@@ -33,8 +105,9 @@ use vstress_video::Clip;
 ///
 /// # Errors
 ///
-/// Returns the first [`CodecError`] any worker hit (remaining work is
-/// still drained so workers shut down cleanly).
+/// Returns the first-by-index [`CodecError`] any worker hit. Workers
+/// stop claiming new clips as soon as one fails; encodes already in
+/// flight finish so the scope joins cleanly.
 ///
 /// # Panics
 ///
@@ -44,42 +117,7 @@ pub fn encode_batch(
     clips: &[Clip],
     threads: usize,
 ) -> Result<Vec<EncodeResult>, CodecError> {
-    assert!(threads > 0, "need at least one worker thread");
-    if clips.is_empty() {
-        return Ok(Vec::new());
-    }
-    let next = Mutex::new(0usize);
-    let results: Mutex<Vec<Option<Result<EncodeResult, CodecError>>>> =
-        Mutex::new((0..clips.len()).map(|_| None).collect());
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads.min(clips.len()) {
-            scope.spawn(|_| loop {
-                let idx = {
-                    let mut guard = next.lock();
-                    if *guard >= clips.len() {
-                        break;
-                    }
-                    let i = *guard;
-                    *guard += 1;
-                    i
-                };
-                let outcome = encoder.encode(&clips[idx], &mut NullProbe);
-                results.lock()[idx] = Some(outcome);
-            });
-        }
-    })
-    .expect("batch workers must not panic");
-
-    let collected = results.into_inner();
-    let mut out = Vec::with_capacity(clips.len());
-    for slot in collected {
-        match slot.expect("every index was claimed by a worker") {
-            Ok(r) => out.push(r),
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(out)
+    run_ordered(clips.len(), threads, |idx| encoder.encode(&clips[idx], &mut NullProbe))
 }
 
 #[cfg(test)]
@@ -87,6 +125,7 @@ mod tests {
     use super::*;
     use crate::codecs::CodecId;
     use crate::params::EncoderParams;
+    use std::sync::atomic::AtomicUsize;
     use vstress_video::vbench::{self, FidelityConfig};
 
     fn clips(names: &[&str]) -> Vec<Clip> {
@@ -100,10 +139,8 @@ mod tests {
     fn batch_matches_serial_results() {
         let cs = clips(&["desktop", "cat", "bike"]);
         let enc = Encoder::new(CodecId::LibvpxVp9, EncoderParams::new(45, 6)).unwrap();
-        let serial: Vec<_> = cs
-            .iter()
-            .map(|c| enc.encode(c, &mut NullProbe).unwrap().bitstream)
-            .collect();
+        let serial: Vec<_> =
+            cs.iter().map(|c| enc.encode(c, &mut NullProbe).unwrap().bitstream).collect();
         let batch = encode_batch(&enc, &cs, 3).unwrap();
         for (s, b) in serial.iter().zip(&batch) {
             assert_eq!(s, &b.bitstream, "parallel encode must be bit-identical");
@@ -132,5 +169,41 @@ mod tests {
     fn zero_threads_panics() {
         let enc = Encoder::new(CodecId::X264, EncoderParams::new(30, 5)).unwrap();
         let _ = encode_batch(&enc, &clips(&["cat"]), 0);
+    }
+
+    #[test]
+    fn run_ordered_preserves_order_and_runs_everything() {
+        let ran = AtomicUsize::new(0);
+        let out: Vec<usize> = run_ordered(16, 4, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            Ok::<_, ()>(i * i)
+        })
+        .unwrap();
+        assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(ran.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn failure_cancels_remaining_work() {
+        // Single worker: claims are strictly sequential, so nothing past
+        // the failing index may run once the cancel flag is set.
+        let ran = AtomicUsize::new(0);
+        let res: Result<Vec<usize>, &str> = run_ordered(8, 1, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if i == 2 {
+                Err("boom")
+            } else {
+                Ok(i)
+            }
+        });
+        assert_eq!(res.unwrap_err(), "boom");
+        assert_eq!(ran.load(Ordering::Relaxed), 3, "items after the failure must not run");
+    }
+
+    #[test]
+    fn first_by_index_error_wins() {
+        let res: Result<Vec<usize>, String> =
+            run_ordered(6, 1, |i| if i >= 1 { Err(format!("err {i}")) } else { Ok(i) });
+        assert_eq!(res.unwrap_err(), "err 1");
     }
 }

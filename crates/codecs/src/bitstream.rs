@@ -74,7 +74,10 @@ impl SequenceHeader {
     /// codec tag, or truncation.
     pub fn parse(data: &[u8]) -> Result<(SequenceHeader, &[u8]), CodecError> {
         if data.len() < Self::BYTES {
-            return Err(CodecError::CorruptBitstream { offset: data.len(), expected: "sequence header" });
+            return Err(CodecError::CorruptBitstream {
+                offset: data.len(),
+                expected: "sequence header",
+            });
         }
         if data[0..4] != MAGIC {
             return Err(CodecError::CorruptBitstream { offset: 0, expected: "magic bytes VSTR" });
@@ -104,10 +107,16 @@ impl SequenceHeader {
             return Err(CodecError::CorruptBitstream { offset: 6, expected: "nonzero geometry" });
         }
         if header.superblock == 0 || header.min_block == 0 {
-            return Err(CodecError::CorruptBitstream { offset: 15, expected: "nonzero block sizes" });
+            return Err(CodecError::CorruptBitstream {
+                offset: 15,
+                expected: "nonzero block sizes",
+            });
         }
         if !(1..=2).contains(&header.ref_frames) {
-            return Err(CodecError::CorruptBitstream { offset: 22, expected: "1 or 2 reference frames" });
+            return Err(CodecError::CorruptBitstream {
+                offset: 22,
+                expected: "1 or 2 reference frames",
+            });
         }
         Ok((header, &data[Self::BYTES..]))
     }
@@ -202,10 +211,7 @@ pub fn shapes_from_mask(mask: u16) -> Vec<crate::blocks::PartitionShape> {
 
 /// Expands a mode mask back into the ordered mode list.
 pub fn modes_from_mask(mask: u16) -> Vec<crate::predict::IntraMode> {
-    crate::predict::IntraMode::AV1
-        .into_iter()
-        .filter(|m| mask & (1 << m.symbol()) != 0)
-        .collect()
+    crate::predict::IntraMode::AV1.into_iter().filter(|m| mask & (1 << m.symbol()) != 0).collect()
 }
 
 #[cfg(test)]

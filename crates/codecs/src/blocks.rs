@@ -9,7 +9,9 @@
 //! the codec models comes from.
 
 /// One of the AV1 partition shapes (VP9 uses the first four).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 #[repr(u8)]
 pub enum PartitionShape {
     /// Code the block whole.
@@ -50,12 +52,8 @@ impl PartitionShape {
     ];
 
     /// The VP9 set (4 shapes).
-    pub const VP9: [PartitionShape; 4] = [
-        PartitionShape::None,
-        PartitionShape::Horz,
-        PartitionShape::Vert,
-        PartitionShape::Split,
-    ];
+    pub const VP9: [PartitionShape; 4] =
+        [PartitionShape::None, PartitionShape::Horz, PartitionShape::Vert, PartitionShape::Split];
 
     /// The H.26x-style set (quadtree only).
     pub const H26X: [PartitionShape; 2] = [PartitionShape::None, PartitionShape::Split];

@@ -20,7 +20,9 @@ use crate::params::EncoderParams;
 use crate::predict::IntraMode;
 
 /// One of the five encoders characterized by the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum CodecId {
     /// The SVT-AV1 encoder (AV1 codec, Intel/Netflix implementation).
     SvtAv1,
@@ -165,7 +167,13 @@ impl ToolSet {
                     refine_steps: lerp(28.0, 12.0).round() as u32,
                     subpel: s < 0.7,
                 },
-                quant_passes: if s < 0.15 { 3 } else if s < 0.35 { 2 } else { 1 },
+                quant_passes: if s < 0.15 {
+                    3
+                } else if s < 0.35 {
+                    2
+                } else {
+                    1
+                },
                 early_exit_scale: lerp(2.0, 6.0).round() as u64,
                 ref_frames: 2,
             },

@@ -46,7 +46,10 @@ impl Decoder {
         let cfg = CoderConfig::from_header(&header);
         let sb = cfg.superblock;
         if sb == 0 || cfg.min_block == 0 || !sb.is_multiple_of(2) {
-            return Err(CodecError::CorruptBitstream { offset: 15, expected: "valid block geometry" });
+            return Err(CodecError::CorruptBitstream {
+                offset: 15,
+                expected: "valid block geometry",
+            });
         }
         let w = header.width as usize;
         let h = header.height as usize;
@@ -68,8 +71,8 @@ impl Decoder {
             let mut fcfg = cfg.clone();
             fcfg.qindex = frame_q;
             let mut recon = Frame::new(pw, ph).map_err(CodecError::Video)?;
-            let is_keyframe = frame_no == 0
-                || (header.keyint > 0 && frame_no % header.keyint as usize == 0);
+            let is_keyframe =
+                frame_no == 0 || (header.keyint > 0 && frame_no % header.keyint as usize == 0);
             let mut refs: Vec<&Frame> = Vec::new();
             if !is_keyframe {
                 if let Some(l) = &last_recon {
@@ -85,9 +88,12 @@ impl Decoder {
             for sy in (0..ph).step_by(sb) {
                 for sx in (0..pw).step_by(sb) {
                     let rect = crate::blocks::BlockRect::new(sx, sy, sb, sb);
-                    let info =
-                        decode_superblock(probe, &fcfg, refs_slice, &mut dec, &mut state, &mut recon, rect)?;
-                    decode_sb_chroma(probe, &fcfg, refs_slice, rect, &info, &mut dec, &mut state, &mut recon);
+                    let info = decode_superblock(
+                        probe, &fcfg, refs_slice, &mut dec, &mut state, &mut recon, rect,
+                    )?;
+                    decode_sb_chroma(
+                        probe, &fcfg, refs_slice, rect, &info, &mut dec, &mut state, &mut recon,
+                    );
                 }
             }
             let qstep = qindex_to_qstep(fcfg.qindex);

@@ -8,9 +8,9 @@ use crate::error::CodecError;
 use crate::frame_coder::{
     code_sb_chroma, code_superblock, plan_superblock, CoderConfig, CoderState, PlanScratch,
 };
-use crate::params::{MAX_QINDEX, MIN_QINDEX};
 use crate::mc::MotionVector;
 use crate::params::{qindex_to_qstep, EncoderParams};
+use crate::params::{MAX_QINDEX, MIN_QINDEX};
 use crate::taskgraph::{FrameTaskTrace, TaskTrace};
 use vstress_trace::{Kernel, Probe};
 use vstress_video::{Clip, Frame};
@@ -121,7 +121,10 @@ impl Encoder {
         if w > u16::MAX as usize || h > u16::MAX as usize || clip.frames().len() > u16::MAX as usize
         {
             return Err(CodecError::UnsupportedInput {
-                reason: format!("clip geometry {w}x{h} x {} frames exceeds header fields", clip.frames().len()),
+                reason: format!(
+                    "clip geometry {w}x{h} x {} frames exceeds header fields",
+                    clip.frames().len()
+                ),
             });
         }
         let base_cfg = CoderConfig::from_tools(&self.tools, self.params.crf);
@@ -200,7 +203,8 @@ impl Encoder {
             for sy in (0..ph).step_by(sb) {
                 let row_mark = probe.retired();
                 for sx in (0..pw).step_by(sb) {
-                    let rect = crate::blocks::BlockRect::new(sx, sy, sb.min(pw - sx), sb.min(ph - sy));
+                    let rect =
+                        crate::blocks::BlockRect::new(sx, sy, sb.min(pw - sx), sb.min(ph - sy));
                     let plan = plan_superblock(
                         probe,
                         &self.tools,
@@ -266,7 +270,8 @@ impl Encoder {
         bitstream.extend_from_slice(&payload);
 
         let total_bits: u64 = frame_bits.iter().sum();
-        let kbps = vstress_video::metrics::bitrate_kbps(total_bits, clip.frames().len(), clip.fps());
+        let kbps =
+            vstress_video::metrics::bitrate_kbps(total_bits, clip.frames().len(), clip.fps());
         Ok(EncodeResult {
             bitstream,
             frame_bits,
@@ -466,14 +471,24 @@ mod tests {
         // predicts the A frames far better than the previous frame (B).
         use vstress_video::synth::{SceneClass, SynthParams};
         let a = SynthParams {
-            width: 64, height: 48, frame_count: 1, fps: 30.0,
-            entropy: 5.0, class: SceneClass::Natural, seed: 11,
+            width: 64,
+            height: 48,
+            frame_count: 1,
+            fps: 30.0,
+            entropy: 5.0,
+            class: SceneClass::Natural,
+            seed: 11,
         }
         .synthesize("a")
         .unwrap();
         let b = SynthParams {
-            width: 64, height: 48, frame_count: 1, fps: 30.0,
-            entropy: 5.0, class: SceneClass::Natural, seed: 99,
+            width: 64,
+            height: 48,
+            frame_count: 1,
+            fps: 30.0,
+            entropy: 5.0,
+            class: SceneClass::Natural,
+            seed: 99,
         }
         .synthesize("b")
         .unwrap();
@@ -514,9 +529,8 @@ mod tests {
             out_base.total_bits()
         );
         // And the stream still decodes to the encoder's reconstruction.
-        let dec = crate::decoder::Decoder::new()
-            .decode(&out_keyed.bitstream, &mut NullProbe)
-            .unwrap();
+        let dec =
+            crate::decoder::Decoder::new().decode(&out_keyed.bitstream, &mut NullProbe).unwrap();
         assert_eq!(dec.header.keyint, 2);
         for (d, r) in dec.frames.iter().zip(&out_keyed.recon) {
             assert_eq!(d, r);

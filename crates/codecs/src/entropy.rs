@@ -15,7 +15,7 @@
 //! (coefficient significance at low CRF) produce the mispredictions the
 //! paper's branch study chases.
 
-use vstress_trace::{Kernel, Probe};
+use vstress_trace::{probe_addr, Kernel, Probe};
 
 /// Probability precision: probabilities live in `(0, 1 << PROB_BITS)`.
 pub const PROB_BITS: u32 = 11;
@@ -36,7 +36,10 @@ pub struct Context {
 impl Context {
     /// A fresh mid-probability context; `label` seeds the branch-site PC.
     pub fn new(label: u64) -> Self {
-        Context { p0: PROB_INIT, pc: 0x0000_5100_0000_0000 | ((label.wrapping_mul(0x9e37_79b9)) & 0xffff_fffc) }
+        Context {
+            p0: PROB_INIT,
+            pc: 0x0000_5100_0000_0000 | ((label.wrapping_mul(0x9e37_79b9)) & 0xffff_fffc),
+        }
     }
 
     /// Current probability of zero, in `[1, 2047]`.
@@ -120,11 +123,11 @@ impl RangeEncoder {
         probe.set_kernel(Kernel::EntropyCoder);
         probe.branch(ctx.pc, bin);
         probe.alu(4);
-        probe.load(self as *const _ as u64, 8);
+        probe.load(probe_addr::fixed::CODER_STATE, 8);
         // Coder state (low/range) and the output byte stream are written
         // back every bin.
-        probe.store(self as *const _ as u64, 8);
-        probe.store(self.out.as_ptr() as u64 + self.out.len() as u64, 1);
+        probe.store(probe_addr::fixed::CODER_STATE, 8);
+        probe.store(probe_addr::fixed::ENTROPY_OUT + self.out.len() as u64, 1);
         self.encode_raw(ctx.p0, bin);
         ctx.adapt(bin);
     }
@@ -134,7 +137,7 @@ impl RangeEncoder {
     pub fn encode_bypass<P: Probe>(&mut self, probe: &mut P, bin: bool) {
         probe.set_kernel(Kernel::EntropyCoder);
         probe.alu(3);
-        probe.store(self as *const _ as u64, 8);
+        probe.store(probe_addr::fixed::CODER_STATE, 8);
         self.encode_raw(PROB_INIT, bin);
     }
 
@@ -235,8 +238,8 @@ impl<'a> RangeDecoder<'a> {
     pub fn decode<P: Probe>(&mut self, probe: &mut P, ctx: &mut Context) -> bool {
         probe.set_kernel(Kernel::EntropyCoder);
         probe.alu(4);
-        probe.load(self.input.as_ptr() as u64 + self.pos as u64, 4);
-        probe.store(self as *const _ as u64, 8);
+        probe.load(probe_addr::fixed::ENTROPY_IN + self.pos as u64, 4);
+        probe.store(probe_addr::fixed::CODER_STATE, 8);
         let bin = self.decode_raw(ctx.p0);
         probe.branch(ctx.pc, bin);
         ctx.adapt(bin);

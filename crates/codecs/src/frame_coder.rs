@@ -564,8 +564,17 @@ fn plan_block<P: Probe>(
                     for (dx, dy, w, h) in subs {
                         let sub = BlockRect::new(rect.x + dx, rect.y + dy, w, h);
                         let (p, c) = plan_block(
-                            probe, tools, cfg, lambda, src, refs, sub,
-                            depth + 1, seed_mv, scratch, hme,
+                            probe,
+                            tools,
+                            cfg,
+                            lambda,
+                            src,
+                            refs,
+                            sub,
+                            depth + 1,
+                            seed_mv,
+                            scratch,
+                            hme,
                         );
                         total = total.saturating_add(c);
                         children.push(p);
@@ -583,8 +592,9 @@ fn plan_block<P: Probe>(
                     let mut total = 0u64;
                     for (dx, dy, w, h) in subs {
                         let sub = BlockRect::new(rect.x + dx, rect.y + dy, w, h);
-                        let (mode, c) =
-                            eval_leaf(probe, tools, cfg, lambda, src, refs, sub, seed_mv, scratch, hme);
+                        let (mode, c) = eval_leaf(
+                            probe, tools, cfg, lambda, src, refs, sub, seed_mv, scratch, hme,
+                        );
                         total = total.saturating_add(c);
                         children.push(NodePlan::Leaf { rect: sub, mode });
                     }
@@ -593,9 +603,8 @@ fn plan_block<P: Probe>(
             }
         };
         // Shape signalling rate: one unary bin per list position.
-        let candidate = candidate.map(|(p, c)| {
-            (p, c.saturating_add(lambda.cost(0, (i as u64 + 1) * 256)))
-        });
+        let candidate =
+            candidate.map(|(p, c)| (p, c.saturating_add(lambda.cost(0, (i as u64 + 1) * 256))));
         if let Some((_, cost)) = &candidate {
             decision.offer(plans.len(), *cost);
         }
@@ -610,11 +619,7 @@ fn plan_block<P: Probe>(
     }
 
     let (idx, _) = decision.winner().expect("PartitionShape::None always yields a plan");
-    plans
-        .into_iter()
-        .nth(idx)
-        .flatten()
-        .expect("winner index points at a live plan")
+    plans.into_iter().nth(idx).flatten().expect("winner index points at a live plan")
 }
 
 /// Evaluates the best leaf mode for `rect` (Phase A).
@@ -682,10 +687,7 @@ fn eval_leaf<P: Probe>(
             *seed_mv = me.mv;
             // Cost model: residual quantizes to ~zero, signalling tiny.
             let sse_estimate = me.cost.saturating_mul(2);
-            return (
-                LeafMode::Inter { mv: me.mv, ref_idx },
-                lambda.cost(sse_estimate, 6 * 256),
-            );
+            return (LeafMode::Inter { mv: me.mv, ref_idx }, lambda.cost(sse_estimate, 6 * 256));
         }
         // Not skippable: keep the candidate for the RD comparison below.
         motion_compensate(probe, refs[ref_idx].luma(), rect, me.mv, &mut scratch.pred);
@@ -1081,7 +1083,13 @@ fn code_leaf<P: Probe>(
         }
     }
     state.bits.luma_coef += enc.bits_written_exact() - coef_mark;
-    kernels::reconstruct(probe, recon.luma_mut(), rect, &state.scratch.pred, &state.scratch.full_res);
+    kernels::reconstruct(
+        probe,
+        recon.luma_mut(),
+        rect,
+        &state.scratch.pred,
+        &state.scratch.full_res,
+    );
 }
 
 /// Decodes one superblock's luma tree (mirror of [`code_superblock`]).
@@ -1114,10 +1122,10 @@ fn decode_node<P: Probe>(
 ) -> Result<(), CodecError> {
     let codeable = codeable_shapes(cfg, rect, depth);
     let idx = decode_shape_index(dec, probe, state, codeable.len().max(1));
-    let shape = codeable
-        .get(idx)
-        .copied()
-        .ok_or(CodecError::CorruptBitstream { offset: dec.position(), expected: "partition shape" })?;
+    let shape = codeable.get(idx).copied().ok_or(CodecError::CorruptBitstream {
+        offset: dec.position(),
+        expected: "partition shape",
+    })?;
 
     match shape {
         PartitionShape::None => {
@@ -1155,17 +1163,11 @@ fn decode_leaf<P: Probe>(
     let tiles_x = rect.w / tu;
     let tiles_y = rect.h / tu;
     state.scratch.ensure(area, tu * tu, tiles_x * tiles_y);
-    let is_inter = if !refs.is_empty() {
-        dec.decode(probe, &mut state.ctxs.is_inter)
-    } else {
-        false
-    };
+    let is_inter =
+        if !refs.is_empty() { dec.decode(probe, &mut state.ctxs.is_inter) } else { false };
     if is_inter {
-        let ref_idx = if refs.len() > 1 {
-            dec.decode(probe, &mut state.ctxs.ref_sel) as usize
-        } else {
-            0
-        };
+        let ref_idx =
+            if refs.len() > 1 { dec.decode(probe, &mut state.ctxs.ref_sel) as usize } else { 0 };
         let neg_x = dec.decode(probe, &mut state.ctxs.mv_sign);
         let mag_x = decode_uvlc(dec, probe, &mut state.ctxs.mv) as i32;
         let neg_y = dec.decode(probe, &mut state.ctxs.mv_sign);
@@ -1220,7 +1222,13 @@ fn decode_leaf<P: Probe>(
             }
         }
     }
-    kernels::reconstruct(probe, recon.luma_mut(), rect, &state.scratch.pred, &state.scratch.full_res);
+    kernels::reconstruct(
+        probe,
+        recon.luma_mut(),
+        rect,
+        &state.scratch.pred,
+        &state.scratch.full_res,
+    );
     Ok(())
 }
 
@@ -1238,12 +1246,7 @@ const MAX_LUMA_TU: usize = 16;
 const CHROMA_TU: usize = 8;
 
 /// Builds the DC-intra chroma prediction for one TU.
-fn chroma_pred_dc<P: Probe>(
-    probe: &mut P,
-    recon_plane: &Plane,
-    rect: BlockRect,
-    pred: &mut [u8],
-) {
+fn chroma_pred_dc<P: Probe>(probe: &mut P, recon_plane: &Plane, rect: BlockRect, pred: &mut [u8]) {
     let edges = IntraEdges::gather(probe, recon_plane, rect);
     predict(probe, IntraMode::Dc, &edges, rect.w, rect.h, pred);
 }
@@ -1310,8 +1313,7 @@ pub fn code_sb_chroma<P: Probe>(
                     if mc_pred.len() < tu * tu {
                         mc_pred.resize(tu * tu, 0);
                     }
-                    let has_mc =
-                        chroma_pred_mc(probe, &ref_planes, rect, sb_info, &mut mc_pred);
+                    let has_mc = chroma_pred_mc(probe, &ref_planes, rect, sb_info, &mut mc_pred);
                     chroma_pred_dc(probe, recon_plane, rect, &mut pred);
                     if has_mc {
                         let sse_dc = kernels::sse_plane_pred(probe, src_plane, rect, &pred);
@@ -1327,10 +1329,8 @@ pub fn code_sb_chroma<P: Probe>(
                 kernels::residual(probe, src_plane, rect, &pred, &mut res);
                 transform::forward(probe, tu, &res[..tu * tu], &mut coeffs[..tu * tu]);
                 quant.quantize_block(probe, &coeffs[..tu * tu], &mut levels[..tu * tu]);
-                let cbf =
-                    encode_tu(enc, probe, &mut state.ctxs, tu, &levels[..tu * tu], false);
-                let recon_plane =
-                    if plane_idx == 0 { recon.cb_mut() } else { recon.cr_mut() };
+                let cbf = encode_tu(enc, probe, &mut state.ctxs, tu, &levels[..tu * tu], false);
+                let recon_plane = if plane_idx == 0 { recon.cb_mut() } else { recon.cr_mut() };
                 if cbf {
                     quant.dequantize_block(probe, &levels[..tu * tu], &mut deq[..tu * tu]);
                     transform::inverse(probe, tu, &deq[..tu * tu], &mut rec[..tu * tu]);
@@ -1396,10 +1396,8 @@ pub fn decode_sb_chroma<P: Probe>(
                         chroma_pred_dc(probe, recon_plane, rect, &mut pred);
                     }
                 }
-                let cbf =
-                    decode_tu(dec, probe, &mut state.ctxs, tu, &mut levels[..tu * tu], false);
-                let recon_plane =
-                    if plane_idx == 0 { recon.cb_mut() } else { recon.cr_mut() };
+                let cbf = decode_tu(dec, probe, &mut state.ctxs, tu, &mut levels[..tu * tu], false);
+                let recon_plane = if plane_idx == 0 { recon.cb_mut() } else { recon.cr_mut() };
                 if cbf {
                     quant.dequantize_block(probe, &levels[..tu * tu], &mut deq[..tu * tu]);
                     transform::inverse(probe, tu, &deq[..tu * tu], &mut rec[..tu * tu]);

@@ -7,7 +7,7 @@
 //! vector, the loop branch) through the [`Probe`].
 
 use crate::blocks::BlockRect;
-use vstress_trace::{Kernel, Probe};
+use vstress_trace::{probe_addr, Kernel, Probe};
 use vstress_video::Plane;
 
 /// Vector width in pixels assumed by the instrumentation (AVX2: 32 u8).
@@ -45,13 +45,13 @@ pub fn sad_plane_pred<P: Probe>(probe: &mut P, plane: &Plane, rect: BlockRect, p
         }
         let v = row_vectors(rect.w);
         probe.load(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
-        probe.load(prow.as_ptr() as u64, rect.w.min(VEC_PIXELS) as u32);
+        probe.load(probe_addr::fixed::PRED + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
         vec_ops(probe, rect.w, v * 2); // psadbw + accumulate
         probe.alu(1);
         // Unrolled-by-4 loop: one branch per four rows; the accumulator
         // spills to the stack every other row.
         if y % 2 == 1 || y + 1 == rect.h {
-            probe.store(pred.as_ptr() as u64, 8);
+            probe.store(probe_addr::fixed::PRED, 8);
         }
         if y % 4 == 3 || y + 1 == rect.h {
             probe.branch(vstress_trace::site_pc!(), y + 1 != rect.h);
@@ -112,11 +112,11 @@ pub fn sse_plane_pred<P: Probe>(probe: &mut P, plane: &Plane, rect: BlockRect, p
         }
         let v = row_vectors(rect.w);
         probe.load(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
-        probe.load(prow.as_ptr() as u64, rect.w.min(VEC_PIXELS) as u32);
+        probe.load(probe_addr::fixed::PRED + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
         vec_ops(probe, rect.w, v * 3);
         probe.alu(1);
         if y % 2 == 1 || y + 1 == rect.h {
-            probe.store(pred.as_ptr() as u64, 8);
+            probe.store(probe_addr::fixed::PRED, 8);
         }
         if y % 4 == 3 || y + 1 == rect.h {
             probe.branch(vstress_trace::site_pc!(), y + 1 != rect.h);
@@ -148,8 +148,11 @@ pub fn residual<P: Probe>(
         }
         let v = row_vectors(rect.w);
         probe.load(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
-        probe.load(prow.as_ptr() as u64, rect.w.min(VEC_PIXELS) as u32);
-        probe.store(dst.as_ptr() as u64 + (y * rect.w * 4) as u64, (rect.w * 4).min(64) as u32);
+        probe.load(probe_addr::fixed::PRED + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
+        probe.store(
+            probe_addr::fixed::RESIDUAL + (y * rect.w * 4) as u64,
+            (rect.w * 4).min(64) as u32,
+        );
         vec_ops(probe, rect.w, v);
     }
 }
@@ -175,8 +178,11 @@ pub fn reconstruct<P: Probe>(
             plane.set(rect.x + x, rect.y + y, v.clamp(0, 255) as u8);
         }
         let v = row_vectors(rect.w);
-        probe.load(pred.as_ptr() as u64 + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
-        probe.load(res.as_ptr() as u64 + (y * rect.w * 4) as u64, (rect.w * 4).min(64) as u32);
+        probe.load(probe_addr::fixed::PRED + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
+        probe.load(
+            probe_addr::fixed::RESIDUAL + (y * rect.w * 4) as u64,
+            (rect.w * 4).min(64) as u32,
+        );
         probe.store(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
         vec_ops(probe, rect.w, v * 2);
     }
@@ -189,7 +195,7 @@ pub fn write_pred<P: Probe>(probe: &mut P, plane: &mut Plane, rect: BlockRect, p
         for x in 0..rect.w {
             plane.set(rect.x + x, rect.y + y, pred[y * rect.w + x]);
         }
-        probe.load(pred.as_ptr() as u64 + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
+        probe.load(probe_addr::fixed::PRED + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
         probe.store(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
         vec_ops(probe, rect.w, row_vectors(rect.w));
     }

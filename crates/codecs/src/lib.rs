@@ -62,10 +62,10 @@ pub mod rdo;
 pub mod taskgraph;
 pub mod transform;
 
+pub use batch::encode_batch;
 pub use codecs::CodecId;
 pub use decoder::Decoder;
 pub use encoder::{EncodeResult, Encoder};
 pub use error::CodecError;
 pub use params::EncoderParams;
-pub use batch::encode_batch;
 pub use taskgraph::{TaskKind, TaskTrace};

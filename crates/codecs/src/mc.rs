@@ -2,11 +2,13 @@
 //! half-pel motion vectors.
 
 use crate::blocks::BlockRect;
-use vstress_trace::{Kernel, Probe};
+use vstress_trace::{probe_addr, Kernel, Probe};
 use vstress_video::Plane;
 
 /// A motion vector in half-pel units.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct MotionVector {
     /// Horizontal component, half-pel units.
     pub x: i32,
@@ -78,7 +80,7 @@ pub fn motion_compensate<P: Probe>(
             let cy1 = (sy + 1).clamp(0, refp.height() as isize - 1) as usize;
             probe.load(refp.sample_addr(cx, cy1), rect.w.min(32) as u32);
         }
-        probe.store(dst.as_ptr() as u64 + (y * rect.w) as u64, rect.w.min(32) as u32);
+        probe.store(probe_addr::fixed::PRED + (y * rect.w) as u64, rect.w.min(32) as u32);
         let filter_ops = if fx || fy { 3 } else { 1 };
         probe.avx(vecs * filter_ops);
         if y % 4 == 3 || y + 1 == rect.h {

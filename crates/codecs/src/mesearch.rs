@@ -9,7 +9,7 @@
 use crate::blocks::BlockRect;
 use crate::kernels::sad_plane_plane;
 use crate::mc::MotionVector;
-use vstress_trace::{Kernel, Probe};
+use vstress_trace::{probe_addr, Kernel, Probe};
 use vstress_video::Plane;
 
 /// Motion-search effort parameters (full-pel units unless noted).
@@ -75,7 +75,7 @@ pub fn motion_search<P: Probe>(
         probe.set_kernel(Kernel::MotionSearch);
         probe.alu(4);
         // Candidate bookkeeping (cost table update).
-        probe.store(evaluated as *const _ as u64, 8);
+        probe.store(probe_addr::fixed::SEARCH_STATE, 8);
         probe.branch(vstress_trace::site_pc!(), (dx + dy) % 2 == 0);
         *evaluated += 1;
         sad_plane_plane(probe, cur, rect, refp, dx, dy) + mv_cost(rate_lambda, dx, dy)
@@ -200,7 +200,7 @@ pub fn motion_search_around<P: Probe>(
     let eval = |probe: &mut P, dx: i32, dy: i32, evaluated: &mut u32| -> u64 {
         probe.set_kernel(Kernel::MotionSearch);
         probe.alu(4);
-        probe.store(evaluated as *const _ as u64, 8);
+        probe.store(probe_addr::fixed::SEARCH_STATE, 8);
         probe.branch(vstress_trace::site_pc!(), (dx ^ dy) & 1 == 0);
         *evaluated += 1;
         sad_plane_plane(probe, cur, rect, refp, dx, dy) + mv_cost(rate_lambda, dx, dy)
@@ -302,7 +302,8 @@ mod tests {
         let cur = textured(7);
         let refp = textured(0);
         let rect = BlockRect::new(24, 24, 16, 16);
-        let diamond = motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &fast(), 2);
+        let diamond =
+            motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &fast(), 2);
         let mut slow = fast();
         slow.exhaustive_radius = 10;
         let exhaustive =
@@ -348,7 +349,14 @@ mod tests {
         let seed = MotionVector::from_fullpel(4, 1);
         let s = MeSettings { range: 4, exhaustive_radius: 0, refine_steps: 6, subpel: false };
         let r = motion_search_around(
-            &mut NullProbe, &cur, rect, &refp, seed, MotionVector::ZERO, &s, 2,
+            &mut NullProbe,
+            &cur,
+            rect,
+            &refp,
+            seed,
+            MotionVector::ZERO,
+            &s,
+            2,
         );
         assert_eq!((r.mv.x >> 1, r.mv.y >> 1), (6, 0), "cost {}", r.cost);
     }
@@ -361,7 +369,14 @@ mod tests {
         let seed = MotionVector::from_fullpel(2, 2);
         let s = MeSettings { range: 3, exhaustive_radius: 0, refine_steps: 8, subpel: false };
         let r = motion_search_around(
-            &mut NullProbe, &cur, rect, &refp, seed, MotionVector::ZERO, &s, 2,
+            &mut NullProbe,
+            &cur,
+            rect,
+            &refp,
+            seed,
+            MotionVector::ZERO,
+            &s,
+            2,
         );
         assert!((r.mv.x / 2 - 2).abs() <= 3 && (r.mv.y / 2 - 2).abs() <= 3);
     }

@@ -6,11 +6,13 @@
 //! paper's instruction-count findings.
 
 use crate::blocks::BlockRect;
-use vstress_trace::{Kernel, Probe};
+use vstress_trace::{probe_addr, Kernel, Probe};
 use vstress_video::Plane;
 
 /// An intra prediction mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 #[repr(u8)]
 pub enum IntraMode {
     /// Average of the border samples.
@@ -214,8 +216,7 @@ pub fn predict<P: Probe>(
             for y in 0..h {
                 let wy = 256 * (h - 1 - y) as u32 / (h - 1).max(1) as u32;
                 for x in 0..w {
-                    dst[y * w + x] =
-                        ((wy * top[x] as u32 + (256 - wy) * bottom + 128) / 256) as u8;
+                    dst[y * w + x] = ((wy * top[x] as u32 + (256 - wy) * bottom + 128) / 256) as u8;
                 }
             }
         }
@@ -224,8 +225,7 @@ pub fn predict<P: Probe>(
             for y in 0..h {
                 for x in 0..w {
                     let wx = 256 * (w - 1 - x) as u32 / (w - 1).max(1) as u32;
-                    dst[y * w + x] =
-                        ((wx * left[y] as u32 + (256 - wx) * right + 128) / 256) as u8;
+                    dst[y * w + x] = ((wx * left[y] as u32 + (256 - wx) * right + 128) / 256) as u8;
                 }
             }
         }
@@ -282,7 +282,7 @@ pub fn predict<P: Probe>(
     let vecs = (w as u64).div_ceil(32).max(1);
     probe.avx(h as u64 * vecs * 2);
     for y in 0..h {
-        probe.store(dst.as_ptr() as u64 + (y * w) as u64, w.min(32) as u32);
+        probe.store(probe_addr::fixed::PRED + (y * w) as u64, w.min(32) as u32);
     }
     probe.alu(h as u64);
 }

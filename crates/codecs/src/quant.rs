@@ -1,7 +1,7 @@
 //! Dead-zone scalar quantization.
 
 use crate::params::qindex_to_qstep;
-use vstress_trace::{Kernel, Probe};
+use vstress_trace::{probe_addr, Kernel, Probe};
 
 /// Quantizer derived from a qindex: a uniform step with a dead zone, the
 /// structure shared by all the modelled codecs.
@@ -61,8 +61,8 @@ impl Quantizer {
         }
         let n = src.len() as u64;
         probe.avx(n.div_ceil(8) * 3);
-        probe.load(src.as_ptr() as u64, (src.len() * 4).min(64) as u32);
-        probe.store(dst.as_ptr() as u64, (dst.len() * 4).min(64) as u32);
+        probe.load(probe_addr::fixed::RESIDUAL, (src.len() * 4).min(64) as u32);
+        probe.store(probe_addr::fixed::QUANT_LEVELS, (dst.len() * 4).min(64) as u32);
         probe.alu(2);
         nonzero
     }
@@ -80,8 +80,8 @@ impl Quantizer {
         }
         let n = src.len() as u64;
         probe.avx(n.div_ceil(8));
-        probe.load(src.as_ptr() as u64, (src.len() * 4).min(64) as u32);
-        probe.store(dst.as_ptr() as u64, (dst.len() * 4).min(64) as u32);
+        probe.load(probe_addr::fixed::QUANT_LEVELS, (src.len() * 4).min(64) as u32);
+        probe.store(probe_addr::fixed::RESIDUAL, (dst.len() * 4).min(64) as u32);
     }
 }
 

@@ -48,10 +48,7 @@ pub struct FrameTaskTrace {
 impl TaskTrace {
     /// Total measured instructions.
     pub fn total_instructions(&self) -> u64 {
-        self.frames
-            .iter()
-            .map(|f| f.sb_rows.iter().sum::<u64>() + f.lookahead + f.filter)
-            .sum()
+        self.frames.iter().map(|f| f.sb_rows.iter().sum::<u64>() + f.lookahead + f.filter).sum()
     }
 }
 
@@ -205,8 +202,7 @@ fn wavefront(trace: &TaskTrace, primary_thread_model: bool) -> TaskGraph {
                 la_deps.push(d);
             }
         }
-        let la =
-            push(&mut g, ft.lookahead, TaskKind::Lookahead, f, la_deps, primary_thread_model);
+        let la = push(&mut g, ft.lookahead, TaskKind::Lookahead, f, la_deps, primary_thread_model);
         let mut rows_chunks: Vec<Vec<usize>> = Vec::with_capacity(ft.sb_rows.len());
         for (r, &row_cost) in ft.sb_rows.iter().enumerate() {
             let chunk_cost = row_cost / chunks as u64;
@@ -242,8 +238,7 @@ fn wavefront(trace: &TaskTrace, primary_thread_model: bool) -> TaskGraph {
             rows_chunks.push(chunk_ids);
         }
         let all_chunks: Vec<usize> = rows_chunks.iter().flatten().copied().collect();
-        let filter =
-            push(&mut g, ft.filter, TaskKind::Filter, f, all_chunks, primary_thread_model);
+        let filter = push(&mut g, ft.filter, TaskKind::Filter, f, all_chunks, primary_thread_model);
         prev_chunks = rows_chunks;
         prev_filter = Some(filter);
         prev_lookahead = Some(la);

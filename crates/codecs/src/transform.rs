@@ -13,7 +13,7 @@
 //! supplied [`Probe`].
 
 use std::sync::OnceLock;
-use vstress_trace::{Kernel, Probe};
+use vstress_trace::{probe_addr, Kernel, Probe};
 
 /// Supported square transform sizes.
 pub const TX_SIZES: [usize; 4] = [4, 8, 16, 32];
@@ -97,7 +97,7 @@ pub fn forward<P: Probe>(probe: &mut P, n: usize, src: &[i32], dst: &mut [i32]) 
             tmp[y * n + k] = rshift_round(acc, BASIS_BITS - INTER_BITS);
         }
     }
-    instrument_pass(probe, n, tmp.as_ptr() as u64);
+    instrument_pass(probe, n, probe_addr::fixed::TRANSFORM_TMP);
     // Columns: dst = B * tmp.
     for k in 0..n {
         for x in 0..n {
@@ -108,10 +108,10 @@ pub fn forward<P: Probe>(probe: &mut P, n: usize, src: &[i32], dst: &mut [i32]) 
             dst[k * n + x] = rshift_round(acc, BASIS_BITS + INTER_BITS) as i32;
         }
     }
-    instrument_pass(probe, n, tmp.as_ptr() as u64);
+    instrument_pass(probe, n, probe_addr::fixed::TRANSFORM_TMP);
     // Report the scratch stores once per pass pair.
     for _ in 0..n {
-        probe.store(tmp.as_ptr() as u64, (n * 4).min(64) as u32);
+        probe.store(probe_addr::fixed::TRANSFORM_TMP, (n * 4).min(64) as u32);
     }
 }
 
@@ -137,7 +137,7 @@ pub fn inverse<P: Probe>(probe: &mut P, n: usize, src: &[i32], dst: &mut [i32]) 
             tmp[j * n + x] = rshift_round(acc, BASIS_BITS - INTER_BITS);
         }
     }
-    instrument_pass(probe, n, tmp.as_ptr() as u64);
+    instrument_pass(probe, n, probe_addr::fixed::TRANSFORM_TMP);
     // Rows: dst = tmp * B.
     for y in 0..n {
         for j in 0..n {
@@ -148,9 +148,9 @@ pub fn inverse<P: Probe>(probe: &mut P, n: usize, src: &[i32], dst: &mut [i32]) 
             dst[y * n + j] = rshift_round(acc, BASIS_BITS + INTER_BITS) as i32;
         }
     }
-    instrument_pass(probe, n, tmp.as_ptr() as u64);
+    instrument_pass(probe, n, probe_addr::fixed::TRANSFORM_TMP);
     for _ in 0..n {
-        probe.store(tmp.as_ptr() as u64, (n * 4).min(64) as u32);
+        probe.store(probe_addr::fixed::TRANSFORM_TMP, (n * 4).min(64) as u32);
     }
 }
 
@@ -192,8 +192,8 @@ pub fn satd4<P: Probe>(probe: &mut P, res: &[i32]) -> u64 {
     probe.sse(1);
     probe.alu(4);
     // Butterfly intermediates spill to the stack tile.
-    probe.store(m.as_ptr() as u64, 64);
-    probe.store(m.as_ptr() as u64 + 32, 32);
+    probe.store(probe_addr::fixed::SATD_TILE, 64);
+    probe.store(probe_addr::fixed::SATD_TILE + 32, 32);
     // Normalize to the same scale as SAD (Hadamard gain is 4 for 4x4).
     sum / 4
 }
@@ -215,7 +215,7 @@ pub fn satd<P: Probe>(probe: &mut P, w: usize, h: usize, res: &[i32]) -> u64 {
                     tile[y * 4 + x] = res[(ty + y) * w + tx + x];
                 }
             }
-            probe.load(res.as_ptr() as u64 + (ty * w + tx) as u64 * 4, 16);
+            probe.load(probe_addr::fixed::RESIDUAL + (ty * w + tx) as u64 * 4, 16);
             total += satd4(probe, &tile);
         }
     }
@@ -240,8 +240,7 @@ mod tests {
     fn roundtrip_error_is_bounded_for_all_sizes() {
         for &n in &TX_SIZES {
             // Pixel-range residuals (−255..=255).
-            let src: Vec<i32> =
-                (0..n * n).map(|i| ((i * 2654435761) % 511) as i32 - 255).collect();
+            let src: Vec<i32> = (0..n * n).map(|i| ((i * 2654435761) % 511) as i32 - 255).collect();
             let err = roundtrip_error(n, &src);
             assert!(err <= 2, "size {n} round-trip error {err}");
         }

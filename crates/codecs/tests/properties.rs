@@ -1,9 +1,9 @@
 //! Property-based tests of the coding substrate's invariants.
 
 use proptest::prelude::*;
+use vstress_codecs::bitstream::FrameContexts;
 use vstress_codecs::entropy::{decode_uvlc, encode_uvlc, Context, RangeDecoder, RangeEncoder};
 use vstress_codecs::frame_coder::{decode_tu, encode_tu, zigzag, CoderState};
-use vstress_codecs::bitstream::FrameContexts;
 use vstress_codecs::quant::Quantizer;
 use vstress_codecs::transform;
 use vstress_trace::NullProbe;

@@ -4,16 +4,24 @@
 //! vstress-repro                    # quick profile, all experiments
 //! vstress-repro --paper            # full profile (slow; used for EXPERIMENTS.md)
 //! vstress-repro --csv out/         # also write each table as CSV into out/
+//! vstress-repro --threads 4        # size of the encode worker pool
 //! vstress-repro fig01 fig05        # subset of experiments
 //! ```
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use vstress::experiments::{
-    catalogue, cbp, crf_sweep, decode_cost, mix, preset_sweep, profile, runtime_quality,
-    threads, ExperimentConfig,
+    catalogue, cbp, crf_sweep, decode_cost, mix, preset_sweep, profile, runtime_quality, threads,
+    ExperimentConfig,
 };
 use vstress::Table;
+
+/// Every experiment id accepted as a positional argument.
+const EXPERIMENT_IDS: &[&str] = &[
+    "table1", "fig01", "fig02", "fig02a", "fig02b", "table2", "fig03", "fig04", "fig05", "fig06",
+    "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+    "decode", "profile",
+];
 
 /// Prints a table and optionally mirrors it to `<csv_dir>/<slug>.csv`.
 fn emit(csv_dir: &Option<PathBuf>, slug: &str, table: &Table) {
@@ -29,17 +37,23 @@ fn emit(csv_dir: &Option<PathBuf>, slug: &str, table: &Table) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
-    let csv_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
+    let csv_dir: Option<PathBuf> =
+        args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).map(PathBuf::from);
     if let Some(dir) = &csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
             std::process::exit(1);
         }
     }
+    let threads: Option<usize> = args.iter().position(|a| a == "--threads").map(|i| {
+        match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) if n > 0 => n,
+            _ => {
+                eprintln!("--threads needs a positive integer argument");
+                std::process::exit(1);
+            }
+        }
+    });
     let mut positional: Vec<String> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -47,7 +61,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--csv" {
+        if a == "--csv" || a == "--threads" {
             skip_next = true;
             continue;
         }
@@ -55,14 +69,27 @@ fn main() {
             positional.push(a.clone());
         }
     }
+    let unknown: Vec<&String> =
+        positional.iter().filter(|p| !EXPERIMENT_IDS.contains(&p.as_str())).collect();
+    if !unknown.is_empty() {
+        for u in &unknown {
+            eprintln!("unknown experiment: {u}");
+        }
+        eprintln!("valid experiments: {}", EXPERIMENT_IDS.join(" "));
+        std::process::exit(1);
+    }
     let wanted: BTreeSet<String> = positional.into_iter().collect();
-    let cfg = if paper { ExperimentConfig::paper() } else { ExperimentConfig::quick() };
+    let mut cfg = if paper { ExperimentConfig::paper() } else { ExperimentConfig::quick() };
+    if let Some(n) = threads {
+        cfg = cfg.with_threads(n);
+    }
     let run_all = wanted.is_empty();
     let want = |id: &str| run_all || wanted.contains(id);
 
     eprintln!(
-        "vstress-repro: profile = {}, clips = {:?}",
+        "vstress-repro: profile = {}, threads = {}, clips = {:?}",
         if paper { "paper" } else { "quick" },
+        cfg.threads,
         cfg.clips
     );
 

@@ -61,15 +61,11 @@ fn run() -> Result<(), String> {
                 .map(|s| s.parse().map_err(|_| "bad preset"))
                 .transpose()?
                 .unwrap_or(codec.max_preset() / 2);
-            let keyint: u8 = args
-                .get(6)
-                .map(|s| s.parse().map_err(|_| "bad keyint"))
-                .transpose()?
-                .unwrap_or(0);
+            let keyint: u8 =
+                args.get(6).map(|s| s.parse().map_err(|_| "bad keyint")).transpose()?.unwrap_or(0);
             let clip = load_clip(input)?;
-            let enc =
-                Encoder::new(codec, EncoderParams::new(crf, preset).with_keyint(keyint))
-                    .map_err(|e| e.to_string())?;
+            let enc = Encoder::new(codec, EncoderParams::new(crf, preset).with_keyint(keyint))
+                .map_err(|e| e.to_string())?;
             let out = enc.encode(&clip, &mut NullProbe).map_err(|e| e.to_string())?;
             std::fs::write(output, &out.bitstream).map_err(|e| e.to_string())?;
             eprintln!(
@@ -102,7 +98,8 @@ fn run() -> Result<(), String> {
         Some("trace") => {
             let input = args.get(1).ok_or("trace needs an input")?;
             let output = args.get(2).ok_or("trace needs an output path")?;
-            let crf: u8 = args.get(3).map(|s| s.parse().map_err(|_| "bad crf")).transpose()?.unwrap_or(63);
+            let crf: u8 =
+                args.get(3).map(|s| s.parse().map_err(|_| "bad crf")).transpose()?.unwrap_or(63);
             let preset: u8 =
                 args.get(4).map(|s| s.parse().map_err(|_| "bad preset")).transpose()?.unwrap_or(8);
             let clip = load_clip(input)?;
@@ -130,7 +127,10 @@ fn run() -> Result<(), String> {
             println!("dimensions: {}x{} @ {} fps", h.width, h.height, h.fps);
             println!("frames:     {}", h.frame_count);
             println!("base q:     {}", h.qindex);
-            println!("tools:      sb{} min{} depth{} refs{}", h.superblock, h.min_block, h.max_depth, h.ref_frames);
+            println!(
+                "tools:      sb{} min{} depth{} refs{}",
+                h.superblock, h.min_block, h.max_depth, h.ref_frames
+            );
             println!("payload:    {} bytes", payload.len());
             Ok(())
         }

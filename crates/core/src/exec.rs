@@ -1,0 +1,305 @@
+//! Parallel experiment execution and the characterization run-cache.
+//!
+//! Every figure/table runner decomposes into independent
+//! [`RunSpec`]s, so the whole reproduction is an embarrassingly
+//! parallel batch — the same structure the paper's datacenter framing
+//! assumes. [`run_all`] fans specs out over the
+//! [`run_ordered`](vstress_codecs::batch::run_ordered) work queue, and
+//! [`RunCache`] memoizes three layers of shared work:
+//!
+//! * **runs** — [`CharacterizationRun`]s keyed by everything that
+//!   determines them (clip, codec, params, fidelity, cache divisor,
+//!   pipeline on/off). Figures that share quality points (Figs. 4–7
+//!   slice one sweep; Fig. 1/2a/2b share encodes; Table 2 shares the
+//!   CRF-63 encodes with Fig. 8) never recompute an encode.
+//! * **clips** — synthesized vbench clips keyed by (name, fidelity).
+//! * **branch windows** — the CBP study's captured mid-run traces,
+//!   keyed additionally by the window length.
+//!
+//! Parallelism never changes results: each worker owns its probes and
+//! `CoreModel`, and every probed buffer carries a synthetic
+//! page-aligned address (see `vstress_trace::probe_addr`), so a spec's
+//! characterization is a pure function of the spec. The
+//! `parallel_equivalence` integration test pins this down.
+
+use crate::workbench::{characterize_clip, CharacterizationRun, RunSpec, WorkbenchError};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use vstress_codecs::batch::run_ordered;
+use vstress_codecs::{CodecId, Encoder, EncoderParams};
+use vstress_trace::{BranchRecord, BranchWindowProbe};
+use vstress_video::vbench::FidelityConfig;
+use vstress_video::Clip;
+
+/// The hashable projection of [`FidelityConfig`].
+type FidelityKey = (usize, usize, u64);
+
+fn fidelity_key(f: &FidelityConfig) -> FidelityKey {
+    (f.dimension_divisor, f.frame_count, f.seed)
+}
+
+/// Everything that determines a [`CharacterizationRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RunKey {
+    clip: &'static str,
+    codec: CodecId,
+    params: EncoderParams,
+    fidelity: FidelityKey,
+    cache_divisor: usize,
+    model_pipeline: bool,
+}
+
+impl RunKey {
+    fn of(spec: &RunSpec) -> Self {
+        RunKey {
+            clip: spec.clip,
+            codec: spec.codec,
+            params: spec.params,
+            fidelity: fidelity_key(&spec.fidelity),
+            cache_divisor: spec.cache_divisor,
+            model_pipeline: spec.model_pipeline,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ClipKey {
+    clip: &'static str,
+    fidelity: FidelityKey,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct WindowKey {
+    clip: &'static str,
+    codec: CodecId,
+    params: EncoderParams,
+    fidelity: FidelityKey,
+    window: u64,
+}
+
+/// A captured mid-run branch window: the records plus the number of
+/// instructions the window actually covered.
+pub type BranchWindow = (Vec<BranchRecord>, u64);
+
+/// One cache entry: a per-key lock around the (eventually) computed
+/// value. A racer for an in-flight key blocks on the slot lock instead
+/// of recomputing; distinct keys never contend beyond the brief map
+/// lookup.
+type Slot<V> = Arc<Mutex<Option<Arc<V>>>>;
+
+/// Looks up `key`, computing the value at most once per key. Failed
+/// computes leave the slot empty, so a later caller retries.
+fn memo<K: Eq + Hash, V>(
+    map: &Mutex<HashMap<K, Slot<V>>>,
+    hits: &AtomicU64,
+    misses: &AtomicU64,
+    key: K,
+    compute: impl FnOnce() -> Result<V, WorkbenchError>,
+) -> Result<Arc<V>, WorkbenchError> {
+    let slot = Arc::clone(map.lock().unwrap().entry(key).or_default());
+    let mut guard = slot.lock().unwrap();
+    if let Some(v) = guard.as_ref() {
+        hits.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(v));
+    }
+    misses.fetch_add(1, Ordering::Relaxed);
+    let v = Arc::new(compute()?);
+    *guard = Some(Arc::clone(&v));
+    Ok(v)
+}
+
+/// Hit/miss counters for the three cache layers (test observability —
+/// a hit proves no re-encode happened).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunCacheStats {
+    /// Characterization-run cache hits.
+    pub run_hits: u64,
+    /// Characterization-run cache misses (encodes performed).
+    pub run_misses: u64,
+    /// Clip-synthesis cache hits.
+    pub clip_hits: u64,
+    /// Clip-synthesis cache misses (clips synthesized).
+    pub clip_misses: u64,
+    /// Branch-window cache hits.
+    pub window_hits: u64,
+    /// Branch-window cache misses (window captures performed).
+    pub window_misses: u64,
+}
+
+/// Memoizes characterization runs, synthesized clips, and CBP branch
+/// windows. Thread-safe; share one instance per process via `Arc` (the
+/// [`ExperimentConfig`](crate::experiments::ExperimentConfig) embeds
+/// one and `Clone` shares it).
+#[derive(Default)]
+pub struct RunCache {
+    runs: Mutex<HashMap<RunKey, Slot<CharacterizationRun>>>,
+    clips: Mutex<HashMap<ClipKey, Slot<Clip>>>,
+    windows: Mutex<HashMap<WindowKey, Slot<BranchWindow>>>,
+    run_hits: AtomicU64,
+    run_misses: AtomicU64,
+    clip_hits: AtomicU64,
+    clip_misses: AtomicU64,
+    window_hits: AtomicU64,
+    window_misses: AtomicU64,
+}
+
+impl std::fmt::Debug for RunCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunCache").field("stats", &self.stats()).finish()
+    }
+}
+
+impl RunCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> RunCacheStats {
+        RunCacheStats {
+            run_hits: self.run_hits.load(Ordering::Relaxed),
+            run_misses: self.run_misses.load(Ordering::Relaxed),
+            clip_hits: self.clip_hits.load(Ordering::Relaxed),
+            clip_misses: self.clip_misses.load(Ordering::Relaxed),
+            window_hits: self.window_hits.load(Ordering::Relaxed),
+            window_misses: self.window_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The synthesized clip for `(name, fidelity)`, computing it on the
+    /// first request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkbenchError::Video`] for unknown clip names.
+    pub fn clip(
+        &self,
+        name: &'static str,
+        fidelity: &FidelityConfig,
+    ) -> Result<Arc<Clip>, WorkbenchError> {
+        let key = ClipKey { clip: name, fidelity: fidelity_key(fidelity) };
+        memo(&self.clips, &self.clip_hits, &self.clip_misses, key, || {
+            Ok(vstress_video::vbench::clip(name)?.synthesize(fidelity))
+        })
+    }
+
+    /// The characterization of `spec`, encoding only on the first
+    /// request for its key.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WorkbenchError`] from clip synthesis or the encode.
+    pub fn run(&self, spec: &RunSpec) -> Result<Arc<CharacterizationRun>, WorkbenchError> {
+        let key = RunKey::of(spec);
+        memo(&self.runs, &self.run_hits, &self.run_misses, key, || {
+            let clip = self.clip(spec.clip, &spec.fidelity)?;
+            characterize_clip(spec, &clip)
+        })
+    }
+
+    /// The CBP study's mid-run branch window for one encode
+    /// configuration: a counting pre-pass sizes the run (shared with
+    /// any counting-only characterization of the same spec via the run
+    /// cache), then a second encode captures a centered window of at
+    /// most `window` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WorkbenchError`] from clip synthesis or either
+    /// encode pass.
+    pub fn branch_window(
+        &self,
+        spec: &RunSpec,
+        window: u64,
+    ) -> Result<Arc<BranchWindow>, WorkbenchError> {
+        let key = WindowKey {
+            clip: spec.clip,
+            codec: spec.codec,
+            params: spec.params,
+            fidelity: fidelity_key(&spec.fidelity),
+            window,
+        };
+        memo(&self.windows, &self.window_hits, &self.window_misses, key, || {
+            let clip = self.clip(spec.clip, &spec.fidelity)?;
+            // Pass 1 — total instruction count, via the run cache: a
+            // counting probe's retired() equals its mix total, so a
+            // cached counting-only run is exactly the old pre-pass.
+            let counting = self.run(&spec.clone().counting_only())?;
+            let total = counting.mix.total();
+            // Pass 2 — capture the centered window.
+            let encoder = Encoder::new(spec.codec, spec.params)?;
+            let mut probe = BranchWindowProbe::mid_run(total, window.min(total));
+            encoder.encode(&clip, &mut probe)?;
+            let captured = probe.window_retired().max(1);
+            Ok((probe.into_records(), captured))
+        })
+    }
+}
+
+/// Characterizes every spec, in input order, on up to `threads` worker
+/// threads, memoizing through `cache`.
+///
+/// Results are bit-identical to a serial `characterize` loop at any
+/// thread count (each worker owns its probes and core model).
+///
+/// # Errors
+///
+/// Returns the first-by-index [`WorkbenchError`]; workers stop claiming
+/// specs once one fails.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn run_all(
+    cache: &RunCache,
+    threads: usize,
+    specs: &[RunSpec],
+) -> Result<Vec<Arc<CharacterizationRun>>, WorkbenchError> {
+    run_ordered(specs.len(), threads, |i| cache.run(&specs[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RunSpec {
+        RunSpec::quick("cat", CodecId::X264, EncoderParams::new(30, 5))
+    }
+
+    #[test]
+    fn run_cache_hits_skip_the_encode() {
+        let cache = RunCache::new();
+        let a = cache.run(&spec()).unwrap();
+        let b = cache.run(&spec()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "a hit must return the cached run");
+        let s = cache.stats();
+        assert_eq!((s.run_hits, s.run_misses), (1, 1));
+        assert_eq!((s.clip_hits, s.clip_misses), (0, 1));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = RunCache::new();
+        let pipeline = cache.run(&spec()).unwrap();
+        let counting = cache.run(&spec().counting_only()).unwrap();
+        assert!(pipeline.core.instructions > 0);
+        assert_eq!(counting.core.instructions, 0);
+        assert_eq!(cache.stats().run_misses, 2);
+    }
+
+    #[test]
+    fn run_all_matches_serial_and_dedupes() {
+        let specs = vec![spec(), spec().counting_only(), spec()];
+        let cache = RunCache::new();
+        let runs = run_all(&cache, 2, &specs).unwrap();
+        assert_eq!(runs.len(), 3);
+        let serial = crate::workbench::characterize(&specs[0]).unwrap();
+        assert_eq!(runs[0].core.instructions, serial.core.instructions);
+        assert_eq!(runs[0].total_bits, serial.total_bits);
+        // Specs 0 and 2 share a key: at most 2 encodes happened.
+        assert_eq!(cache.stats().run_misses, 2);
+    }
+}

@@ -10,9 +10,7 @@ use super::ExperimentConfig;
 use crate::table::{f1, f2, Table};
 use crate::workbench::WorkbenchError;
 use vstress_bpred::{harness, BranchPredictor, Gshare, Tage};
-use vstress_codecs::{CodecId, Encoder, EncoderParams};
-use vstress_trace::{BranchWindowProbe, CountingProbe, Probe};
-
+use vstress_codecs::{CodecId, EncoderParams};
 
 /// Results for one clip under the four predictors.
 #[derive(Debug, Clone, serde::Serialize)]
@@ -25,24 +23,17 @@ pub struct CbpRow {
     pub predictors: Vec<(String, f64, f64)>,
 }
 
-/// Captures the mid-run branch window of one encode.
+/// Captures the mid-run branch window of one encode, via the config's
+/// window cache (the counting pre-pass that places the window is shared
+/// with any counting-only characterization of the same spec).
 fn capture_window(
     cfg: &ExperimentConfig,
     clip_name: &'static str,
     params: EncoderParams,
 ) -> Result<(Vec<vstress_trace::BranchRecord>, u64), WorkbenchError> {
-    let clip = vstress_video::vbench::clip(clip_name)?.synthesize(&cfg.fidelity);
-    let encoder = Encoder::new(CodecId::SvtAv1, params)?;
-    // Pass 1: measure total instructions (the gprof/counting pre-pass the
-    // paper also needs to place its window).
-    let mut counter = CountingProbe::new();
-    encoder.encode(&clip, &mut counter)?;
-    let total = counter.retired();
-    // Pass 2: capture the centered window.
-    let mut window = BranchWindowProbe::mid_run(total, cfg.cbp_window.min(total));
-    encoder.encode(&clip, &mut window)?;
-    let captured = window.window_retired();
-    Ok((window.into_records(), captured.max(1)))
+    let spec = cfg.spec(clip_name, CodecId::SvtAv1, params);
+    let window = cfg.cache.branch_window(&spec, cfg.cbp_window)?;
+    Ok((window.0.clone(), window.1))
 }
 
 /// The paper's four predictor configurations.
@@ -68,30 +59,44 @@ pub fn cbp_study(
     let mut table = Table::new(
         format!("CBP study — simulated predictors on branch windows (preset {preset}, CRF {crf})"),
         &[
-            "Video", "branches",
-            "gshare-2KB miss%", "gshare-2KB MPKI",
-            "gshare-32KB miss%", "gshare-32KB MPKI",
-            "tage-8KB miss%", "tage-8KB MPKI",
-            "tage-64KB miss%", "tage-64KB MPKI",
+            "Video",
+            "branches",
+            "gshare-2KB miss%",
+            "gshare-2KB MPKI",
+            "gshare-32KB miss%",
+            "gshare-32KB MPKI",
+            "tage-8KB miss%",
+            "tage-8KB MPKI",
+            "tage-64KB miss%",
+            "tage-64KB MPKI",
         ],
     );
+    // Window capture and predictor replay are both per-clip pure
+    // functions, so the whole study fans out over the executor's queue.
+    let per_clip = vstress_codecs::batch::run_ordered(
+        cfg.clips.len(),
+        cfg.threads,
+        |i| -> Result<(Vec<String>, CbpRow), WorkbenchError> {
+            let clip_name = cfg.clips[i];
+            let (trace, window_instrs) =
+                capture_window(cfg, clip_name, EncoderParams::new(crf, preset))?;
+            let mut row = CbpRow {
+                clip: clip_name.to_owned(),
+                branches: trace.len() as u64,
+                predictors: Vec::new(),
+            };
+            let mut cells = vec![clip_name.to_owned(), trace.len().to_string()];
+            for mut p in paper_predictors() {
+                let stats = harness::run_with_window(&mut p, &trace, window_instrs);
+                cells.push(f1(stats.miss_rate() * 100.0));
+                cells.push(f2(stats.mpki()));
+                row.predictors.push((p.label(), stats.miss_rate(), stats.mpki()));
+            }
+            Ok((cells, row))
+        },
+    )?;
     let mut rows = Vec::new();
-    for &clip_name in &cfg.clips {
-        let (trace, window_instrs) =
-            capture_window(cfg, clip_name, EncoderParams::new(crf, preset))?;
-        let mut row = CbpRow {
-            clip: clip_name.to_owned(),
-            branches: trace.len() as u64,
-            predictors: Vec::new(),
-        };
-        let mut cells =
-            vec![clip_name.to_owned(), trace.len().to_string()];
-        for mut p in paper_predictors() {
-            let stats = harness::run_with_window(&mut p, &trace, window_instrs);
-            cells.push(f1(stats.miss_rate() * 100.0));
-            cells.push(f2(stats.mpki()));
-            row.predictors.push((p.label(), stats.miss_rate(), stats.mpki()));
-        }
+    for (cells, row) in per_clip {
         table.push_row(cells);
         rows.push(row);
     }

@@ -7,7 +7,7 @@
 
 use super::ExperimentConfig;
 use crate::table::{f1, f2, f3, Table};
-use crate::workbench::{characterize_clip, CharacterizationRun, WorkbenchError};
+use crate::workbench::{CharacterizationRun, WorkbenchError};
 use vstress_codecs::{CodecId, EncoderParams};
 
 /// One (clip, crf) sweep sample.
@@ -27,16 +27,20 @@ pub struct SweepPoint {
 ///
 /// Propagates [`WorkbenchError`] from any failing encode.
 pub fn crf_sweep(cfg: &ExperimentConfig) -> Result<Vec<SweepPoint>, WorkbenchError> {
-    let mut out = Vec::new();
+    let mut points = Vec::new();
+    let mut specs = Vec::new();
     for &clip_name in &cfg.clips {
-        let clip = vstress_video::vbench::clip(clip_name)?.synthesize(&cfg.fidelity);
         for &crf in &cfg.crf_points {
-            let spec = cfg.spec(clip_name, CodecId::SvtAv1, EncoderParams::new(crf, 4));
-            let run = characterize_clip(&spec, &clip)?;
-            out.push(SweepPoint { clip: clip_name.to_owned(), crf, run });
+            points.push((clip_name, crf));
+            specs.push(cfg.spec(clip_name, CodecId::SvtAv1, EncoderParams::new(crf, 4)));
         }
     }
-    Ok(out)
+    let runs = cfg.run_specs(&specs)?;
+    Ok(points
+        .into_iter()
+        .zip(runs)
+        .map(|((clip, crf), run)| SweepPoint { clip: clip.to_owned(), crf, run: (*run).clone() })
+        .collect())
 }
 
 /// Fig. 4 — instruction count, execution time and IPC vs CRF.
@@ -82,8 +86,16 @@ pub fn fig06_microarch(points: &[SweepPoint]) -> Table {
     let mut t = Table::new(
         "Fig. 6 — microarchitectural analysis vs CRF (SVT-AV1, preset 4)",
         &[
-            "Video", "CRF", "brMPKI", "L1D MPKI", "L2 MPKI", "LLC MPKI",
-            "RS stalls/ki", "LQ stalls/ki", "SQ stalls/ki", "ROB stalls/ki",
+            "Video",
+            "CRF",
+            "brMPKI",
+            "L1D MPKI",
+            "L2 MPKI",
+            "LLC MPKI",
+            "RS stalls/ki",
+            "LQ stalls/ki",
+            "SQ stalls/ki",
+            "ROB stalls/ki",
         ],
     );
     for p in points {

@@ -40,32 +40,37 @@ impl DecodeCostRow {
 pub fn table_decode_vs_encode(
     cfg: &ExperimentConfig,
 ) -> Result<(Table, Vec<DecodeCostRow>), WorkbenchError> {
-    let clip =
-        vstress_video::vbench::clip(cfg.headline_clip)?.synthesize(&cfg.fidelity);
+    let clip = cfg.clip(cfg.headline_clip)?;
     let mut table = Table::new(
         format!("encode vs decode instruction cost ({})", cfg.headline_clip),
         &["codec", "encode insts", "decode insts", "encode/decode"],
     );
-    let mut rows = Vec::new();
-    for codec in CodecId::ALL {
-        let params = equivalent_params(codec, 35, 4);
-        let encoder = Encoder::new(codec, params)?;
-        let mut pe = CountingProbe::new();
-        let out = encoder.encode(&clip, &mut pe)?;
-        let mut pd = CountingProbe::new();
-        Decoder::new().decode(&out.bitstream, &mut pd)?;
-        let row = DecodeCostRow {
-            codec,
-            encode_instructions: pe.mix().total(),
-            decode_instructions: pd.mix().total(),
-        };
+    // Each codec's encode+decode pair is independent; fan out.
+    let rows = vstress_codecs::batch::run_ordered(
+        CodecId::ALL.len(),
+        cfg.threads,
+        |i| -> Result<DecodeCostRow, WorkbenchError> {
+            let codec = CodecId::ALL[i];
+            let params = equivalent_params(codec, 35, 4);
+            let encoder = Encoder::new(codec, params)?;
+            let mut pe = CountingProbe::new();
+            let out = encoder.encode(&clip, &mut pe)?;
+            let mut pd = CountingProbe::new();
+            Decoder::new().decode(&out.bitstream, &mut pd)?;
+            Ok(DecodeCostRow {
+                codec,
+                encode_instructions: pe.mix().total(),
+                decode_instructions: pd.mix().total(),
+            })
+        },
+    )?;
+    for row in &rows {
         table.push_row(vec![
-            codec.name().to_owned(),
+            row.codec.name().to_owned(),
             sci(row.encode_instructions),
             sci(row.decode_instructions),
             f1(row.ratio()),
         ]);
-        rows.push(row);
     }
     Ok((table, rows))
 }

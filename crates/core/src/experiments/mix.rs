@@ -2,7 +2,7 @@
 
 use super::ExperimentConfig;
 use crate::table::{f1, sci, Table};
-use crate::workbench::{characterize_clip, WorkbenchError};
+use crate::workbench::WorkbenchError;
 use vstress_codecs::{CodecId, EncoderParams};
 use vstress_trace::OpClass;
 
@@ -17,12 +17,13 @@ pub fn table2_instruction_mix(cfg: &ExperimentConfig) -> Result<Table, Workbench
         "Table 2 — instruction mix in % (SVT-AV1, preset 8, CRF 63)",
         &["Video", "# Insts.", "Branch", "Load", "Store", "AVX", "SSE", "Other"],
     );
-    for &clip_name in &cfg.clips {
-        let clip = vstress_video::vbench::clip(clip_name)?.synthesize(&cfg.fidelity);
-        let spec = cfg
-            .spec(clip_name, CodecId::SvtAv1, EncoderParams::new(63, 8))
-            .counting_only();
-        let run = characterize_clip(&spec, &clip)?;
+    let specs: Vec<_> = cfg
+        .clips
+        .iter()
+        .map(|&clip| cfg.spec(clip, CodecId::SvtAv1, EncoderParams::new(63, 8)).counting_only())
+        .collect();
+    let runs = cfg.run_specs(&specs)?;
+    for (&clip_name, run) in cfg.clips.iter().zip(runs) {
         let m = run.mix;
         table.push_row(vec![
             clip_name.to_owned(),
@@ -48,25 +49,29 @@ pub fn fig03_opmix_sweep(cfg: &ExperimentConfig) -> Result<Table, WorkbenchError
         "Fig. 3 — op mix vs CRF (SVT-AV1, preset 4)",
         &["Video", "CRF", "Branch", "Load", "Store", "AVX", "SSE", "Other"],
     );
+    let mut grid = Vec::new();
+    let mut specs = Vec::new();
     for &clip_name in &cfg.clips {
-        let clip = vstress_video::vbench::clip(clip_name)?.synthesize(&cfg.fidelity);
         for &crf in &cfg.crf_points {
-            let spec = cfg
-                .spec(clip_name, CodecId::SvtAv1, EncoderParams::new(crf, 4))
-                .counting_only();
-            let run = characterize_clip(&spec, &clip)?;
-            let m = run.mix;
-            table.push_row(vec![
-                clip_name.to_owned(),
-                crf.to_string(),
-                f1(m.percent(OpClass::Branch)),
-                f1(m.percent(OpClass::Load)),
-                f1(m.percent(OpClass::Store)),
-                f1(m.percent(OpClass::Avx)),
-                f1(m.percent(OpClass::Sse)),
-                f1(m.percent(OpClass::Other)),
-            ]);
+            grid.push((clip_name, crf));
+            specs.push(
+                cfg.spec(clip_name, CodecId::SvtAv1, EncoderParams::new(crf, 4)).counting_only(),
+            );
         }
+    }
+    let runs = cfg.run_specs(&specs)?;
+    for ((clip_name, crf), run) in grid.into_iter().zip(runs) {
+        let m = run.mix;
+        table.push_row(vec![
+            clip_name.to_owned(),
+            crf.to_string(),
+            f1(m.percent(OpClass::Branch)),
+            f1(m.percent(OpClass::Load)),
+            f1(m.percent(OpClass::Store)),
+            f1(m.percent(OpClass::Avx)),
+            f1(m.percent(OpClass::Sse)),
+            f1(m.percent(OpClass::Other)),
+        ]);
     }
     Ok(table)
 }

@@ -26,19 +26,34 @@
 
 pub mod catalogue;
 pub mod cbp;
-pub mod decode_cost;
 pub mod crf_sweep;
+pub mod decode_cost;
 pub mod mix;
 pub mod preset_sweep;
 pub mod profile;
 pub mod runtime_quality;
 pub mod threads;
 
+use crate::exec::RunCache;
+use std::sync::Arc;
 use vstress_video::vbench::FidelityConfig;
+
+/// The executor's default worker-thread count: every available core.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
 
 /// Scale knobs shared by every experiment runner.
 #[derive(Debug, Clone)]
 pub struct ExperimentConfig {
+    /// Worker threads for the experiment executor (≥ 1). Runners fan
+    /// their independent encodes out over this many scoped threads;
+    /// results are bit-identical at any value.
+    pub threads: usize,
+    /// Shared memoization cache for runs, clips and branch windows.
+    /// `Clone` shares it, so runners invoked on clones of one config
+    /// reuse each other's encodes.
+    pub cache: Arc<RunCache>,
     /// Clip synthesis fidelity.
     pub fidelity: FidelityConfig,
     /// Cache scale divisor matching the fidelity.
@@ -65,6 +80,8 @@ impl ExperimentConfig {
     /// and the default `vstress-repro` invocation.
     pub fn quick() -> Self {
         ExperimentConfig {
+            threads: default_threads(),
+            cache: Arc::new(RunCache::new()),
             fidelity: FidelityConfig::smoke(),
             cache_divisor: 16,
             clips: vec!["desktop", "bike", "game1", "cat", "hall"],
@@ -80,6 +97,8 @@ impl ExperimentConfig {
     /// points — the configuration behind `EXPERIMENTS.md`.
     pub fn paper() -> Self {
         ExperimentConfig {
+            threads: default_threads(),
+            cache: Arc::new(RunCache::new()),
             fidelity: FidelityConfig::default(),
             cache_divisor: 8,
             clips: vstress_video::vbench::clip_names().collect(),
@@ -89,6 +108,41 @@ impl ExperimentConfig {
             max_threads: 8,
             cbp_window: 4_000_000,
         }
+    }
+
+    /// Sets the executor's worker-thread count (builder style).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Characterizes every spec in input order through this config's
+    /// executor and run cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first-by-index [`crate::workbench::WorkbenchError`].
+    pub fn run_specs(
+        &self,
+        specs: &[crate::workbench::RunSpec],
+    ) -> Result<Vec<Arc<crate::workbench::CharacterizationRun>>, crate::workbench::WorkbenchError>
+    {
+        crate::exec::run_all(&self.cache, self.threads, specs)
+    }
+
+    /// The synthesized clip for `name` at this config's fidelity, via
+    /// the clip cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown clip names.
+    pub fn clip(
+        &self,
+        name: &'static str,
+    ) -> Result<Arc<vstress_video::Clip>, crate::workbench::WorkbenchError> {
+        self.cache.clip(name, &self.fidelity)
     }
 
     /// A [`crate::workbench::RunSpec`] for this config.

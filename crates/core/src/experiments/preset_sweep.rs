@@ -2,7 +2,7 @@
 
 use super::ExperimentConfig;
 use crate::table::{f1, f2, f3, Table};
-use crate::workbench::{characterize_clip, CharacterizationRun, WorkbenchError};
+use crate::workbench::{CharacterizationRun, WorkbenchError};
 use vstress_codecs::{CodecId, EncoderParams};
 
 /// Fixed CRF used by the preset sweep (the paper holds CRF constant).
@@ -23,19 +23,20 @@ pub struct PresetPoint {
 ///
 /// Propagates [`WorkbenchError`] from any failing encode.
 pub fn preset_sweep(cfg: &ExperimentConfig) -> Result<Vec<PresetPoint>, WorkbenchError> {
-    let clip =
-        vstress_video::vbench::clip(cfg.headline_clip)?.synthesize(&cfg.fidelity);
-    let mut out = Vec::new();
-    for &preset in &cfg.preset_points {
-        let spec = cfg.spec(
-            cfg.headline_clip,
-            CodecId::SvtAv1,
-            EncoderParams::new(SWEEP_CRF, preset),
-        );
-        let run = characterize_clip(&spec, &clip)?;
-        out.push(PresetPoint { preset, run });
-    }
-    Ok(out)
+    let specs: Vec<_> = cfg
+        .preset_points
+        .iter()
+        .map(|&preset| {
+            cfg.spec(cfg.headline_clip, CodecId::SvtAv1, EncoderParams::new(SWEEP_CRF, preset))
+        })
+        .collect();
+    let runs = cfg.run_specs(&specs)?;
+    Ok(cfg
+        .preset_points
+        .iter()
+        .zip(runs)
+        .map(|(&preset, run)| PresetPoint { preset, run: (*run).clone() })
+        .collect())
 }
 
 /// Fig. 11a/11b — runtime, bitrate and PSNR vs preset.
@@ -62,8 +63,15 @@ pub fn fig11cde_microarch(points: &[PresetPoint]) -> Table {
     let mut t = Table::new(
         format!("Fig. 11c/d/e — preset sweep (SVT-AV1, CRF {SWEEP_CRF}): microarchitectural stats"),
         &[
-            "preset", "retiring", "bad-spec", "frontend", "backend",
-            "brMPKI", "L1D MPKI", "L2 MPKI", "RS stalls/ki",
+            "preset",
+            "retiring",
+            "bad-spec",
+            "frontend",
+            "backend",
+            "brMPKI",
+            "L1D MPKI",
+            "L2 MPKI",
+            "RS stalls/ki",
         ],
     );
     for p in points {

@@ -4,7 +4,7 @@
 
 use super::ExperimentConfig;
 use crate::table::{f1, Table};
-use crate::workbench::{characterize_clip, WorkbenchError};
+use crate::workbench::WorkbenchError;
 use vstress_codecs::{CodecId, EncoderParams};
 use vstress_trace::Kernel;
 
@@ -18,17 +18,16 @@ pub fn table_hot_kernels(cfg: &ExperimentConfig) -> Result<Table, WorkbenchError
         "hot kernels (SVT-AV1, preset 4) — the gprof step that places trace windows",
         &["Video", "#1", "#2", "#3", "search share %"],
     );
-    for &clip_name in &cfg.clips {
-        let clip = vstress_video::vbench::clip(clip_name)?.synthesize(&cfg.fidelity);
-        let spec = cfg
-            .spec(clip_name, CodecId::SvtAv1, EncoderParams::new(35, 4))
-            .counting_only();
-        let run = characterize_clip(&spec, &clip)?;
+    let specs: Vec<_> = cfg
+        .clips
+        .iter()
+        .map(|&clip| cfg.spec(clip, CodecId::SvtAv1, EncoderParams::new(35, 4)).counting_only())
+        .collect();
+    let runs = cfg.run_specs(&specs)?;
+    for (&clip_name, run) in cfg.clips.iter().zip(runs) {
         let top = run.profile.top(3);
         let fmt = |i: usize| {
-            top.get(i)
-                .map(|(k, _, pct)| format!("{} {:.0}%", k.name(), pct))
-                .unwrap_or_default()
+            top.get(i).map(|(k, _, pct)| format!("{} {:.0}%", k.name(), pct)).unwrap_or_default()
         };
         let search_kernels = [Kernel::Sad, Kernel::Satd, Kernel::MotionSearch];
         let search_share: f64 = run
@@ -58,7 +57,8 @@ mod tests {
             assert!(share > 30.0, "{}: search share {share}%", row[0]);
             // The hottest kernel is one of the search kernels.
             assert!(
-                row[1].starts_with("sad") || row[1].starts_with("satd")
+                row[1].starts_with("sad")
+                    || row[1].starts_with("satd")
                     || row[1].starts_with("motion_search"),
                 "{}: hottest was {}",
                 row[0],

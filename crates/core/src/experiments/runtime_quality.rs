@@ -2,7 +2,7 @@
 
 use super::ExperimentConfig;
 use crate::table::{f1, f2, Table};
-use crate::workbench::{characterize_clip, equivalent_params, WorkbenchError};
+use crate::workbench::{equivalent_params, WorkbenchError};
 use vstress_codecs::CodecId;
 use vstress_video::bdrate::{bd_rate, RatePoint};
 
@@ -28,31 +28,33 @@ pub struct RuntimePoint {
 pub fn fig01_runtime_vs_crf(
     cfg: &ExperimentConfig,
 ) -> Result<(Table, Vec<RuntimePoint>), WorkbenchError> {
-    let clip =
-        vstress_video::vbench::clip(cfg.headline_clip)?.synthesize(&cfg.fidelity);
+    let mut grid = Vec::new();
+    let mut specs = Vec::new();
+    for &crf in &cfg.crf_points {
+        for codec in CodecId::ALL {
+            grid.push((crf, codec));
+            specs.push(cfg.spec(cfg.headline_clip, codec, equivalent_params(codec, crf, 4)));
+        }
+    }
+    let runs = cfg.run_specs(&specs)?;
     let mut points = Vec::new();
     let mut table = Table::new(
         format!("Fig. 1 — execution time vs CRF ({})", cfg.headline_clip),
         &["codec", "crf", "seconds", "instructions"],
     );
-    for &crf in &cfg.crf_points {
-        for codec in CodecId::ALL {
-            let params = equivalent_params(codec, crf, 4);
-            let spec = cfg.spec(cfg.headline_clip, codec, params);
-            let run = characterize_clip(&spec, &clip)?;
-            table.push_row(vec![
-                codec.name().to_owned(),
-                crf.to_string(),
-                format!("{:.4}", run.seconds),
-                run.core.instructions.to_string(),
-            ]);
-            points.push(RuntimePoint {
-                codec,
-                crf,
-                seconds: run.seconds,
-                instructions: run.core.instructions,
-            });
-        }
+    for ((crf, codec), run) in grid.into_iter().zip(runs) {
+        table.push_row(vec![
+            codec.name().to_owned(),
+            crf.to_string(),
+            format!("{:.4}", run.seconds),
+            run.core.instructions.to_string(),
+        ]);
+        points.push(RuntimePoint {
+            codec,
+            crf,
+            seconds: run.seconds,
+            instructions: run.core.instructions,
+        });
     }
     Ok((table, points))
 }
@@ -75,36 +77,32 @@ pub struct BdCurve {
 /// Propagates [`WorkbenchError`]; BD-Rate math errors are reported as
 /// `"n/a"` cells (disjoint quality ranges can happen at tiny fidelity).
 pub fn fig02a_bdrate(cfg: &ExperimentConfig) -> Result<(Table, Vec<BdCurve>), WorkbenchError> {
-    let clip =
-        vstress_video::vbench::clip(cfg.headline_clip)?.synthesize(&cfg.fidelity);
     // A four-point quality ladder spanning the usable range.
     let ladder: [u8; 4] = [12, 26, 40, 54];
+    let specs: Vec<_> = CodecId::ALL
+        .into_iter()
+        .flat_map(|codec| ladder.iter().map(move |&crf| (codec, crf)))
+        .map(|(codec, crf)| cfg.spec(cfg.headline_clip, codec, equivalent_params(codec, crf, 4)))
+        .collect();
+    let runs = cfg.run_specs(&specs)?;
     let mut curves = Vec::new();
-    for codec in CodecId::ALL {
+    for (ci, codec) in CodecId::ALL.into_iter().enumerate() {
         let mut points = Vec::new();
         let mut secs = 0.0;
-        for &crf in &ladder {
-            let params = equivalent_params(codec, crf, 4);
-            let run = characterize_clip(&cfg.spec(cfg.headline_clip, codec, params), &clip)?;
+        for run in &runs[ci * ladder.len()..(ci + 1) * ladder.len()] {
             points.push(RatePoint { bitrate_kbps: run.bitrate_kbps, psnr_db: run.mean_psnr });
             secs += run.seconds;
         }
         curves.push(BdCurve { codec, points, mean_seconds: secs / ladder.len() as f64 });
     }
-    let anchor = curves
-        .iter()
-        .find(|c| c.codec == CodecId::X264)
-        .expect("x264 is in ALL")
-        .points
-        .clone();
+    let anchor =
+        curves.iter().find(|c| c.codec == CodecId::X264).expect("x264 is in ALL").points.clone();
     let mut table = Table::new(
         format!("Fig. 2a — PSNR BD-Rate (anchor: x264) vs execution time ({})", cfg.headline_clip),
         &["codec", "bd-rate %", "mean seconds"],
     );
     for c in &curves {
-        let bd = bd_rate(&anchor, &c.points)
-            .map(f1)
-            .unwrap_or_else(|_| "n/a".to_owned());
+        let bd = bd_rate(&anchor, &c.points).map(f1).unwrap_or_else(|_| "n/a".to_owned());
         table.push_row(vec![c.codec.name().to_owned(), bd, format!("{:.4}", c.mean_seconds)]);
     }
     Ok((table, curves))
@@ -116,19 +114,19 @@ pub fn fig02a_bdrate(cfg: &ExperimentConfig) -> Result<(Table, Vec<BdCurve>), Wo
 ///
 /// Propagates [`WorkbenchError`] from any failing encode.
 pub fn fig02b_psnr_vs_time(cfg: &ExperimentConfig) -> Result<Table, WorkbenchError> {
-    let clip =
-        vstress_video::vbench::clip(cfg.headline_clip)?.synthesize(&cfg.fidelity);
+    let specs: Vec<_> = cfg
+        .crf_points
+        .iter()
+        .map(|&crf| {
+            cfg.spec(cfg.headline_clip, CodecId::SvtAv1, vstress_codecs::EncoderParams::new(crf, 4))
+        })
+        .collect();
+    let runs = cfg.run_specs(&specs)?;
     let mut table = Table::new(
         format!("Fig. 2b — PSNR vs execution time, SVT-AV1 preset 4 ({})", cfg.headline_clip),
         &["crf", "seconds", "psnr dB", "kbps"],
     );
-    for &crf in &cfg.crf_points {
-        let spec = cfg.spec(
-            cfg.headline_clip,
-            CodecId::SvtAv1,
-            vstress_codecs::EncoderParams::new(crf, 4),
-        );
-        let run = characterize_clip(&spec, &clip)?;
+    for (&crf, run) in cfg.crf_points.iter().zip(runs) {
         table.push_row(vec![
             crf.to_string(),
             format!("{:.4}", run.seconds),
@@ -154,19 +152,11 @@ mod tests {
         let (_, points) = fig01_runtime_vs_crf(&tiny_cfg()).unwrap();
         for &crf in &[20u8, 55] {
             let of = |codec| {
-                points
-                    .iter()
-                    .find(|p| p.codec == codec && p.crf == crf)
-                    .map(|p| p.seconds)
-                    .unwrap()
+                points.iter().find(|p| p.codec == codec && p.crf == crf).map(|p| p.seconds).unwrap()
             };
             let svt = of(CodecId::SvtAv1);
             for other in [CodecId::LibvpxVp9, CodecId::X264, CodecId::X265] {
-                assert!(
-                    svt > of(other),
-                    "crf {crf}: SVT {svt} must exceed {other} {}",
-                    of(other)
-                );
+                assert!(svt > of(other), "crf {crf}: SVT {svt} must exceed {other} {}", of(other));
             }
             assert!(
                 svt > of(CodecId::X264) * 4.0,
@@ -180,16 +170,10 @@ mod tests {
     #[test]
     fn fig01_runtime_falls_with_crf() {
         let (_, points) = fig01_runtime_vs_crf(&tiny_cfg()).unwrap();
-        let svt_lo = points
-            .iter()
-            .find(|p| p.codec == CodecId::SvtAv1 && p.crf == 20)
-            .unwrap()
-            .seconds;
-        let svt_hi = points
-            .iter()
-            .find(|p| p.codec == CodecId::SvtAv1 && p.crf == 55)
-            .unwrap()
-            .seconds;
+        let svt_lo =
+            points.iter().find(|p| p.codec == CodecId::SvtAv1 && p.crf == 20).unwrap().seconds;
+        let svt_hi =
+            points.iter().find(|p| p.codec == CodecId::SvtAv1 && p.crf == 55).unwrap().seconds;
         assert!(svt_lo > svt_hi, "runtime must fall with CRF: {svt_lo} vs {svt_hi}");
     }
 

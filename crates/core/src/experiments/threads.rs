@@ -9,7 +9,7 @@
 
 use super::ExperimentConfig;
 use crate::table::{f2, f3, Table};
-use crate::workbench::{characterize_clip, WorkbenchError};
+use crate::workbench::WorkbenchError;
 use vstress_codecs::taskgraph::build_task_graph;
 use vstress_codecs::{CodecId, EncoderParams};
 use vstress_pipeline::TopDownSlots;
@@ -65,8 +65,22 @@ pub struct ScalingResult {
 pub fn fig12_15_thread_scaling(
     cfg: &ExperimentConfig,
 ) -> Result<(Vec<Table>, Vec<ScalingResult>), WorkbenchError> {
-    let clip =
-        vstress_video::vbench::clip(cfg.headline_clip)?.synthesize(&cfg.fidelity);
+    // The instrumented single-thread encodes fan out over the executor;
+    // the (cheap) graph construction and scheduling stay serial. Several
+    // scenarios share the AV1-family "highest CRF" point, so the run
+    // cache collapses those encodes to one each.
+    let mut grid = Vec::new();
+    let mut specs = Vec::new();
+    for scenario in SCENARIOS {
+        for codec in SCALING_CODECS {
+            grid.push((scenario, codec));
+            specs.push(
+                cfg.spec(cfg.headline_clip, codec, params_for(codec, scenario)).counting_only(),
+            );
+        }
+    }
+    let runs = cfg.run_specs(&specs)?;
+    let mut runs = runs.into_iter();
     let mut tables = Vec::new();
     let mut results = Vec::new();
     for scenario in SCENARIOS {
@@ -79,10 +93,7 @@ pub fn fig12_15_thread_scaling(
         );
         let mut curves = Vec::new();
         for codec in SCALING_CODECS {
-            let spec = cfg
-                .spec(cfg.headline_clip, codec, params_for(codec, scenario))
-                .counting_only();
-            let run = characterize_clip(&spec, &clip)?;
+            let run = runs.next().expect("one run per grid point");
             let graph = build_task_graph(codec, &run.tasks);
             let curve = speedup_curve(&graph, cfg.max_threads);
             let mut row = vec![codec.name().to_owned()];
@@ -108,17 +119,18 @@ pub fn fig12_15_thread_scaling(
 ///
 /// Propagates [`WorkbenchError`] from any failing encode.
 pub fn fig16_topdown_threads(cfg: &ExperimentConfig) -> Result<Table, WorkbenchError> {
-    let clip =
-        vstress_video::vbench::clip(cfg.headline_clip)?.synthesize(&cfg.fidelity);
     let model = ContentionModel::default();
     let mut table = Table::new(
         format!("Fig. 16 — top-down vs thread count ({})", cfg.headline_clip),
         &["codec", "threads", "retiring", "bad-spec", "frontend", "backend"],
     );
     let scenario = SCENARIOS[3];
-    for codec in SCALING_CODECS {
-        let spec = cfg.spec(cfg.headline_clip, codec, params_for(codec, scenario));
-        let run = characterize_clip(&spec, &clip)?;
+    let specs: Vec<_> = SCALING_CODECS
+        .into_iter()
+        .map(|codec| cfg.spec(cfg.headline_clip, codec, params_for(codec, scenario)))
+        .collect();
+    let runs = cfg.run_specs(&specs)?;
+    for (codec, run) in SCALING_CODECS.into_iter().zip(runs) {
         let graph = build_task_graph(codec, &run.tasks);
         let base = run.core.topdown();
         for &threads in &[1usize, 2, 4, 8] {
@@ -142,8 +154,8 @@ pub fn fig16_topdown_threads(cfg: &ExperimentConfig) -> Result<Table, WorkbenchE
 /// renormalizes all fractions to sum to 1.
 pub fn inflate_backend(base: TopDownSlots, inflation: f64) -> TopDownSlots {
     let backend_memory = base.backend_memory * inflation;
-    let total = base.retiring + base.bad_speculation + base.frontend + backend_memory
-        + base.backend_core;
+    let total =
+        base.retiring + base.bad_speculation + base.frontend + backend_memory + base.backend_core;
     TopDownSlots {
         retiring: base.retiring / total,
         bad_speculation: base.bad_speculation / total,
@@ -168,11 +180,7 @@ mod tests {
         assert_eq!(results.len(), 4);
         for r in &results {
             let at8 = |codec| {
-                r.curves
-                    .iter()
-                    .find(|(c, _)| *c == codec)
-                    .map(|(_, v)| *v.last().unwrap())
-                    .unwrap()
+                r.curves.iter().find(|(c, _)| *c == codec).map(|(_, v)| *v.last().unwrap()).unwrap()
             };
             let svt = at8(CodecId::SvtAv1);
             let x264 = at8(CodecId::X264);
@@ -204,10 +212,7 @@ mod tests {
         let svt_growth = backend("SVT-AV1", "8") - backend("SVT-AV1", "1");
         let x264_growth = backend("x264", "8") - backend("x264", "1");
         assert!(x265_growth > 0.02, "x265 backend must grow: {x265_growth}");
-        assert!(
-            x265_growth > svt_growth * 2.0,
-            "x265 {x265_growth} should dwarf SVT {svt_growth}"
-        );
+        assert!(x265_growth > svt_growth * 2.0, "x265 {x265_growth} should dwarf SVT {svt_growth}");
         assert!(svt_growth.abs() < 0.05, "SVT stays flat: {svt_growth}");
         assert!(x264_growth.abs() < 0.08, "x264 stays flattish: {x264_growth}");
     }

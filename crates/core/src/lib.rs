@@ -35,11 +35,13 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod exec;
 pub mod experiments;
 pub mod runtime;
 pub mod table;
 pub mod workbench;
 
+pub use exec::{RunCache, RunCacheStats};
 pub use table::Table;
 pub use workbench::{characterize, CharacterizationRun, RunSpec};
 

@@ -68,7 +68,9 @@ impl std::fmt::Display for Table {
         let fmt_row = |row: &[String]| -> String {
             row.iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:<width$}", c, width = w.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!("{:<width$}", c, width = w.get(i).copied().unwrap_or(c.len()))
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };

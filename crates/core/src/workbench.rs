@@ -143,10 +143,8 @@ pub fn characterize_clip(
 ) -> Result<CharacterizationRun, WorkbenchError> {
     let encoder = Encoder::new(spec.codec, spec.params)?;
     if spec.model_pipeline {
-        let mut probe = TeeProbe::new(
-            CountingProbe::new(),
-            CoreModel::broadwell_scaled(spec.cache_divisor),
-        );
+        let mut probe =
+            TeeProbe::new(CountingProbe::new(), CoreModel::broadwell_scaled(spec.cache_divisor));
         let out = encoder.encode(clip, &mut probe)?;
         let (counting, core) = probe.into_parts();
         let report = core.into_report();
@@ -230,8 +228,7 @@ mod tests {
 
     #[test]
     fn counting_only_skips_the_pipeline() {
-        let spec =
-            RunSpec::quick("cat", CodecId::X264, EncoderParams::new(30, 5)).counting_only();
+        let spec = RunSpec::quick("cat", CodecId::X264, EncoderParams::new(30, 5)).counting_only();
         let run = characterize(&spec).unwrap();
         assert!(run.mix.total() > 0);
         assert_eq!(run.seconds, 0.0);

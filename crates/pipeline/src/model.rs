@@ -44,7 +44,6 @@ pub struct CoreModel<B: BranchPredictor = Gshare> {
     /// current hot window to model loop re-execution).
     fetch_bytes: [u64; Kernel::ALL.len()],
 
-
     /// Memory-level-parallelism window state.
     last_miss_at: u64,
     cur_mlp: u32,
@@ -239,7 +238,8 @@ impl<B: BranchPredictor> CoreModel<B> {
         } else {
             (0.26, 0.13)
         };
-        self.stalls.rs += exposed * clamp(inflight * self.config.dependent_fraction / self.config.rs as f64);
+        self.stalls.rs +=
+            exposed * clamp(inflight * self.config.dependent_fraction / self.config.rs as f64);
         self.stalls.lq += exposed * clamp(inflight * load_frac / self.config.lq as f64);
         self.stalls.sq += exposed * clamp(inflight * store_frac / self.config.sq as f64);
         self.stalls.rob += exposed * clamp(inflight / self.config.rob as f64) * 0.5;
@@ -418,7 +418,12 @@ mod tests {
         let b = bunched.into_report();
         let s = spread.into_report();
         assert_eq!(b.instructions, s.instructions);
-        assert!(b.cycles < s.cycles, "overlapped misses must cost less: {} vs {}", b.cycles, s.cycles);
+        assert!(
+            b.cycles < s.cycles,
+            "overlapped misses must cost less: {} vs {}",
+            b.cycles,
+            s.cycles
+        );
     }
 
     #[test]

@@ -119,11 +119,7 @@ pub fn schedule(graph: &TaskGraph, cores: usize) -> Schedule {
         }
     }
     for t in graph.tasks.iter().rev() {
-        let down = dependents[t.id]
-            .iter()
-            .map(|&s| downstream[s])
-            .max()
-            .unwrap_or(0);
+        let down = dependents[t.id].iter().map(|&s| downstream[s]).max().unwrap_or(0);
         downstream[t.id] = down + t.cost;
     }
 
@@ -223,9 +219,7 @@ impl Schedule {
             let core = if graph.tasks[id].main_thread_only {
                 0
             } else {
-                (0..self.cores)
-                    .find(|&c| core_free[c] <= start)
-                    .unwrap_or(0)
+                (0..self.cores).find(|&c| core_free[c] <= start).unwrap_or(0)
             };
             core_free[core] = start + cost;
             let a = (start as u128 * width as u128 / span as u128) as usize;
@@ -468,7 +462,11 @@ mod shape_checks {
     fn print_speedup_curves() {
         let t = TaskTrace {
             frames: (0..8)
-                .map(|_| FrameTaskTrace { sb_rows: vec![10_000; 8], lookahead: 5_000, filter: 2_500 })
+                .map(|_| FrameTaskTrace {
+                    sb_rows: vec![10_000; 8],
+                    lookahead: 5_000,
+                    filter: 2_500,
+                })
                 .collect(),
         };
         for codec in CodecId::ALL {

@@ -1,7 +1,9 @@
 //! Property-based tests of scheduler invariants on arbitrary task graphs.
 
 use proptest::prelude::*;
-use vstress_codecs::taskgraph::{build_task_graph, FrameTaskTrace, Task, TaskGraph, TaskKind, TaskTrace};
+use vstress_codecs::taskgraph::{
+    build_task_graph, FrameTaskTrace, Task, TaskGraph, TaskKind, TaskTrace,
+};
 use vstress_codecs::CodecId;
 use vstress_sched::{schedule, speedup};
 

@@ -12,7 +12,9 @@
 ///    ([`Kernel::code_footprint`]), so the pipeline model can synthesize a
 ///    realistic instruction-fetch address stream (small hot loops hit in the
 ///    L1I; hopping between many kernels, as RDO does, misses).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 #[repr(u8)]
 #[non_exhaustive]
 pub enum Kernel {

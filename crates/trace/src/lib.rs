@@ -10,7 +10,8 @@
 //!
 //! * every retired abstract instruction, classified into the same categories
 //!   the paper reports (branch / load / store / AVX / SSE / other),
-//! * real data addresses (taken from the live buffers) for cache simulation,
+//! * synthetic, deterministic data addresses (see [`probe_addr`]) with the
+//!   live buffers' layout and strides, for cache simulation,
 //! * stable per-site program counters for branch-predictor simulation,
 //!   generated at compile time by [`site_pc!`].
 //!
@@ -28,6 +29,7 @@ pub mod io;
 pub mod kernel;
 pub mod mix;
 pub mod probe;
+pub mod probe_addr;
 pub mod profile;
 pub mod record;
 pub mod window;

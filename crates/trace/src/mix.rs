@@ -21,8 +21,14 @@ pub enum OpClass {
 
 impl OpClass {
     /// All classes in Table 2 column order.
-    pub const ALL: [OpClass; 6] =
-        [OpClass::Branch, OpClass::Load, OpClass::Store, OpClass::Avx, OpClass::Sse, OpClass::Other];
+    pub const ALL: [OpClass; 6] = [
+        OpClass::Branch,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Avx,
+        OpClass::Sse,
+        OpClass::Other,
+    ];
 
     /// Column label used in reports.
     pub fn label(self) -> &'static str {

@@ -44,11 +44,8 @@ impl HotKernelProfile {
     /// hottest first. Kernels with zero count are omitted.
     pub fn top(&self, n: usize) -> Vec<(Kernel, u64, f64)> {
         let total = self.total();
-        let mut rows: Vec<(Kernel, u64)> = Kernel::ALL
-            .iter()
-            .map(|&k| (k, self.count(k)))
-            .filter(|&(_, c)| c > 0)
-            .collect();
+        let mut rows: Vec<(Kernel, u64)> =
+            Kernel::ALL.iter().map(|&k| (k, self.count(k))).filter(|&(_, c)| c > 0).collect();
         rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         rows.truncate(n);
         rows.into_iter()

@@ -53,10 +53,9 @@ impl fmt::Display for VideoError {
             VideoError::InvalidDimensions { width, height, reason } => {
                 write!(f, "invalid dimensions {width}x{height}: {reason}")
             }
-            VideoError::BlockOutOfBounds { x, y, w, h, plane_w, plane_h } => write!(
-                f,
-                "block {w}x{h} at ({x},{y}) exceeds plane bounds {plane_w}x{plane_h}"
-            ),
+            VideoError::BlockOutOfBounds { x, y, w, h, plane_w, plane_h } => {
+                write!(f, "block {w}x{h} at ({x},{y}) exceeds plane bounds {plane_w}x{plane_h}")
+            }
             VideoError::GeometryMismatch { what } => {
                 write!(f, "geometry mismatch between {what}")
             }

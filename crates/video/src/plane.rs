@@ -14,13 +14,43 @@ pub const ROW_ALIGN: usize = 32;
 /// `Plane` is the unit of pixel storage for both luma and chroma.
 /// The accessible region is `width x height`; each row occupies
 /// [`Plane::stride`] samples so rows start on a [`ROW_ALIGN`] boundary.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Plane {
     data: Vec<u8>,
     width: usize,
     height: usize,
     stride: usize,
+    /// Synthetic base address reported to instrumentation (see
+    /// [`vstress_trace::probe_addr`]); unique per plane, page-aligned.
+    probe_base: u64,
 }
+
+impl Clone for Plane {
+    fn clone(&self) -> Self {
+        // A clone is a distinct buffer, so it gets its own synthetic
+        // address region — just as a real copy gets its own allocation.
+        Plane {
+            data: self.data.clone(),
+            width: self.width,
+            height: self.height,
+            stride: self.stride,
+            probe_base: vstress_trace::probe_addr::alloc(self.data.len()),
+        }
+    }
+}
+
+impl PartialEq for Plane {
+    fn eq(&self, other: &Self) -> bool {
+        // Identity is pixel content and geometry; the synthetic probe
+        // address is an instrumentation detail.
+        self.width == other.width
+            && self.height == other.height
+            && self.stride == other.stride
+            && self.data == other.data
+    }
+}
+
+impl Eq for Plane {}
 
 impl Plane {
     /// Creates a plane filled with `fill`.
@@ -45,7 +75,9 @@ impl Plane {
             });
         }
         let stride = width.div_ceil(ROW_ALIGN) * ROW_ALIGN;
-        Ok(Plane { data: vec![fill; stride * height], width, height, stride })
+        let data = vec![fill; stride * height];
+        let probe_base = vstress_trace::probe_addr::alloc(data.len());
+        Ok(Plane { data, width, height, stride, probe_base })
     }
 
     /// Width of the accessible region in samples.
@@ -66,14 +98,16 @@ impl Plane {
         self.stride
     }
 
-    /// Base address of the underlying buffer.
+    /// Base address of the plane's buffer as seen by instrumentation.
     ///
-    /// Instrumentation uses this to report *real* data addresses for the
-    /// cache simulator, so the simulated locality matches the program's
-    /// actual memory layout.
+    /// This is a *synthetic* page-aligned address, unique per plane (see
+    /// [`vstress_trace::probe_addr`]): the cache simulator sees the real
+    /// layout and strides, while the address stream stays a pure function
+    /// of the program's deterministic allocation order — live heap
+    /// addresses would leak allocator/ASLR jitter into the statistics.
     #[inline]
     pub fn base_addr(&self) -> u64 {
-        self.data.as_ptr() as u64
+        self.probe_base
     }
 
     /// Address of the sample at `(x, y)`, for instrumentation.

@@ -239,7 +239,8 @@ impl Sprite {
 
 #[inline]
 fn hash2(seed: u64, a: u64, b: u64) -> u64 {
-    let mut x = seed ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
+    let mut x =
+        seed ^ a.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ b.wrapping_mul(0xc2b2_ae3d_27d4_eb4f);
     x ^= x >> 33;
     x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
     x ^= x >> 33;
@@ -296,14 +297,21 @@ fn screen_overlay(v: f64, x: usize, y: usize, p: &SynthParams) -> f64 {
     }
 }
 
-fn render_chroma(plane: &mut Plane, field: &NoiseField, motion: (f64, f64), bias: i32, p: &SynthParams) {
+fn render_chroma(
+    plane: &mut Plane,
+    field: &NoiseField,
+    motion: (f64, f64),
+    bias: i32,
+    p: &SynthParams,
+) {
     let chroma_gain = match p.class {
         SceneClass::Screen => 0.15,
         _ => 0.5,
     };
     for y in 0..plane.height() {
         for x in 0..plane.width() {
-            let n = field.sample(x as f64 * 2.0 + motion.0 + bias as f64, y as f64 * 2.0 + motion.1);
+            let n =
+                field.sample(x as f64 * 2.0 + motion.0 + bias as f64, y as f64 * 2.0 + motion.1);
             let v = 128.0 + n * chroma_gain + (bias - 49) as f64 * 0.2;
             plane.set(x, y, (v as i32).clamp(0, 255) as u8);
         }
@@ -352,15 +360,7 @@ mod tests {
     use super::*;
 
     fn params(entropy: f64, class: SceneClass) -> SynthParams {
-        SynthParams {
-            width: 64,
-            height: 48,
-            frame_count: 4,
-            fps: 30.0,
-            entropy,
-            class,
-            seed: 7,
-        }
+        SynthParams { width: 64, height: 48, frame_count: 4, fps: 30.0, entropy, class, seed: 7 }
     }
 
     #[test]

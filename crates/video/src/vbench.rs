@@ -119,9 +119,7 @@ impl ClipSpec {
             class: self.class,
             seed: fidelity.seed ^ name_hash(self.name),
         };
-        params
-            .synthesize(self.name)
-            .expect("catalogue specs always have valid dimensions")
+        params.synthesize(self.name).expect("catalogue specs always have valid dimensions")
     }
 }
 
@@ -136,21 +134,111 @@ fn name_hash(name: &str) -> u64 {
 
 /// The fifteen vbench clips (Table 1, deduplicated, plus `house`).
 pub const CATALOGUE: [ClipSpec; 15] = [
-    ClipSpec { name: "desktop", resolution: Resolution::P720, fps: 30, entropy: 0.2, class: SceneClass::Screen },
-    ClipSpec { name: "presentation", resolution: Resolution::P1080, fps: 25, entropy: 0.2, class: SceneClass::Screen },
-    ClipSpec { name: "bike", resolution: Resolution::P720, fps: 29, entropy: 0.92, class: SceneClass::Natural },
-    ClipSpec { name: "funny", resolution: Resolution::P1080, fps: 30, entropy: 2.5, class: SceneClass::Natural },
-    ClipSpec { name: "house", resolution: Resolution::P720, fps: 29, entropy: 3.0, class: SceneClass::Natural },
-    ClipSpec { name: "cricket", resolution: Resolution::P720, fps: 30, entropy: 3.4, class: SceneClass::Action },
-    ClipSpec { name: "game1", resolution: Resolution::P1080, fps: 60, entropy: 4.6, class: SceneClass::Game },
-    ClipSpec { name: "game2", resolution: Resolution::P720, fps: 30, entropy: 4.9, class: SceneClass::Game },
-    ClipSpec { name: "girl", resolution: Resolution::P720, fps: 30, entropy: 5.9, class: SceneClass::Natural },
-    ClipSpec { name: "chicken", resolution: Resolution::P2160, fps: 30, entropy: 5.9, class: SceneClass::Natural },
-    ClipSpec { name: "game3", resolution: Resolution::P720, fps: 59, entropy: 6.1, class: SceneClass::Game },
-    ClipSpec { name: "cat", resolution: Resolution::P480, fps: 29, entropy: 6.8, class: SceneClass::Natural },
-    ClipSpec { name: "holi", resolution: Resolution::P480, fps: 30, entropy: 7.0, class: SceneClass::Action },
-    ClipSpec { name: "landscape", resolution: Resolution::P1080, fps: 29, entropy: 7.2, class: SceneClass::Natural },
-    ClipSpec { name: "hall", resolution: Resolution::P1080, fps: 29, entropy: 7.7, class: SceneClass::Action },
+    ClipSpec {
+        name: "desktop",
+        resolution: Resolution::P720,
+        fps: 30,
+        entropy: 0.2,
+        class: SceneClass::Screen,
+    },
+    ClipSpec {
+        name: "presentation",
+        resolution: Resolution::P1080,
+        fps: 25,
+        entropy: 0.2,
+        class: SceneClass::Screen,
+    },
+    ClipSpec {
+        name: "bike",
+        resolution: Resolution::P720,
+        fps: 29,
+        entropy: 0.92,
+        class: SceneClass::Natural,
+    },
+    ClipSpec {
+        name: "funny",
+        resolution: Resolution::P1080,
+        fps: 30,
+        entropy: 2.5,
+        class: SceneClass::Natural,
+    },
+    ClipSpec {
+        name: "house",
+        resolution: Resolution::P720,
+        fps: 29,
+        entropy: 3.0,
+        class: SceneClass::Natural,
+    },
+    ClipSpec {
+        name: "cricket",
+        resolution: Resolution::P720,
+        fps: 30,
+        entropy: 3.4,
+        class: SceneClass::Action,
+    },
+    ClipSpec {
+        name: "game1",
+        resolution: Resolution::P1080,
+        fps: 60,
+        entropy: 4.6,
+        class: SceneClass::Game,
+    },
+    ClipSpec {
+        name: "game2",
+        resolution: Resolution::P720,
+        fps: 30,
+        entropy: 4.9,
+        class: SceneClass::Game,
+    },
+    ClipSpec {
+        name: "girl",
+        resolution: Resolution::P720,
+        fps: 30,
+        entropy: 5.9,
+        class: SceneClass::Natural,
+    },
+    ClipSpec {
+        name: "chicken",
+        resolution: Resolution::P2160,
+        fps: 30,
+        entropy: 5.9,
+        class: SceneClass::Natural,
+    },
+    ClipSpec {
+        name: "game3",
+        resolution: Resolution::P720,
+        fps: 59,
+        entropy: 6.1,
+        class: SceneClass::Game,
+    },
+    ClipSpec {
+        name: "cat",
+        resolution: Resolution::P480,
+        fps: 29,
+        entropy: 6.8,
+        class: SceneClass::Natural,
+    },
+    ClipSpec {
+        name: "holi",
+        resolution: Resolution::P480,
+        fps: 30,
+        entropy: 7.0,
+        class: SceneClass::Action,
+    },
+    ClipSpec {
+        name: "landscape",
+        resolution: Resolution::P1080,
+        fps: 29,
+        entropy: 7.2,
+        class: SceneClass::Natural,
+    },
+    ClipSpec {
+        name: "hall",
+        resolution: Resolution::P1080,
+        fps: 29,
+        entropy: 7.7,
+        class: SceneClass::Action,
+    },
 ];
 
 /// Looks up a clip spec by name.

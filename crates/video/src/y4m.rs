@@ -63,12 +63,11 @@ pub fn read_y4m<R: BufRead>(mut input: R, name: &str) -> Result<Clip, VideoError
                     }
                 }
             }
-            "C"
-                if !value.starts_with("420") => {
-                    return Err(VideoError::GeometryMismatch {
-                        what: "y4m chroma subsampling and 4:2:0 reader",
-                    });
-                }
+            "C" if !value.starts_with("420") => {
+                return Err(VideoError::GeometryMismatch {
+                    what: "y4m chroma subsampling and 4:2:0 reader",
+                });
+            }
             _ => {}
         }
     }

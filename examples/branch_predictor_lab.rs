@@ -9,7 +9,10 @@
 //! Pass a `.vbt` file (from `vstress-transcode trace`) to replay a stored
 //! trace instead of capturing one.
 
-use vstress::bpred::{harness, Bimodal, BranchPredictor, Gshare, Perceptron, Tage, TageWithLoop, Tournament, TwoLevelLocal};
+use vstress::bpred::{
+    harness, Bimodal, BranchPredictor, Gshare, Perceptron, Tage, TageWithLoop, Tournament,
+    TwoLevelLocal,
+};
 use vstress::codecs::{CodecId, Encoder, EncoderParams};
 use vstress::table::Table;
 use vstress::trace::{BranchWindowProbe, CountingProbe, Probe};

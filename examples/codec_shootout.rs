@@ -32,9 +32,7 @@ fn main() {
             .expect("clip validated above")
             .synthesize(&spec.fidelity);
         let encoder = vstress::codecs::Encoder::new(codec, params).expect("params validated");
-        let out = encoder
-            .encode(&source, &mut vstress::trace::NullProbe)
-            .expect("encode");
+        let out = encoder.encode(&source, &mut vstress::trace::NullProbe).expect("encode");
         let recon =
             vstress::video::Clip::from_frames("recon", out.recon.clone(), source.fps()).unwrap();
         let ssim = vstress::video::metrics::sequence_ssim(&source, &recon).unwrap_or(0.0);

@@ -7,8 +7,8 @@
 //! ```
 
 use vstress::codecs::{CodecId, Decoder, Encoder, EncoderParams};
-use vstress::workbench::{characterize, RunSpec};
 use vstress::trace::NullProbe;
+use vstress::workbench::{characterize, RunSpec};
 
 fn main() {
     // 1. Fully characterized encode: instruction mix, top-down, MPKI.
@@ -28,17 +28,11 @@ fn main() {
     println!("hot kernels:\n{}", run.profile);
 
     // 2. Prove the bitstream is real: decode and compare reconstructions.
-    let clip = vstress::video::vbench::clip("game1")
-        .unwrap()
-        .synthesize(&spec.fidelity);
+    let clip = vstress::video::vbench::clip("game1").unwrap().synthesize(&spec.fidelity);
     let encoder = Encoder::new(spec.codec, spec.params).unwrap();
     let out = encoder.encode(&clip, &mut NullProbe).unwrap();
     let decoded = Decoder::new().decode(&out.bitstream, &mut NullProbe).unwrap();
-    let matches = decoded
-        .frames
-        .iter()
-        .zip(&out.recon)
-        .all(|(d, r)| d == r);
+    let matches = decoded.frames.iter().zip(&out.recon).all(|(d, r)| d == r);
     println!(
         "decode check:  {} frames, bit-exact reconstruction = {}",
         decoded.frames.len(),

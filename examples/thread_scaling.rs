@@ -20,10 +20,8 @@ use vstress::video::vbench::{self, FidelityConfig};
 fn main() {
     // --- Part 1: modelled scalability (paper Figs. 12–15) ---
     let clip = vbench::clip("game1").unwrap().synthesize(&FidelityConfig::smoke());
-    let mut table = Table::new(
-        "modelled speedup vs threads (game1)",
-        &["codec", "1", "2", "4", "8"],
-    );
+    let mut table =
+        Table::new("modelled speedup vs threads (game1)", &["codec", "1", "2", "4", "8"]);
     for codec in [CodecId::SvtAv1, CodecId::Libaom, CodecId::X264, CodecId::X265] {
         let params = match codec {
             CodecId::X264 => EncoderParams::new(40, 5),

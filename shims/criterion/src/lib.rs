@@ -1,0 +1,121 @@
+//! Offline miniature substitute for `criterion` (see shims/README.md).
+//!
+//! Each benchmark body runs a handful of timed iterations and prints a
+//! coarse mean; there is no statistical analysis. The point is that
+//! `cargo bench` / `cargo build --all-targets` compile and run offline.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Per-iteration-batch throughput annotation (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u32,
+    elapsed: std::time::Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher { iters: 3, elapsed: std::time::Duration::ZERO };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            println!(
+                "{id}: {:.3} ms/iter, {:.1} Melem/s",
+                per_iter * 1e3,
+                n as f64 / per_iter / 1e6
+            );
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            println!(
+                "{id}: {:.3} ms/iter, {:.1} MiB/s",
+                per_iter * 1e3,
+                n as f64 / per_iter / (1 << 20) as f64
+            );
+        }
+        _ => println!("{id}: {:.3} ms/iter", per_iter * 1e3),
+    }
+}
+
+/// Builds `pub fn $name()` that runs each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,11 @@
+//! Offline substitute for `serde` (see shims/README.md).
+//!
+//! Only the derive macros are used by this workspace; the traits are
+//! empty markers so `derive(Serialize, Deserialize)` attributes keep
+//! compiling without a reachable registry.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}

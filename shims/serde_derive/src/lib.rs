@@ -1,0 +1,16 @@
+//! No-op stand-ins for serde's derive macros (offline shim).
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize`; nothing
+//! serializes through serde at runtime, so empty expansions are enough.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,9 +1,9 @@
 //! End-to-end assertions of the paper's headline findings, run at the
 //! quick experiment profile. Each test names the claim it pins down.
 
+use vstress::codecs::{CodecId, EncoderParams};
 use vstress::experiments::{crf_sweep, runtime_quality, threads, ExperimentConfig};
 use vstress::workbench::{characterize, RunSpec};
-use vstress::codecs::{CodecId, EncoderParams};
 
 fn cfg() -> ExperimentConfig {
     let mut c = ExperimentConfig::quick();
@@ -30,24 +30,17 @@ fn trend_cfg() -> ExperimentConfig {
 fn claim_av1_slowdown_is_instruction_count_not_ipc() {
     // Standard fidelity: the tiny smoke clips leave too little work for
     // the IPC comparison to be meaningful.
-    let svt =
-        characterize(&RunSpec::standard("game1", CodecId::SvtAv1, EncoderParams::new(35, 4)))
-            .unwrap();
-    let x264 =
-        characterize(&RunSpec::standard("game1", CodecId::X264, EncoderParams::new(28, 5)))
-            .unwrap();
+    let svt = characterize(&RunSpec::standard("game1", CodecId::SvtAv1, EncoderParams::new(35, 4)))
+        .unwrap();
+    let x264 = characterize(&RunSpec::standard("game1", CodecId::X264, EncoderParams::new(28, 5)))
+        .unwrap();
     // Instruction gap is an order of magnitude...
     let instr_gap = svt.core.instructions as f64 / x264.core.instructions as f64;
     assert!(instr_gap > 8.0, "instruction gap: {instr_gap}");
     // ...while the IPC gap is small — the microarchitecture is not the
     // cause (the paper's headline finding).
     let ipc_gap = (svt.core.ipc() / x264.core.ipc()).max(x264.core.ipc() / svt.core.ipc());
-    assert!(
-        ipc_gap < 1.5,
-        "IPC should be comparable: {} vs {}",
-        svt.core.ipc(),
-        x264.core.ipc()
-    );
+    assert!(ipc_gap < 1.5, "IPC should be comparable: {} vs {}", svt.core.ipc(), x264.core.ipc());
     assert!(
         instr_gap > ipc_gap * 5.0,
         "work, not efficiency, must explain the gap: {instr_gap} vs {ipc_gap}"
@@ -85,10 +78,7 @@ fn claim_crf_changes_work_not_efficiency() {
     // full-strength ratio (~4x) is asserted at standard fidelity by
     // claim_topdown_and_cache_trends.
     assert!(instr_ratio > 1.35, "work must fall with CRF: {instr_ratio}");
-    assert!(
-        (0.8..1.25).contains(&ipc_ratio),
-        "IPC must stay within ~±20%: {ipc_ratio}"
-    );
+    assert!((0.8..1.25).contains(&ipc_ratio), "IPC must stay within ~±20%: {ipc_ratio}");
     // Runtime tracks instructions, not IPC.
     let time_ratio = lo.seconds / hi.seconds;
     assert!(
@@ -161,11 +151,7 @@ fn claim_fig01_ordering() {
     let (_, points) = runtime_quality::fig01_runtime_vs_crf(&cfg()).unwrap();
     for &crf in &[10u8, 60] {
         let get = |codec| {
-            points
-                .iter()
-                .find(|p| p.codec == codec && p.crf == crf)
-                .map(|p| p.seconds)
-                .unwrap()
+            points.iter().find(|p| p.codec == codec && p.crf == crf).map(|p| p.seconds).unwrap()
         };
         let svt = get(CodecId::SvtAv1);
         for other in [CodecId::Libaom, CodecId::LibvpxVp9, CodecId::X264, CodecId::X265] {

@@ -1,0 +1,77 @@
+//! The parallel executor's contract: fanning characterizations out over
+//! worker threads changes wall-clock time and nothing else.
+//!
+//! Results at 1, 2 and 4 workers must be bit-identical to the serial
+//! path, and the run cache must serve repeated specs without re-encoding.
+
+use std::sync::Arc;
+use vstress::codecs::{CodecId, EncoderParams};
+use vstress::exec::{run_all, RunCache};
+use vstress::workbench::{characterize, equivalent_params, CharacterizationRun, RunSpec};
+
+/// A small but heterogeneous spec batch: three codecs, two quality
+/// points, pipeline and counting-only modes, with one duplicated spec.
+fn spec_batch() -> Vec<RunSpec> {
+    let mut specs = vec![
+        RunSpec::quick("cat", CodecId::SvtAv1, EncoderParams::new(35, 6)),
+        RunSpec::quick("cat", CodecId::X264, equivalent_params(CodecId::X264, 35, 6)),
+        RunSpec::quick("desktop", CodecId::LibvpxVp9, EncoderParams::new(50, 7)),
+        RunSpec::quick("cat", CodecId::SvtAv1, EncoderParams::new(35, 6)).counting_only(),
+    ];
+    // Duplicate of specs[0]: exercises the cache under contention.
+    specs.push(specs[0].clone());
+    specs
+}
+
+fn assert_bit_identical(a: &CharacterizationRun, b: &CharacterizationRun, what: &str) {
+    assert_eq!(a.core.instructions, b.core.instructions, "{what}: instructions");
+    assert_eq!(a.core.branches, b.core.branches, "{what}: branches");
+    assert_eq!(a.core.branch_mispredicts, b.core.branch_mispredicts, "{what}: mispredicts");
+    assert_eq!(a.total_bits, b.total_bits, "{what}: bitstream bits");
+    assert_eq!(a.mix, b.mix, "{what}: instruction mix");
+    assert_eq!(a.core.cycles, b.core.cycles, "{what}: cycles");
+}
+
+#[test]
+fn executor_is_bit_identical_to_serial_at_every_width() {
+    let specs = spec_batch();
+    let serial: Vec<CharacterizationRun> = specs.iter().map(|s| characterize(s).unwrap()).collect();
+    for workers in [1, 2, 4] {
+        let cache = RunCache::new();
+        let runs = run_all(&cache, workers, &specs).unwrap();
+        assert_eq!(runs.len(), specs.len());
+        for (i, (run, want)) in runs.iter().zip(&serial).enumerate() {
+            assert_bit_identical(run, want, &format!("{workers} workers, spec {i}"));
+        }
+    }
+}
+
+#[test]
+fn cache_hit_returns_the_identical_run_without_reencoding() {
+    let specs = spec_batch();
+    let cache = RunCache::new();
+    let runs = run_all(&cache, 4, &specs).unwrap();
+    let stats = cache.stats();
+    // Five specs, four distinct keys: exactly four encodes happened, and
+    // the duplicate was served from the cache at any interleaving.
+    assert_eq!(stats.run_misses, 4, "distinct specs each encode once");
+    assert_eq!(stats.run_hits, 1, "the duplicate spec must hit");
+    assert!(
+        Arc::ptr_eq(&runs[0], &runs[4]),
+        "a cache hit returns the cached run itself, not a recomputation"
+    );
+    // Asking again re-encodes nothing at all.
+    let again = cache.run(&specs[0]).unwrap();
+    assert_eq!(cache.stats().run_misses, 4);
+    assert!(Arc::ptr_eq(&again, &runs[0]));
+}
+
+#[test]
+fn clip_synthesis_is_shared_across_runs() {
+    let specs = spec_batch();
+    let cache = RunCache::new();
+    run_all(&cache, 2, &specs).unwrap();
+    let stats = cache.stats();
+    // Two distinct (clip, fidelity) keys: "cat" and "desktop".
+    assert_eq!(stats.clip_misses, 2, "each clip synthesized exactly once");
+}
