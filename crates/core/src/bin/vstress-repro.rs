@@ -5,16 +5,26 @@
 //! vstress-repro --paper            # full profile (slow; used for EXPERIMENTS.md)
 //! vstress-repro --csv out/         # also write each table as CSV into out/
 //! vstress-repro --threads 4        # size of the encode worker pool
+//! vstress-repro --store cache/     # persist results; repeat runs resume
 //! vstress-repro fig01 fig05        # subset of experiments
 //! ```
+//!
+//! With `--store DIR`, completed characterization runs (and branch
+//! windows / decode-cost pairs) persist under `DIR`, so an interrupted
+//! or repeated invocation of the same profile reloads them instead of
+//! re-encoding — the second run performs zero encodes and prints
+//! byte-identical tables. `--no-store` (the default) disables it; store
+//! diagnostics go to stderr only, so stdout stays comparable across
+//! runs.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
+use std::sync::Arc;
 use vstress::experiments::{
     catalogue, cbp, crf_sweep, decode_cost, mix, preset_sweep, profile, runtime_quality, threads,
     ExperimentConfig,
 };
-use vstress::Table;
+use vstress::{RunStore, Table};
 
 /// Every experiment id accepted as a positional argument.
 const EXPERIMENT_IDS: &[&str] = &[
@@ -24,14 +34,83 @@ const EXPERIMENT_IDS: &[&str] = &[
 ];
 
 /// Prints a table and optionally mirrors it to `<csv_dir>/<slug>.csv`.
-fn emit(csv_dir: &Option<PathBuf>, slug: &str, table: &Table) {
+///
+/// A failed CSV write is an error: `--csv` promises a complete artifact
+/// directory, so a truncated one must fail the process, not warn.
+fn emit(csv_dir: &Option<PathBuf>, slug: &str, table: &Table) -> std::io::Result<()> {
     println!("{table}");
     if let Some(dir) = csv_dir {
         let path = dir.join(format!("{slug}.csv"));
-        if let Err(e) = std::fs::write(&path, table.to_csv()) {
-            eprintln!("warning: could not write {}: {e}", path.display());
+        std::fs::write(&path, table.to_csv())
+            .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+    }
+    Ok(())
+}
+
+fn run(
+    cfg: &ExperimentConfig,
+    want: impl Fn(&str) -> bool,
+    csv_dir: &Option<PathBuf>,
+) -> std::io::Result<()> {
+    if want("table1") {
+        emit(csv_dir, "table1", &catalogue::table1_vbench())?;
+    }
+    if want("fig01") {
+        let (t, _) = runtime_quality::fig01_runtime_vs_crf(cfg).expect("fig01");
+        emit(csv_dir, "fig01", &t)?;
+    }
+    if want("fig02") || want("fig02a") || want("fig02b") {
+        let (t, _) = runtime_quality::fig02a_bdrate(cfg).expect("fig02a");
+        emit(csv_dir, "fig02a", &t)?;
+        emit(csv_dir, "fig02b", &runtime_quality::fig02b_psnr_vs_time(cfg).expect("fig02b"))?;
+    }
+    if want("table2") {
+        emit(csv_dir, "table2", &mix::table2_instruction_mix(cfg).expect("table2"))?;
+    }
+    if want("fig03") {
+        emit(csv_dir, "fig03", &mix::fig03_opmix_sweep(cfg).expect("fig03"))?;
+    }
+    if want("fig04") || want("fig05") || want("fig06") || want("fig07") {
+        let points = crf_sweep::crf_sweep(cfg).expect("crf sweep");
+        emit(csv_dir, "fig04", &crf_sweep::fig04_crf_sweep(&points))?;
+        emit(csv_dir, "fig05", &crf_sweep::fig05_topdown(&points))?;
+        emit(csv_dir, "fig06", &crf_sweep::fig06_microarch(&points))?;
+        emit(csv_dir, "fig07", &crf_sweep::fig07_missrate(&points))?;
+    }
+    if want("fig08") {
+        let (t, _) = cbp::fig08_cbp(cfg).expect("fig08");
+        emit(csv_dir, "fig08", &t)?;
+    }
+    if want("fig09") {
+        let (t, _) = cbp::fig09_cbp(cfg).expect("fig09");
+        emit(csv_dir, "fig09", &t)?;
+    }
+    if want("fig10") {
+        let (t, _) = cbp::fig10_cbp(cfg).expect("fig10");
+        emit(csv_dir, "fig10", &t)?;
+    }
+    if want("fig11") {
+        let points = preset_sweep::preset_sweep(cfg).expect("fig11");
+        emit(csv_dir, "fig11ab", &preset_sweep::fig11ab_runtime_quality(&points))?;
+        emit(csv_dir, "fig11cde", &preset_sweep::fig11cde_microarch(&points))?;
+    }
+    if want("fig12") || want("fig13") || want("fig14") || want("fig15") {
+        let (tables, _) = threads::fig12_15_thread_scaling(cfg).expect("fig12-15");
+        for (i, t) in tables.iter().enumerate() {
+            emit(csv_dir, &format!("fig{}", 12 + i), t)?;
         }
     }
+    if want("fig16") {
+        emit(csv_dir, "fig16", &threads::fig16_topdown_threads(cfg).expect("fig16"))?;
+    }
+    if want("decode") {
+        let (t, _) = decode_cost::table_decode_vs_encode(cfg).expect("decode cost");
+        emit(csv_dir, "decode_cost", &t)?;
+    }
+    if want("profile") {
+        emit(csv_dir, "hot_kernels", &profile::table_hot_kernels(cfg).expect("profile"))?;
+    }
+    Ok(())
 }
 
 fn main() {
@@ -54,6 +133,18 @@ fn main() {
             }
         }
     });
+    // `--no-store` (the default) wins over `--store` if both appear.
+    let store_dir: Option<PathBuf> = if args.iter().any(|a| a == "--no-store") {
+        None
+    } else {
+        args.iter().position(|a| a == "--store").map(|i| match args.get(i + 1) {
+            Some(dir) if !dir.starts_with("--") => PathBuf::from(dir),
+            _ => {
+                eprintln!("--store needs a directory argument");
+                std::process::exit(1);
+            }
+        })
+    };
     let mut positional: Vec<String> = Vec::new();
     let mut skip_next = false;
     for a in &args {
@@ -61,7 +152,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--csv" || a == "--threads" {
+        if a == "--csv" || a == "--threads" || a == "--store" {
             skip_next = true;
             continue;
         }
@@ -83,6 +174,15 @@ fn main() {
     if let Some(n) = threads {
         cfg = cfg.with_threads(n);
     }
+    if let Some(dir) = &store_dir {
+        match RunStore::open(dir) {
+            Ok(store) => cfg = cfg.with_store(Arc::new(store)),
+            Err(e) => {
+                eprintln!("cannot open store {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
     let run_all = wanted.is_empty();
     let want = |id: &str| run_all || wanted.contains(id);
 
@@ -92,63 +192,21 @@ fn main() {
         cfg.threads,
         cfg.clips
     );
+    if let Some(dir) = &store_dir {
+        eprintln!("vstress-repro: store = {}", dir.display());
+    }
 
-    if want("table1") {
-        emit(&csv_dir, "table1", &catalogue::table1_vbench());
+    let result = run(&cfg, want, &csv_dir);
+
+    if store_dir.is_some() {
+        let s = cfg.cache.stats();
+        eprintln!(
+            "vstress-repro: store {} hits, {} misses, {} quarantined",
+            s.store_hits, s.store_misses, s.store_quarantined
+        );
     }
-    if want("fig01") {
-        let (t, _) = runtime_quality::fig01_runtime_vs_crf(&cfg).expect("fig01");
-        emit(&csv_dir, "fig01", &t);
-    }
-    if want("fig02") || want("fig02a") || want("fig02b") {
-        let (t, _) = runtime_quality::fig02a_bdrate(&cfg).expect("fig02a");
-        emit(&csv_dir, "fig02a", &t);
-        emit(&csv_dir, "fig02b", &runtime_quality::fig02b_psnr_vs_time(&cfg).expect("fig02b"));
-    }
-    if want("table2") {
-        emit(&csv_dir, "table2", &mix::table2_instruction_mix(&cfg).expect("table2"));
-    }
-    if want("fig03") {
-        emit(&csv_dir, "fig03", &mix::fig03_opmix_sweep(&cfg).expect("fig03"));
-    }
-    if want("fig04") || want("fig05") || want("fig06") || want("fig07") {
-        let points = crf_sweep::crf_sweep(&cfg).expect("crf sweep");
-        emit(&csv_dir, "fig04", &crf_sweep::fig04_crf_sweep(&points));
-        emit(&csv_dir, "fig05", &crf_sweep::fig05_topdown(&points));
-        emit(&csv_dir, "fig06", &crf_sweep::fig06_microarch(&points));
-        emit(&csv_dir, "fig07", &crf_sweep::fig07_missrate(&points));
-    }
-    if want("fig08") {
-        let (t, _) = cbp::fig08_cbp(&cfg).expect("fig08");
-        emit(&csv_dir, "fig08", &t);
-    }
-    if want("fig09") {
-        let (t, _) = cbp::fig09_cbp(&cfg).expect("fig09");
-        emit(&csv_dir, "fig09", &t);
-    }
-    if want("fig10") {
-        let (t, _) = cbp::fig10_cbp(&cfg).expect("fig10");
-        emit(&csv_dir, "fig10", &t);
-    }
-    if want("fig11") {
-        let points = preset_sweep::preset_sweep(&cfg).expect("fig11");
-        emit(&csv_dir, "fig11ab", &preset_sweep::fig11ab_runtime_quality(&points));
-        emit(&csv_dir, "fig11cde", &preset_sweep::fig11cde_microarch(&points));
-    }
-    if want("fig12") || want("fig13") || want("fig14") || want("fig15") {
-        let (tables, _) = threads::fig12_15_thread_scaling(&cfg).expect("fig12-15");
-        for (i, t) in tables.iter().enumerate() {
-            emit(&csv_dir, &format!("fig{}", 12 + i), t);
-        }
-    }
-    if want("fig16") {
-        emit(&csv_dir, "fig16", &threads::fig16_topdown_threads(&cfg).expect("fig16"));
-    }
-    if want("decode") {
-        let (t, _) = decode_cost::table_decode_vs_encode(&cfg).expect("decode cost");
-        emit(&csv_dir, "decode_cost", &t);
-    }
-    if want("profile") {
-        emit(&csv_dir, "hot_kernels", &profile::table_hot_kernels(&cfg).expect("profile"));
+    if let Err(e) = result {
+        eprintln!("error: could not write CSV: {e}");
+        std::process::exit(1);
     }
 }

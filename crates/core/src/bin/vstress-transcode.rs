@@ -4,11 +4,15 @@
 //! vstress-transcode encode <in.y4m|clip:NAME> <out.vst> [codec] [crf] [preset] [keyint]
 //! vstress-transcode decode <in.vst> <out.y4m>
 //! vstress-transcode info   <in.vst>
-//! vstress-transcode trace  <in.y4m|clip:NAME> <out.vbt> [crf] [preset]
+//! vstress-transcode trace  [--store DIR] <in.y4m|clip:NAME> <out.vbt> [crf] [preset]
 //! ```
 //!
 //! `trace` captures a mid-run branch window (the paper's Pin protocol)
 //! into a CBP-style trace file replayable by `branch_predictor_lab`.
+//! With `--store DIR` and a `clip:` input, the counting pass and the
+//! captured window persist in the same on-disk store `vstress-repro
+//! --store` uses, so repeated traces of one configuration skip both
+//! encodes.
 //!
 //! Inputs may be Y4M files or `clip:<vbench-name>` to synthesize one of
 //! the catalogue clips. Codec names: svt-av1 (default), libaom, vp9,
@@ -43,7 +47,18 @@ fn load_clip(spec: &str) -> Result<Clip, String> {
 }
 
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Extract `--store DIR` (trace only) before positional parsing.
+    let mut store_dir: Option<String> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--store" {
+            store_dir = Some(it.next().ok_or("--store needs a directory argument")?);
+        } else {
+            args.push(a);
+        }
+    }
     match args.first().map(String::as_str) {
         Some("encode") => {
             let input = args.get(1).ok_or("encode needs an input")?;
@@ -102,16 +117,49 @@ fn run() -> Result<(), String> {
                 args.get(3).map(|s| s.parse().map_err(|_| "bad crf")).transpose()?.unwrap_or(63);
             let preset: u8 =
                 args.get(4).map(|s| s.parse().map_err(|_| "bad preset")).transpose()?.unwrap_or(8);
-            let clip = load_clip(input)?;
-            let enc = Encoder::new(CodecId::SvtAv1, EncoderParams::new(crf, preset))
-                .map_err(|e| e.to_string())?;
-            let mut counter = vstress::trace::CountingProbe::new();
-            enc.encode(&clip, &mut counter).map_err(|e| e.to_string())?;
-            use vstress::trace::Probe;
-            let total = counter.retired();
-            let mut window = vstress::trace::BranchWindowProbe::mid_run(total, total / 2);
-            enc.encode(&clip, &mut window).map_err(|e| e.to_string())?;
-            let records = window.into_records();
+            let clip_name = input.strip_prefix("clip:").and_then(|name| {
+                // The run cache keys on the catalogue's static name.
+                vbench::clip_names().find(|n| *n == name)
+            });
+            let records = match (&store_dir, clip_name) {
+                (Some(dir), Some(name)) => {
+                    // Store-backed path: both passes go through the same
+                    // persistent layers vstress-repro uses.
+                    let store = vstress::RunStore::open(dir).map_err(|e| e.to_string())?;
+                    let cache = vstress::RunCache::with_store(std::sync::Arc::new(store));
+                    let spec = vstress::workbench::RunSpec::standard(
+                        name,
+                        CodecId::SvtAv1,
+                        EncoderParams::new(crf, preset),
+                    );
+                    let counting =
+                        cache.run(&spec.clone().counting_only()).map_err(|e| e.to_string())?;
+                    let total = counting.mix.total();
+                    let window =
+                        cache.branch_window(&spec, total / 2).map_err(|e| e.to_string())?;
+                    let s = cache.stats();
+                    eprintln!(
+                        "store: {} hits, {} misses, {} quarantined",
+                        s.store_hits, s.store_misses, s.store_quarantined
+                    );
+                    window.0.clone()
+                }
+                _ => {
+                    if store_dir.is_some() {
+                        eprintln!("note: --store needs a clip: input; tracing uncached");
+                    }
+                    let clip = load_clip(input)?;
+                    let enc = Encoder::new(CodecId::SvtAv1, EncoderParams::new(crf, preset))
+                        .map_err(|e| e.to_string())?;
+                    let mut counter = vstress::trace::CountingProbe::new();
+                    enc.encode(&clip, &mut counter).map_err(|e| e.to_string())?;
+                    use vstress::trace::Probe;
+                    let total = counter.retired();
+                    let mut window = vstress::trace::BranchWindowProbe::mid_run(total, total / 2);
+                    enc.encode(&clip, &mut window).map_err(|e| e.to_string())?;
+                    window.into_records()
+                }
+            };
             let file = File::create(output).map_err(|e| e.to_string())?;
             vstress::trace::io::write_branch_trace(&records, BufWriter::new(file))
                 .map_err(|e| e.to_string())?;

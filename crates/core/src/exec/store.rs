@@ -1,0 +1,366 @@
+//! Persistent, versioned, content-addressed on-disk result store.
+//!
+//! [`RunCache`](super::RunCache) deduplicates characterization work
+//! *within* one process; this store extends the same reuse *across*
+//! processes, so an interrupted or repeated `vstress-repro` invocation
+//! resumes from completed specs instead of re-paying the SVT-AV1-style
+//! search-space cost the paper centers on. Runs are bit-deterministic
+//! (see `tests/determinism.rs`), so replaying a stored entry is
+//! indistinguishable from recomputing it.
+//!
+//! # Layout
+//!
+//! ```text
+//! <root>/v<SCHEMA_VERSION>/<kind>/<fnv64(key)>.entry
+//! ```
+//!
+//! * `kind` is the cache layer: `run` (characterization runs), `window`
+//!   (CBP branch windows), `cost` (encode/decode cost pairs).
+//! * The file name is the FNV-1a 64-bit hash of the entry's *key text*
+//!   — a human-readable rendering of everything that determines the
+//!   value (clip, codec, params, fidelity, divisor, …) — so the store
+//!   is content-addressed and needs no index.
+//! * Each entry embeds its schema version, kind, full key text, payload
+//!   and a payload checksum ([`StoredEntry`]); on read all four are
+//!   verified, which catches hash collisions, cross-kind mixups and
+//!   torn payloads.
+//!
+//! # Robustness
+//!
+//! * **Atomic writes** — entries are written to a temp file in the same
+//!   directory and `rename`d into place, so a crashed writer can never
+//!   leave a half-visible entry.
+//! * **Quarantine** — a corrupt or stale entry (parse failure, version
+//!   or key mismatch, bad checksum) is renamed to `*.quarantined` and
+//!   treated as a miss; the value is recomputed and re-stored. Nothing
+//!   in the store can make a run fail.
+//! * **Versioning** — bumping [`SCHEMA_VERSION`] changes the directory,
+//!   invalidating every old entry at once; the in-file version field
+//!   additionally rejects entries copied across version directories.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bump when the wire format of any stored payload type changes
+/// (serde shim format, `CharacterizationRun` fields, key text, …).
+/// Old entries become invisible (different directory) and unreadable
+/// (in-file version check).
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Store layer for characterization runs.
+pub(crate) const KIND_RUN: &str = "run";
+/// Store layer for CBP branch windows.
+pub(crate) const KIND_WINDOW: &str = "window";
+/// Store layer for encode/decode cost pairs.
+pub(crate) const KIND_COST: &str = "cost";
+
+/// FNV-1a 64-bit hash — the store's stable content address. (The std
+/// `Hasher` is explicitly not stable across releases; this is.)
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Hit/miss/robustness counters for one [`RunStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Entries served from disk (work skipped).
+    pub hits: u64,
+    /// Lookups that found no usable entry (work performed, then stored).
+    pub misses: u64,
+    /// Corrupt or stale entries renamed aside and recomputed.
+    pub quarantined: u64,
+    /// Entry writes that failed (store skipped, run unaffected).
+    pub write_errors: u64,
+}
+
+/// The on-disk envelope around one stored payload.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct StoredEntry {
+    /// Schema version the entry was written under.
+    version: u32,
+    /// Cache layer (`run` / `window` / `cost`).
+    kind: String,
+    /// Full key text (collision + identity check).
+    key: String,
+    /// The serialized payload value.
+    payload: String,
+    /// `fnv64` of the payload bytes.
+    checksum: u64,
+}
+
+/// A persistent result store rooted at one directory.
+///
+/// Thread-safe: lookups and writes touch disjoint files per key, writes
+/// are atomic renames, and counters are atomics. Multiple processes may
+/// share one root concurrently; the worst race outcome is both
+/// computing and one `rename` winning, which is harmless because runs
+/// are deterministic.
+pub struct RunStore {
+    /// `<root>/v<version>` — the directory all entries live under.
+    vdir: PathBuf,
+    version: u32,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    quarantined: AtomicU64,
+    write_errors: AtomicU64,
+    tmp_counter: AtomicU64,
+}
+
+impl std::fmt::Debug for RunStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunStore")
+            .field("vdir", &self.vdir)
+            .field("version", &self.version)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl RunStore {
+    /// Opens (creating if needed) the store rooted at `root`, under the
+    /// current [`SCHEMA_VERSION`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`std::io::Error`] from creating the version
+    /// directory.
+    pub fn open(root: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::open_with_version(root, SCHEMA_VERSION)
+    }
+
+    /// Opens the store under an explicit schema version.
+    ///
+    /// Intended for tests (schema-invalidation coverage) and future
+    /// migration tooling; normal callers use [`RunStore::open`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`std::io::Error`] from creating the version
+    /// directory.
+    pub fn open_with_version(root: impl AsRef<Path>, version: u32) -> std::io::Result<Self> {
+        let vdir = root.as_ref().join(format!("v{version}"));
+        std::fs::create_dir_all(&vdir)?;
+        Ok(RunStore {
+            vdir,
+            version,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    /// The version directory entries live under.
+    pub fn dir(&self) -> &Path {
+        &self.vdir
+    }
+
+    /// Snapshot of the store counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry_path(&self, kind: &str, key_text: &str) -> PathBuf {
+        self.vdir.join(kind).join(format!("{:016x}.entry", fnv64(key_text.as_bytes())))
+    }
+
+    /// Looks up `key_text` in layer `kind`. Counts a hit or a miss; a
+    /// corrupt entry is quarantined (renamed aside) and counted as both
+    /// `quarantined` and a miss.
+    pub(crate) fn get<T>(&self, kind: &str, key_text: &str) -> Option<T>
+    where
+        T: for<'de> serde::Deserialize<'de>,
+    {
+        let path = self.entry_path(kind, key_text);
+        let Ok(data) = std::fs::read_to_string(&path) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        match self.parse_entry(kind, key_text, &data) {
+            Ok(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            Err(why) => {
+                // Move the bad entry aside (best effort) so the slot is
+                // free for the recomputed value and the evidence stays
+                // inspectable.
+                let mut quarantine = path.clone().into_os_string();
+                quarantine.push(".quarantined");
+                let _ = std::fs::rename(&path, &quarantine);
+                eprintln!(
+                    "vstress store: quarantined {} ({why})",
+                    path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+                );
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn parse_entry<T>(&self, kind: &str, key_text: &str, data: &str) -> Result<T, serde::Error>
+    where
+        T: for<'de> serde::Deserialize<'de>,
+    {
+        let entry: StoredEntry = serde::from_str(data)?;
+        if entry.version != self.version {
+            return Err(serde::Error::new(format!(
+                "schema version {} (store is v{})",
+                entry.version, self.version
+            )));
+        }
+        if entry.kind != kind {
+            return Err(serde::Error::new(format!("kind {:?}, expected {kind:?}", entry.kind)));
+        }
+        if entry.key != key_text {
+            return Err(serde::Error::new("key text mismatch (hash collision?)"));
+        }
+        if fnv64(entry.payload.as_bytes()) != entry.checksum {
+            return Err(serde::Error::new("payload checksum mismatch"));
+        }
+        serde::from_str(&entry.payload)
+    }
+
+    /// Stores `value` under `key_text` in layer `kind` via an atomic
+    /// temp-file + rename. Failures only bump `write_errors`: the store
+    /// is an optimization and must never fail a run.
+    pub(crate) fn put<T: serde::Serialize>(&self, kind: &str, key_text: &str, value: &T) {
+        let payload = serde::to_string(value);
+        let entry = StoredEntry {
+            version: self.version,
+            kind: kind.to_owned(),
+            key: key_text.to_owned(),
+            checksum: fnv64(payload.as_bytes()),
+            payload,
+        };
+        let path = self.entry_path(kind, key_text);
+        if self.write_atomic(&path, &serde::to_string(&entry)).is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn write_atomic(&self, path: &Path, text: &str) -> std::io::Result<()> {
+        let dir = path.parent().expect("entry paths always have a parent");
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, text)?;
+        let renamed = std::fs::rename(&tmp, path);
+        if renamed.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        renamed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("vstress-store-unit-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn roundtrip_and_counters() {
+        let root = tmp_root("roundtrip");
+        let store = RunStore::open(&root).unwrap();
+        assert_eq!(store.get::<u64>(KIND_RUN, "k"), None);
+        store.put(KIND_RUN, "k", &42u64);
+        assert_eq!(store.get::<u64>(KIND_RUN, "k"), Some(42));
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.quarantined, s.write_errors), (1, 1, 0, 0));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn kinds_are_disjoint() {
+        let root = tmp_root("kinds");
+        let store = RunStore::open(&root).unwrap();
+        store.put(KIND_RUN, "k", &1u64);
+        assert_eq!(store.get::<u64>(KIND_WINDOW, "k"), None);
+        assert_eq!(store.get::<u64>(KIND_RUN, "k"), Some(1));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_not_fatal() {
+        let root = tmp_root("corrupt");
+        let store = RunStore::open(&root).unwrap();
+        store.put(KIND_RUN, "k", &7u64);
+        let path = store.entry_path(KIND_RUN, "k");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert_eq!(store.get::<u64>(KIND_RUN, "k"), None);
+        assert_eq!(store.stats().quarantined, 1);
+        assert!(!path.exists(), "corrupt entry must be moved aside");
+        let mut quarantined = path.clone().into_os_string();
+        quarantined.push(".quarantined");
+        assert!(PathBuf::from(quarantined).exists());
+        // The slot is writable again.
+        store.put(KIND_RUN, "k", &7u64);
+        assert_eq!(store.get::<u64>(KIND_RUN, "k"), Some(7));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn version_mismatch_rejects_copied_entries() {
+        let root = tmp_root("version");
+        let v1 = RunStore::open_with_version(&root, 1).unwrap();
+        v1.put(KIND_RUN, "k", &9u64);
+        // Different version: entries live in a different directory.
+        let v2 = RunStore::open_with_version(&root, 2).unwrap();
+        assert_eq!(v2.get::<u64>(KIND_RUN, "k"), None);
+        assert_eq!(v2.stats().quarantined, 0, "absent, not corrupt");
+        // An entry smuggled across version directories fails the
+        // in-file version check and is quarantined.
+        let from = v1.entry_path(KIND_RUN, "k");
+        let to = v2.entry_path(KIND_RUN, "k");
+        std::fs::create_dir_all(to.parent().unwrap()).unwrap();
+        std::fs::copy(&from, &to).unwrap();
+        assert_eq!(v2.get::<u64>(KIND_RUN, "k"), None);
+        assert_eq!(v2.stats().quarantined, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn wrong_key_same_hash_slot_is_rejected() {
+        let root = tmp_root("keycheck");
+        let store = RunStore::open(&root).unwrap();
+        store.put(KIND_RUN, "key-a", &1u64);
+        // Force a lookup of a different key onto the same file by
+        // copying the entry to key-b's address.
+        let from = store.entry_path(KIND_RUN, "key-a");
+        let to = store.entry_path(KIND_RUN, "key-b");
+        std::fs::copy(&from, &to).unwrap();
+        assert_eq!(store.get::<u64>(KIND_RUN, "key-b"), None);
+        assert_eq!(store.stats().quarantined, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -34,7 +34,7 @@ pub mod profile;
 pub mod runtime_quality;
 pub mod threads;
 
-use crate::exec::RunCache;
+use crate::exec::{RunCache, RunStore};
 use std::sync::Arc;
 use vstress_video::vbench::FidelityConfig;
 
@@ -115,6 +115,19 @@ impl ExperimentConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker thread");
         self.threads = threads;
+        self
+    }
+
+    /// Replaces this config's cache with one backed by a persistent
+    /// [`RunStore`] (builder style): completed runs, branch windows and
+    /// decode-cost pairs are reloaded from `store` instead of being
+    /// recomputed, so an interrupted or repeated profile resumes.
+    ///
+    /// Call this before sharing the config — the cache is swapped, so
+    /// earlier clones keep the old (store-less) one.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<RunStore>) -> Self {
+        self.cache = Arc::new(RunCache::with_store(store));
         self
     }
 

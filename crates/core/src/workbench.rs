@@ -61,7 +61,11 @@ impl RunSpec {
 
 /// Result of one characterized encode — the paper's full per-run
 /// measurement set.
-#[derive(Debug, Clone)]
+///
+/// Serializable (and `PartialEq`) so the persistent run store
+/// ([`crate::exec::store`]) can round-trip it across processes and
+/// tests can assert bit-identity of reloaded entries.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CharacterizationRun {
     /// The spec's codec.
     pub codec: CodecId,

@@ -100,8 +100,8 @@ fn fritsch_carlson(x: &[f64], y: &[f64]) -> Vec<f64> {
         delta[i] = (y[i + 1] - y[i]) / h[i];
     }
     let mut d = vec![0.0; n];
-    d[0] = delta[0];
-    d[n - 1] = delta[n - 2];
+    d[0] = endpoint_derivative(h[0], h[1], delta[0], delta[1]);
+    d[n - 1] = endpoint_derivative(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
     for i in 1..n - 1 {
         if delta[i - 1] * delta[i] <= 0.0 {
             d[i] = 0.0;
@@ -112,6 +112,25 @@ fn fritsch_carlson(x: &[f64], y: &[f64]) -> Vec<f64> {
         }
     }
     d
+}
+
+/// The PCHIP boundary derivative (as in the JCT-VC BD-rate tooling and
+/// MATLAB's `pchip`): the non-centered three-point estimate
+/// `((2·h0 + h1)·δ0 − h0·δ1) / (h0 + h1)` for the interval pair nearest
+/// the endpoint, clamped for monotonicity — zeroed when its sign
+/// disagrees with the first secant, capped at `3·δ0` when the adjacent
+/// secants disagree in sign and it overshoots. Using the raw first
+/// secant instead (the previous behaviour) is only first-order accurate
+/// and skews the integral of every boundary segment.
+fn endpoint_derivative(h0: f64, h1: f64, delta0: f64, delta1: f64) -> f64 {
+    let d = ((2.0 * h0 + h1) * delta0 - h0 * delta1) / (h0 + h1);
+    if d * delta0 <= 0.0 {
+        0.0
+    } else if delta0 * delta1 <= 0.0 && d.abs() > 3.0 * delta0.abs() {
+        3.0 * delta0
+    } else {
+        d
+    }
 }
 
 impl Pchip {
@@ -227,6 +246,50 @@ mod tests {
     fn nonpositive_rate_rejected() {
         let a = curve(&[(0.0, 30.0), (600.0, 31.0), (700.0, 32.0), (800.0, 33.0)]);
         assert!(bd_rate(&a, &a).is_err());
+    }
+
+    #[test]
+    fn endpoint_derivatives_are_exact_for_quadratics() {
+        // The three-point boundary formula reproduces quadratics exactly;
+        // the raw first secant (the old behaviour) cannot. y = (x+1)^2 on
+        // x = 0..3: y' = 2(x+1), so d[0] = 2 and d[3] = 8.
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 4.0, 9.0, 16.0];
+        let d = fritsch_carlson(&x, &y);
+        assert!((d[0] - 2.0).abs() < 1e-12, "left endpoint: got {}", d[0]);
+        assert!((d[3] - 8.0).abs() < 1e-12, "right endpoint: got {}", d[3]);
+    }
+
+    #[test]
+    fn endpoint_derivative_clamps_for_monotonicity() {
+        // Sign disagreement with the first secant zeroes the derivative.
+        assert_eq!(endpoint_derivative(1.0, 1.0, 0.1, 5.0), 0.0);
+        // Adjacent secants of opposite sign with overshoot cap at 3·δ0.
+        let d = endpoint_derivative(1.0, 0.01, 1.0, -200.0);
+        assert!((d - 3.0).abs() < 1e-12, "got {d}");
+        // The plain well-behaved case passes through unclamped.
+        let d = endpoint_derivative(1.0, 1.0, 2.0, 4.0);
+        assert!((d - ((3.0 * 2.0 - 4.0) / 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resampling_a_closed_form_cubic_curve_is_near_zero() {
+        // Both curves sample the same closed-form monotone cubic
+        // log10(rate) = f(q), so the true BD-Rate over the overlap is 0.
+        // With the reference endpoint formula the interpolants agree to
+        // well under 0.1%; the raw-secant endpoints miss by much more on
+        // the boundary segments.
+        let f = |q: f64| {
+            let u = q - 30.0;
+            2.0 + 0.06 * u + 0.002 * u * u + 0.0001 * u * u * u
+        };
+        let sample = |qs: &[f64]| -> Vec<RatePoint> {
+            qs.iter().map(|&q| RatePoint { bitrate_kbps: 10f64.powf(f(q)), psnr_db: q }).collect()
+        };
+        let anchor = sample(&[30.0, 33.0, 38.0, 41.0, 45.0]);
+        let test = sample(&[30.5, 34.0, 37.0, 40.0, 44.5]);
+        let bd = bd_rate(&anchor, &test).unwrap();
+        assert!(bd.abs() < 0.1, "resampled cubic should give ~0% BD-Rate, got {bd}");
     }
 
     #[test]

@@ -1,11 +1,669 @@
 //! Offline substitute for `serde` (see shims/README.md).
 //!
-//! Only the derive macros are used by this workspace; the traits are
-//! empty markers so `derive(Serialize, Deserialize)` attributes keep
-//! compiling without a reachable registry.
+//! Unlike the original marker-only shim, this is a real — if minimal —
+//! serialization framework: `derive(Serialize, Deserialize)` expands to
+//! working implementations (see `serde_derive`), driving a compact
+//! self-describing text format. The workbench's persistent run store
+//! (`vstress::exec::store`) round-trips `CharacterizationRun`s through
+//! it across processes.
+//!
+//! This is **not** the crates.io serde API. There is no `Serializer`
+//! trait hierarchy, no visitors, and only one wire format. What it
+//! guarantees instead is exactly what the run store needs:
+//!
+//! * **bit-exact round-trips** — `f64`/`f32` are written as the hex of
+//!   their IEEE-754 bits, so a deserialized value is the *identical*
+//!   bit pattern, never a nearest-decimal approximation;
+//! * **self-describing tokens** — every token carries a one-byte kind
+//!   prefix, so a corrupt or truncated entry fails parsing loudly
+//!   instead of being misread;
+//! * **schema tags** — struct and enum-variant names are embedded, so
+//!   decoding a value as the wrong type is an error, not garbage.
+//!
+//! # Wire format
+//!
+//! A serialized value is a sequence of space-terminated tokens:
+//!
+//! | token | meaning |
+//! |---|---|
+//! | `u<dec>` | unsigned integer (`u8`..`u64`, `usize`) |
+//! | `i<dec>` | signed integer (`i8`..`i64`, `isize`) |
+//! | `f<hex>` | `f64` IEEE-754 bits (`f32` widened losslessly) |
+//! | `b0` / `b1` | boolean |
+//! | `s<len>:<bytes>` | UTF-8 string, byte-length prefixed |
+//! | `t<ident>` | tag: struct name or enum variant |
+//! | `q<dec>` | sequence header: element count follows |
+//!
+//! Structs serialize as their name tag followed by each field in
+//! declaration order; fieldless enums as their variant tag; sequences
+//! (`Vec<T>`, slices, arrays) as a `q` header followed by elements.
 
 pub use serde_derive::{Deserialize, Serialize};
 
-pub trait Serialize {}
+use std::fmt;
+use std::sync::Mutex;
 
-pub trait Deserialize<'de>: Sized {}
+/// Error produced by deserialization (serialization is infallible).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// Error for an unknown enum variant tag (used by derived code).
+    pub fn unknown_variant(enum_name: &str, got: &str) -> Self {
+        Error::new(format!("unknown {enum_name} variant tag {got:?}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value serializable to the shim's wire format.
+pub trait Serialize {
+    /// Appends this value's tokens to `s`.
+    fn serialize(&self, s: &mut Serializer);
+}
+
+/// A value deserializable from the shim's wire format.
+pub trait Deserialize<'de>: Sized {
+    /// Parses one value from the deserializer's current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the input does not encode `Self` at the
+    /// current position (wrong token kind, bad tag, short input, …).
+    fn deserialize(d: &mut Deserializer<'de>) -> Result<Self, Error>;
+}
+
+/// Serializes `value` to a `String` in the shim wire format.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut s = Serializer::new();
+    value.serialize(&mut s);
+    s.finish()
+}
+
+/// Deserializes a value from a string produced by [`to_string`].
+///
+/// The entire input must be consumed; trailing tokens are an error.
+///
+/// # Errors
+///
+/// Returns [`Error`] on any malformed, truncated, or trailing input.
+pub fn from_str<T>(input: &str) -> Result<T, Error>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    let mut d = Deserializer::new(input);
+    let v = T::deserialize(&mut d)?;
+    d.end()?;
+    Ok(v)
+}
+
+/// Token writer for the wire format.
+#[derive(Debug, Default)]
+pub struct Serializer {
+    out: String,
+}
+
+impl Serializer {
+    /// An empty serializer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The serialized text accumulated so far.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Writes an unsigned integer token.
+    pub fn write_u64(&mut self, v: u64) {
+        self.out.push('u');
+        self.out.push_str(&v.to_string());
+        self.out.push(' ');
+    }
+
+    /// Writes a signed integer token.
+    pub fn write_i64(&mut self, v: i64) {
+        self.out.push('i');
+        self.out.push_str(&v.to_string());
+        self.out.push(' ');
+    }
+
+    /// Writes a float token (IEEE-754 bits in hex; bit-exact round-trip).
+    pub fn write_f64(&mut self, v: f64) {
+        self.out.push('f');
+        self.out.push_str(&format!("{:x}", v.to_bits()));
+        self.out.push(' ');
+    }
+
+    /// Writes a boolean token.
+    pub fn write_bool(&mut self, v: bool) {
+        self.out.push_str(if v { "b1 " } else { "b0 " });
+    }
+
+    /// Writes a byte-length-prefixed string token.
+    pub fn write_str(&mut self, v: &str) {
+        self.out.push('s');
+        self.out.push_str(&v.len().to_string());
+        self.out.push(':');
+        self.out.push_str(v);
+        self.out.push(' ');
+    }
+
+    /// Writes a tag token (a struct name or enum variant; must be a
+    /// plain identifier).
+    pub fn write_tag(&mut self, tag: &str) {
+        debug_assert!(
+            !tag.is_empty() && tag.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "tags must be identifiers, got {tag:?}"
+        );
+        self.out.push('t');
+        self.out.push_str(tag);
+        self.out.push(' ');
+    }
+
+    /// Writes a sequence header announcing `len` elements.
+    pub fn write_seq_len(&mut self, len: usize) {
+        self.out.push('q');
+        self.out.push_str(&len.to_string());
+        self.out.push(' ');
+    }
+}
+
+/// Token reader over input produced by [`Serializer`].
+#[derive(Debug)]
+pub struct Deserializer<'de> {
+    input: &'de str,
+    pos: usize,
+}
+
+impl<'de> Deserializer<'de> {
+    /// A deserializer at the start of `input`.
+    pub fn new(input: &'de str) -> Self {
+        Deserializer { input, pos: 0 }
+    }
+
+    /// Asserts the whole input was consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if non-whitespace input remains.
+    pub fn end(&self) -> Result<(), Error> {
+        if self.input[self.pos..].trim().is_empty() {
+            Ok(())
+        } else {
+            Err(Error::new(format!("trailing input at byte {}", self.pos)))
+        }
+    }
+
+    /// Reads the next token's kind byte and body. For string tokens the
+    /// body is only the length prefix; the payload is read separately.
+    fn next_token(&mut self) -> Result<(u8, &'de str), Error> {
+        let rest = &self.input[self.pos..];
+        let start = rest.len() - rest.trim_start().len();
+        let rest = &rest[start..];
+        self.pos += start;
+        let Some(kind) = rest.bytes().next() else {
+            return Err(Error::new("unexpected end of input"));
+        };
+        self.pos += 1;
+        let body_start = self.pos;
+        let rest = &rest[1..];
+        // String tokens contain raw payload bytes (possibly spaces), so
+        // their token text ends at the ':' length delimiter instead.
+        let end = match kind {
+            b's' => rest.find(':').map(|i| i + 1),
+            _ => Some(rest.find(' ').unwrap_or(rest.len())),
+        };
+        let Some(end) = end else {
+            return Err(Error::new("string token missing ':' delimiter"));
+        };
+        self.pos += end;
+        if kind != b's' {
+            self.pos = (self.pos + 1).min(self.input.len()); // consume the space
+        }
+        Ok((kind, &self.input[body_start..body_start + end]))
+    }
+
+    fn expect_kind(&mut self, want: u8, what: &str) -> Result<&'de str, Error> {
+        let (kind, body) = self.next_token()?;
+        if kind != want {
+            return Err(Error::new(format!(
+                "expected {what}, found token kind {:?} at byte {}",
+                kind as char, self.pos
+            )));
+        }
+        Ok(body)
+    }
+
+    /// Reads an unsigned integer token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if the next token is not a valid `u` token.
+    pub fn read_u64(&mut self) -> Result<u64, Error> {
+        let body = self.expect_kind(b'u', "unsigned integer")?;
+        body.parse().map_err(|_| Error::new(format!("bad unsigned integer {body:?}")))
+    }
+
+    /// Reads a signed integer token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if the next token is not a valid `i` token.
+    pub fn read_i64(&mut self) -> Result<i64, Error> {
+        let body = self.expect_kind(b'i', "signed integer")?;
+        body.parse().map_err(|_| Error::new(format!("bad signed integer {body:?}")))
+    }
+
+    /// Reads a float token (bit-exact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if the next token is not a valid `f` token.
+    pub fn read_f64(&mut self) -> Result<f64, Error> {
+        let body = self.expect_kind(b'f', "float")?;
+        u64::from_str_radix(body, 16)
+            .map(f64::from_bits)
+            .map_err(|_| Error::new(format!("bad float bits {body:?}")))
+    }
+
+    /// Reads a boolean token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if the next token is not `b0` or `b1`.
+    pub fn read_bool(&mut self) -> Result<bool, Error> {
+        match self.expect_kind(b'b', "boolean")? {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            other => Err(Error::new(format!("bad boolean {other:?}"))),
+        }
+    }
+
+    /// Reads a string token, borrowing the payload from the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on a malformed length prefix or short payload.
+    pub fn read_str(&mut self) -> Result<&'de str, Error> {
+        let body = self.expect_kind(b's', "string")?;
+        let len_text = body.strip_suffix(':').unwrap_or(body);
+        let len: usize =
+            len_text.parse().map_err(|_| Error::new(format!("bad string length {len_text:?}")))?;
+        let payload = self
+            .input
+            .get(self.pos..self.pos + len)
+            .ok_or_else(|| Error::new("string payload truncated or splits a UTF-8 sequence"))?;
+        self.pos += len;
+        // Consume the trailing space separator, if present.
+        if self.input.as_bytes().get(self.pos) == Some(&b' ') {
+            self.pos += 1;
+        }
+        Ok(payload)
+    }
+
+    /// Reads a tag token (struct name / enum variant).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if the next token is not a tag.
+    pub fn read_tag(&mut self) -> Result<&'de str, Error> {
+        self.expect_kind(b't', "tag")
+    }
+
+    /// Reads a tag token and checks it equals `want`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on a missing or mismatching tag.
+    pub fn expect_tag(&mut self, want: &str) -> Result<(), Error> {
+        let got = self.read_tag()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected tag {want:?}, found {got:?}")))
+        }
+    }
+
+    /// Reads a sequence header, returning the element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] if the next token is not a sequence header.
+    pub fn read_seq_len(&mut self) -> Result<usize, Error> {
+        let body = self.expect_kind(b'q', "sequence header")?;
+        body.parse().map_err(|_| Error::new(format!("bad sequence length {body:?}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Implementations for std types.
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self, s: &mut Serializer) {
+        (**self).serialize(s);
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.write_u64(*self as u64);
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(d: &mut Deserializer<'de>) -> Result<Self, Error> {
+                let v = d.read_u64()?;
+                <$t>::try_from(v)
+                    .map_err(|_| Error::new(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self, s: &mut Serializer) {
+                s.write_i64(*self as i64);
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize(d: &mut Deserializer<'de>) -> Result<Self, Error> {
+                let v = d.read_i64()?;
+                <$t>::try_from(v)
+                    .map_err(|_| Error::new(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_f64(*self);
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize(d: &mut Deserializer<'de>) -> Result<Self, Error> {
+        d.read_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_f64(f64::from(*self));
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize(d: &mut Deserializer<'de>) -> Result<Self, Error> {
+        // Widening f32 -> f64 is exact, so narrowing back is too.
+        Ok(d.read_f64()? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_bool(*self);
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize(d: &mut Deserializer<'de>) -> Result<Self, Error> {
+        d.read_bool()
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_str(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_str(self);
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize(d: &mut Deserializer<'de>) -> Result<Self, Error> {
+        Ok(d.read_str()?.to_owned())
+    }
+}
+
+/// Interns `s`, leaking at most one copy per distinct string.
+///
+/// Exists so `&'static str` fields (e.g. catalogue clip names) can
+/// round-trip; the pool is tiny and bounded by the set of distinct
+/// strings ever deserialized into `&'static str` positions.
+fn intern(s: &str) -> &'static str {
+    static POOL: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut pool = POOL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(hit) = pool.iter().find(|x| **x == s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.push(leaked);
+    leaked
+}
+
+impl<'de> Deserialize<'de> for &'static str {
+    fn deserialize(d: &mut Deserializer<'de>) -> Result<Self, Error> {
+        Ok(intern(d.read_str()?))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self, s: &mut Serializer) {
+        s.write_seq_len(self.len());
+        for item in self {
+            item.serialize(s);
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize(d: &mut Deserializer<'de>) -> Result<Self, Error> {
+        let len = d.read_seq_len()?;
+        // Cap the pre-allocation: `len` is untrusted input.
+        let mut v = Vec::with_capacity(len.min(4096));
+        for _ in 0..len {
+            v.push(T::deserialize(d)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self, s: &mut Serializer) {
+        self.as_slice().serialize(s);
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize(d: &mut Deserializer<'de>) -> Result<Self, Error> {
+        let len = d.read_seq_len()?;
+        if len != N {
+            return Err(Error::new(format!("expected array of {N} elements, found {len}")));
+        }
+        let mut v = Vec::with_capacity(N);
+        for _ in 0..N {
+            v.push(T::deserialize(d)?);
+        }
+        v.try_into().map_err(|_| Error::new("array length mismatch"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self, s: &mut Serializer) {
+        self.0.serialize(s);
+        self.1.serialize(s);
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize(d: &mut Deserializer<'de>) -> Result<Self, Error> {
+        Ok((A::deserialize(d)?, B::deserialize(d)?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self, s: &mut Serializer) {
+        self.0.serialize(s);
+        self.1.serialize(s);
+        self.2.serialize(s);
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn deserialize(d: &mut Deserializer<'de>) -> Result<Self, Error> {
+        Ok((A::deserialize(d)?, B::deserialize(d)?, C::deserialize(d)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self, s: &mut Serializer) {
+        match self {
+            Some(v) => {
+                s.write_bool(true);
+                v.serialize(s);
+            }
+            None => s.write_bool(false),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize(d: &mut Deserializer<'de>) -> Result<Self, Error> {
+        if d.read_bool()? {
+            Ok(Some(T::deserialize(d)?))
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T>(v: &T) -> T
+    where
+        T: Serialize + for<'de> Deserialize<'de>,
+    {
+        from_str(&to_string(v)).expect("round-trip")
+    }
+
+    #[test]
+    fn integers_roundtrip() {
+        assert_eq!(roundtrip(&0u64), 0);
+        assert_eq!(roundtrip(&u64::MAX), u64::MAX);
+        assert_eq!(roundtrip(&255u8), 255);
+        assert_eq!(roundtrip(&-42i64), -42);
+        assert_eq!(roundtrip(&i64::MIN), i64::MIN);
+        assert_eq!(roundtrip(&usize::MAX), usize::MAX);
+    }
+
+    #[test]
+    fn narrowing_out_of_range_is_an_error() {
+        assert!(from_str::<u8>(&to_string(&300u64)).is_err());
+        assert!(from_str::<i8>(&to_string(&-300i64)).is_err());
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for v in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, f64::MAX, 1.0 / 3.0, f64::NAN] {
+            let back = roundtrip(&v);
+            assert_eq!(back.to_bits(), v.to_bits(), "{v}");
+        }
+        assert_eq!(roundtrip(&0.1f32).to_bits(), 0.1f32.to_bits());
+    }
+
+    #[test]
+    fn strings_roundtrip_including_spaces_and_unicode() {
+        for s in ["", "plain", "with spaces and  runs", "tabs\tand\nnewlines", "ünïcödé → ok"]
+        {
+            assert_eq!(roundtrip(&s.to_owned()), s);
+        }
+    }
+
+    #[test]
+    fn static_str_interns() {
+        let a: &'static str = from_str(&to_string("game1")).unwrap();
+        let b: &'static str = from_str(&to_string("game1")).unwrap();
+        assert_eq!(a, "game1");
+        assert!(std::ptr::eq(a, b), "same string must intern to the same allocation");
+    }
+
+    #[test]
+    fn sequences_and_tuples_roundtrip() {
+        let v = vec![vec![1u64, 2], vec![], vec![3]];
+        assert_eq!(roundtrip(&v), v);
+        let arr = [1.5f64, -2.5, 0.0];
+        assert_eq!(roundtrip(&arr), arr);
+        let t = (vec!["a".to_owned()], 7u64);
+        assert_eq!(roundtrip(&t), t);
+        assert_eq!(roundtrip(&Some(5u32)), Some(5));
+        assert_eq!(roundtrip(&None::<u32>), None);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let full = to_string(&vec![1u64, 2, 3]);
+        for cut in 1..full.len() - 1 {
+            // Every strict prefix must fail loudly, never misparse.
+            assert!(from_str::<Vec<u64>>(&full[..cut]).is_err(), "prefix {cut} parsed");
+        }
+    }
+
+    #[test]
+    fn trailing_input_is_an_error() {
+        let mut text = to_string(&1u64);
+        text.push_str("u2 ");
+        assert!(from_str::<u64>(&text).is_err());
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error() {
+        assert!(from_str::<u64>(&to_string(&1.5f64)).is_err());
+        assert!(from_str::<String>(&to_string(&true)).is_err());
+    }
+
+    #[test]
+    fn tags_check_identity() {
+        let mut s = Serializer::new();
+        s.write_tag("CoreReport");
+        let text = s.finish();
+        let mut d = Deserializer::new(&text);
+        assert!(d.expect_tag("OtherThing").is_err());
+        let mut d = Deserializer::new(&text);
+        assert!(d.expect_tag("CoreReport").is_ok());
+    }
+}

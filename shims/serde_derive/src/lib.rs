@@ -1,16 +1,343 @@
-//! No-op stand-ins for serde's derive macros (offline shim).
+//! Working stand-ins for serde's derive macros (offline shim).
 //!
-//! The workspace only ever *derives* `Serialize`/`Deserialize`; nothing
-//! serializes through serde at runtime, so empty expansions are enough.
+//! The original shim expanded to nothing; since the persistent run
+//! store needs real round-trips, these derives now generate working
+//! `serde::Serialize` / `serde::Deserialize` implementations against
+//! the shim's wire format (see `shims/serde`).
+//!
+//! No `syn`/`quote` are available offline, so parsing walks the raw
+//! [`proc_macro`] token trees directly. Supported item shapes — which
+//! cover every derive site in this workspace:
+//!
+//! * structs with named fields (any visibility, attributes skipped),
+//!   including const-generic parameters (e.g. `SatCounter<const N: u32>`);
+//! * fieldless enums (unit variants only, attributes such as
+//!   `#[default]` skipped).
+//!
+//! Anything else (tuple structs, data-carrying enums, lifetime or type
+//! parameters, `where` clauses) produces a `compile_error!` naming the
+//! limitation rather than silently doing the wrong thing.
+//!
+//! Generated code:
+//!
+//! * structs serialize as `t<Name>` followed by each field in
+//!   declaration order; deserialization checks the tag and reads the
+//!   fields back in the same order;
+//! * enums serialize as the variant's tag; unknown tags error.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One generic parameter: its declaration (`const N: u32`) and the
+/// argument to repeat at use sites (`N`).
+struct GenericParam {
+    decl: String,
+    arg: String,
+}
+
+enum Body {
+    /// Named fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<GenericParam>,
+    body: Body,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error tokens")
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// starting at `i`; returns the next significant index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` + bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses the `<...>` generic parameter list starting *after* the `<`.
+/// Returns the params and the index just past the closing `>`.
+fn parse_generics(
+    tokens: &[TokenTree],
+    mut i: usize,
+) -> Result<(Vec<GenericParam>, usize), String> {
+    let mut depth = 1usize;
+    let mut current: Vec<String> = Vec::new();
+    let mut params = Vec::new();
+    let mut finish_param = |current: &mut Vec<String>| -> Result<(), String> {
+        if current.is_empty() {
+            return Ok(());
+        }
+        let decl = current.join(" ");
+        // The use-site argument: `const N: u32` -> `N`; `T: Bound` -> `T`.
+        let arg = if current[0] == "const" {
+            current.get(1).cloned().ok_or_else(|| "malformed const parameter".to_owned())?
+        } else if current[0].starts_with('\'') {
+            return Err("lifetime parameters are not supported by the serde shim derive".to_owned());
+        } else {
+            current[0].clone()
+        };
+        params.push(GenericParam { decl, arg });
+        current.clear();
+        Ok(())
+    };
+    loop {
+        let Some(tok) = tokens.get(i) else {
+            return Err("unterminated generic parameter list".to_owned());
+        };
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                current.push("<".to_owned());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    finish_param(&mut current)?;
+                    return Ok((params, i + 1));
+                }
+                current.push(">".to_owned());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                finish_param(&mut current)?;
+            }
+            other => current.push(other.to_string()),
+        }
+        i += 1;
+    }
+}
+
+/// Splits a brace group's tokens into named fields.
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(tok) = tokens.get(i) else { break };
+        let TokenTree::Ident(name) = tok else {
+            return Err(format!("expected a field name, found `{tok}`"));
+        };
+        fields.push(name.to_string());
+        i += 1;
+        // Skip the `: Type` part up to the next top-level comma. Commas
+        // inside groups are invisible here; commas inside generic
+        // arguments are guarded by angle-bracket depth tracking.
+        let mut angle_depth = 0usize;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Splits a brace group's tokens into unit enum variants.
+fn parse_unit_variants(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(tok) = tokens.get(i) else { break };
+        let TokenTree::Ident(name) = tok else {
+            return Err(format!("expected a variant name, found `{tok}`"));
+        };
+        variants.push(name.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the next comma.
+                while let Some(tok) = tokens.get(i) {
+                    i += 1;
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "variant `{name}` carries data; the serde shim derive supports only \
+                     unit variants"
+                ));
+            }
+            Some(other) => return Err(format!("unexpected token `{other}` after variant")),
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!(
+                "expected `struct` or `enum`, found `{}`",
+                other.map_or_else(|| "end of input".to_owned(), ToString::to_string)
+            ))
+        }
+    };
+    i += 1;
+    let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+        return Err("expected a type name".to_owned());
+    };
+    let name = name.to_string();
+    i += 1;
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let (params, next) = parse_generics(&tokens, i + 1)?;
+            generics = params;
+            i = next;
+        }
+    }
+    if matches!(tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        return Err("`where` clauses are not supported by the serde shim derive".to_owned());
+    }
+    let Some(TokenTree::Group(body)) = tokens.get(i) else {
+        return Err(format!("expected a body for {kind} `{name}`"));
+    };
+    if body.delimiter() != Delimiter::Brace {
+        return Err(format!(
+            "{kind} `{name}` has no named-field body; the serde shim derive supports only \
+             named-field structs and unit enums"
+        ));
+    }
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let body = if kind == "struct" {
+        Body::Struct(parse_named_fields(&body_tokens)?)
+    } else {
+        Body::Enum(parse_unit_variants(&body_tokens)?)
+    };
+    Ok(Item { name, generics, body })
+}
+
+/// `impl` header pieces: `<'de, const N: u32>` and `Name<N>`.
+fn impl_pieces(item: &Item, extra_lifetime: Option<&str>) -> (String, String) {
+    let mut decls: Vec<String> = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        decls.push(lt.to_owned());
+    }
+    decls.extend(item.generics.iter().map(|g| g.decl.clone()));
+    let header = if decls.is_empty() { String::new() } else { format!("<{}>", decls.join(", ")) };
+    let args: Vec<String> = item.generics.iter().map(|g| g.arg.clone()).collect();
+    let ty = if args.is_empty() {
+        item.name.clone()
+    } else {
+        format!("{}<{}>", item.name, args.join(", "))
+    };
+    (header, ty)
+}
 
 #[proc_macro_derive(Serialize)]
-pub fn derive_serialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let (header, ty) = impl_pieces(&item, None);
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut code = format!("        s.write_tag({:?});\n", item.name);
+            for f in fields {
+                code.push_str(&format!("        ::serde::Serialize::serialize(&self.{f}, s);\n"));
+            }
+            code
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!("            {}::{v} => s.write_tag({v:?}),\n", item.name));
+            }
+            format!("        match self {{\n{arms}        }}\n")
+        }
+    };
+    format!(
+        "impl{header} ::serde::Serialize for {ty} {{\n\
+         \x20   fn serialize(&self, s: &mut ::serde::Serializer) {{\n\
+         {body}\
+         \x20   }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("generated Serialize impl")
 }
 
 #[proc_macro_derive(Deserialize)]
-pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let (header, ty) = impl_pieces(&item, Some("'de"));
+    let body = match &item.body {
+        Body::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "            {f}: ::serde::Deserialize::deserialize(d)?,\n"
+                ));
+            }
+            format!(
+                "        d.expect_tag({:?})?;\n\
+                 \x20       ::core::result::Result::Ok({} {{\n{inits}        }})\n",
+                item.name, item.name
+            )
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                arms.push_str(&format!(
+                    "            {v:?} => ::core::result::Result::Ok({}::{v}),\n",
+                    item.name
+                ));
+            }
+            format!(
+                "        match d.read_tag()? {{\n{arms}\
+                 \x20           other => ::core::result::Result::Err(\
+                 ::serde::Error::unknown_variant({:?}, other)),\n\
+                 \x20       }}\n",
+                item.name
+            )
+        }
+    };
+    format!(
+        "impl{header} ::serde::Deserialize<'de> for {ty} {{\n\
+         \x20   fn deserialize(d: &mut ::serde::Deserializer<'de>) \
+         -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\
+         \x20   }}\n\
+         }}\n"
+    )
+    .parse()
+    .expect("generated Deserialize impl")
 }

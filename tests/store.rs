@@ -1,0 +1,145 @@
+//! Persistent run-store integration tests: cross-process reuse,
+//! corruption recovery, and schema-version invalidation.
+//!
+//! "Cross-process" is modelled by dropping every piece of in-memory
+//! state (the `RunCache` and the `RunStore` handle) and reopening the
+//! same directory with fresh ones — exactly what a second
+//! `vstress-repro --store` invocation does.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use vstress::codecs::{CodecId, EncoderParams};
+use vstress::workbench::RunSpec;
+use vstress::{RunCache, RunStore};
+
+fn tmp_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vstress-store-it-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> RunSpec {
+    RunSpec::quick("cat", CodecId::X264, EncoderParams::new(30, 5))
+}
+
+/// A cache with all process state dropped, reattached to `root`.
+fn fresh_cache(root: &PathBuf) -> RunCache {
+    RunCache::with_store(Arc::new(RunStore::open(root).unwrap()))
+}
+
+#[test]
+fn reloaded_run_is_bit_identical() {
+    let root = tmp_root("roundtrip");
+
+    // Process 1: compute and persist.
+    let first = fresh_cache(&root);
+    let computed = first.run(&spec()).unwrap();
+    let s = first.stats();
+    assert_eq!((s.store_hits, s.store_misses), (0, 1));
+    drop(first);
+
+    // Process 2: a brand-new cache + store over the same directory must
+    // serve the run from disk, bit-identically, without encoding.
+    let second = fresh_cache(&root);
+    let reloaded = second.run(&spec()).unwrap();
+    assert_eq!(*reloaded, *computed, "reloaded run must be bit-identical");
+    let s = second.stats();
+    assert_eq!((s.store_hits, s.store_misses), (1, 0));
+    assert_eq!(s.clip_misses, 0, "a store-served run never synthesizes the clip");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn window_and_cost_layers_reload() {
+    let root = tmp_root("layers");
+
+    let first = fresh_cache(&root);
+    let window = first.branch_window(&spec(), 10_000).unwrap();
+    let cost = first.encode_decode_cost(&spec()).unwrap();
+    drop(first);
+
+    let second = fresh_cache(&root);
+    assert_eq!(*second.branch_window(&spec(), 10_000).unwrap(), *window);
+    assert_eq!(*second.encode_decode_cost(&spec()).unwrap(), *cost);
+    let s = second.stats();
+    // The window's counting pre-pass run was persisted too, but a full
+    // window hit never needs it: both lookups are pure store hits.
+    assert_eq!((s.store_hits, s.store_misses), (2, 0));
+    assert_eq!(s.clip_misses, 0);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn truncated_entry_is_quarantined_and_recomputed() {
+    let root = tmp_root("corruption");
+
+    let first = fresh_cache(&root);
+    let computed = first.run(&spec()).unwrap();
+    drop(first);
+
+    // Truncate the single stored run entry in place.
+    let store = RunStore::open(&root).unwrap();
+    let run_dir = store.dir().join("run");
+    let entries: Vec<PathBuf> = std::fs::read_dir(&run_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "entry"))
+        .collect();
+    assert_eq!(entries.len(), 1);
+    let text = std::fs::read_to_string(&entries[0]).unwrap();
+    std::fs::write(&entries[0], &text[..text.len() / 3]).unwrap();
+    drop(store);
+
+    // The next process recovers: quarantine + recompute, not a failure.
+    let second = fresh_cache(&root);
+    let recomputed = second.run(&spec()).unwrap();
+    assert_eq!(*recomputed, *computed, "recompute must reproduce the run");
+    let s = second.stats();
+    assert_eq!(s.store_quarantined, 1);
+    assert_eq!((s.store_hits, s.store_misses), (0, 1));
+    assert!(entries[0].exists(), "the recomputed entry is re-stored at the same address");
+    let quarantined: Vec<PathBuf> = std::fs::read_dir(&run_dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.to_string_lossy().ends_with(".quarantined"))
+        .collect();
+    assert_eq!(quarantined.len(), 1, "the evidence stays inspectable");
+
+    // And the recomputed entry serves the third process from disk.
+    let third = fresh_cache(&root);
+    assert_eq!(*third.run(&spec()).unwrap(), *computed);
+    assert_eq!(third.stats().store_hits, 1);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn schema_version_bump_invalidates_old_entries() {
+    let root = tmp_root("schema");
+
+    // Persist under the current schema version.
+    let current = fresh_cache(&root);
+    current.run(&spec()).unwrap();
+    drop(current);
+
+    // A future schema version sees an empty store (different directory)
+    // and recomputes without touching the old entries.
+    let next_version = vstress::SCHEMA_VERSION + 1;
+    let bumped =
+        RunCache::with_store(Arc::new(RunStore::open_with_version(&root, next_version).unwrap()));
+    bumped.run(&spec()).unwrap();
+    let s = bumped.stats();
+    assert_eq!((s.store_hits, s.store_misses), (0, 1));
+    assert_eq!(s.store_quarantined, 0, "absent is not corrupt");
+    drop(bumped);
+
+    // Both version directories now hold their own entry; the old one is
+    // still valid for the old version.
+    let old_again = fresh_cache(&root);
+    old_again.run(&spec()).unwrap();
+    assert_eq!(old_again.stats().store_hits, 1);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
