@@ -7,7 +7,7 @@ use vstress::codecs::blocks::BlockRect;
 use vstress::codecs::entropy::{Context, RangeDecoder, RangeEncoder};
 use vstress::codecs::kernels::sad_plane_plane;
 use vstress::codecs::mc::MotionVector;
-use vstress::codecs::mesearch::{motion_search, MeSettings};
+use vstress::codecs::mesearch::{motion_search, MeScratch, MeSettings};
 use vstress::codecs::transform;
 use vstress::trace::NullProbe;
 use vstress::video::Plane;
@@ -138,6 +138,7 @@ fn bench_motion_search(c: &mut Criterion) {
     }
     let rect = BlockRect::new(16, 16, 16, 16);
     let settings = MeSettings { range: 12, exhaustive_radius: 0, refine_steps: 16, subpel: true };
+    let mut scratch = MeScratch::new();
     c.bench_function("motion_search_16x16", |b| {
         b.iter(|| {
             motion_search(
@@ -148,6 +149,7 @@ fn bench_motion_search(c: &mut Criterion) {
                 MotionVector::ZERO,
                 &settings,
                 8,
+                &mut scratch,
             )
         })
     });

@@ -1,0 +1,253 @@
+//! `vstress-bench` — the machine-readable perf-trajectory harness.
+//!
+//! ```text
+//! vstress-bench                      # full run, writes BENCH_0003.json
+//! vstress-bench --quick              # CI mode: shorter sampling windows
+//! vstress-bench --out path.json      # write the report elsewhere
+//! ```
+//!
+//! Times the leaf pixel kernels (interior and border paths separately),
+//! motion search, and a full quick-profile encode, then emits one JSON
+//! report (`ns/op`, `pixels/s`, wall time, git revision) so every PR can
+//! be compared against the committed trajectory. Human-readable lines go
+//! to stderr; the JSON artifact is the contract.
+
+use std::hint::black_box;
+use std::time::Instant;
+use vstress::codecs::blocks::BlockRect;
+use vstress::codecs::kernels;
+use vstress::codecs::mc::{motion_compensate, MotionVector};
+use vstress::codecs::mesearch::{motion_search, MeScratch, MeSettings};
+use vstress::experiments::{profile, ExperimentConfig};
+use vstress::trace::NullProbe;
+use vstress::video::Plane;
+
+/// One timed microbenchmark.
+struct Sample {
+    name: &'static str,
+    iters: u64,
+    ns_per_op: f64,
+    /// Pixels processed per op (0 when the metric is not pixel-shaped).
+    pixels_per_op: u64,
+}
+
+impl Sample {
+    fn mpixels_per_s(&self) -> f64 {
+        if self.pixels_per_op == 0 || self.ns_per_op == 0.0 {
+            0.0
+        } else {
+            self.pixels_per_op as f64 / self.ns_per_op * 1000.0
+        }
+    }
+}
+
+/// Runs `f` repeatedly for roughly `target_ms`, returning the sample.
+fn time_it(name: &'static str, pixels_per_op: u64, target_ms: u64, mut f: impl FnMut()) -> Sample {
+    // Warm up and calibrate the batch size on a short probe run.
+    let probe_start = Instant::now();
+    let mut probe_iters = 0u64;
+    while probe_start.elapsed().as_millis() < 10 || probe_iters < 3 {
+        f();
+        probe_iters += 1;
+    }
+    let ns_estimate = (probe_start.elapsed().as_nanos() as f64 / probe_iters as f64).max(1.0);
+    let iters = ((target_ms as f64 * 1e6) / ns_estimate).ceil().max(1.0) as u64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns_per_op = start.elapsed().as_nanos() as f64 / iters as f64;
+    let s = Sample { name, iters, ns_per_op, pixels_per_op };
+    eprintln!(
+        "vstress-bench: {:<28} {:>12.1} ns/op {:>10.1} Mpx/s  ({} iters)",
+        s.name,
+        s.ns_per_op,
+        s.mpixels_per_s(),
+        s.iters
+    );
+    s
+}
+
+/// A deterministic textured plane (same terrain as the mesearch tests).
+fn textured(w: usize, h: usize, shift: usize) -> Plane {
+    let mut p = Plane::new(w, h, 0).unwrap();
+    for y in 0..h {
+        for x in 0..w {
+            let s = (x + shift) as f64;
+            let fy = y as f64;
+            let v = 128.0
+                + 58.0 * (s * 0.19).sin()
+                + 38.0 * (fy * 0.23 + s * 0.07).sin()
+                + 18.0 * ((s + fy) * 0.11).cos();
+            p.set(x, y, v.clamp(0.0, 255.0) as u8);
+        }
+    }
+    p
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_0003.json".to_owned());
+    let target_ms: u64 = if quick { 40 } else { 250 };
+
+    eprintln!("vstress-bench: mode = {}", if quick { "quick" } else { "full" });
+
+    let cur = textured(64, 64, 4);
+    let refp = textured(64, 64, 0);
+    let rect32 = BlockRect::new(16, 16, 32, 32);
+    let rect16 = BlockRect::new(16, 16, 16, 16);
+    let pred16: Vec<u8> = (0..256).map(|i| (i * 7 % 251) as u8).collect();
+    let mut res16 = vec![0i32; 256];
+    kernels::residual(&mut NullProbe, &cur, rect16, &pred16, &mut res16);
+    let mut out_plane = Plane::new(64, 64, 0).unwrap();
+    let mut mc_dst = vec![0u8; 32 * 32];
+
+    let mut samples: Vec<Sample> = Vec::new();
+
+    // Interior SAD/SSE: the displaced block stays fully inside the frame.
+    samples.push(time_it("sad_plane_plane_interior", 32 * 32, target_ms, || {
+        black_box(kernels::sad_plane_plane(
+            &mut NullProbe,
+            black_box(&cur),
+            rect32,
+            black_box(&refp),
+            2,
+            1,
+        ));
+    }));
+    // Border SAD: the motion vector pushes the reference off-frame.
+    samples.push(time_it("sad_plane_plane_border", 32 * 32, target_ms, || {
+        black_box(kernels::sad_plane_plane(
+            &mut NullProbe,
+            black_box(&cur),
+            rect32,
+            black_box(&refp),
+            -40,
+            -40,
+        ));
+    }));
+    samples.push(time_it("sad_plane_pred_16x16", 16 * 16, target_ms, || {
+        black_box(kernels::sad_plane_pred(
+            &mut NullProbe,
+            black_box(&cur),
+            rect16,
+            black_box(&pred16),
+        ));
+    }));
+    samples.push(time_it("sse_plane_pred_16x16", 16 * 16, target_ms, || {
+        black_box(kernels::sse_plane_pred(
+            &mut NullProbe,
+            black_box(&cur),
+            rect16,
+            black_box(&pred16),
+        ));
+    }));
+    samples.push(time_it("residual_16x16", 16 * 16, target_ms, || {
+        kernels::residual(&mut NullProbe, black_box(&cur), rect16, &pred16, &mut res16);
+    }));
+    samples.push(time_it("reconstruct_16x16", 16 * 16, target_ms, || {
+        kernels::reconstruct(&mut NullProbe, &mut out_plane, rect16, &pred16, &res16);
+    }));
+    samples.push(time_it("write_pred_16x16", 16 * 16, target_ms, || {
+        kernels::write_pred(&mut NullProbe, &mut out_plane, rect16, &pred16);
+    }));
+    samples.push(time_it("mc_fullpel_32x32", 32 * 32, target_ms, || {
+        motion_compensate(
+            &mut NullProbe,
+            black_box(&refp),
+            rect32,
+            MotionVector::from_fullpel(2, 1),
+            &mut mc_dst,
+        );
+    }));
+    samples.push(time_it("mc_halfpel_32x32", 32 * 32, target_ms, || {
+        motion_compensate(
+            &mut NullProbe,
+            black_box(&refp),
+            rect32,
+            MotionVector { x: 5, y: 3 },
+            &mut mc_dst,
+        );
+    }));
+
+    let me = MeSettings { range: 12, exhaustive_radius: 0, refine_steps: 16, subpel: true };
+    let mut scratch = MeScratch::new();
+    samples.push(time_it("motion_search_16x16", 0, target_ms, || {
+        black_box(motion_search(
+            &mut NullProbe,
+            black_box(&cur),
+            rect16,
+            black_box(&refp),
+            MotionVector::ZERO,
+            &me,
+            2,
+            &mut scratch,
+        ));
+    }));
+
+    // Full quick-profile encode: the hot-kernel profile experiment over the
+    // quick configuration, exactly what `vstress-repro profile` runs.
+    let encode_start = Instant::now();
+    let cfg = ExperimentConfig::quick();
+    profile::table_hot_kernels(&cfg).expect("quick profile");
+    let encode_wall_ms = encode_start.elapsed().as_secs_f64() * 1e3;
+    eprintln!("vstress-bench: quick_profile_encode      {encode_wall_ms:>12.1} ms wall");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": 1,\n");
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", json_escape(&git_rev())));
+    json.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
+    json.push_str("  \"kernels\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_op\": {:.2}, \
+             \"pixels_per_op\": {}, \"mpixels_per_s\": {:.2}}}{}\n",
+            s.name,
+            s.iters,
+            s.ns_per_op,
+            s.pixels_per_op,
+            s.mpixels_per_s(),
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"encode\": {{\"name\": \"quick_profile\", \"wall_ms\": {encode_wall_ms:.1}}}\n"
+    ));
+    json.push_str("}\n");
+
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("vstress-bench: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("vstress-bench: wrote {out_path}");
+}

@@ -73,7 +73,7 @@ mod tests {
     #[test]
     fn video_errors_convert() {
         let v = vstress_video::VideoError::UnknownClip("x".into());
-        let c: CodecError = v.clone().into();
+        let c: CodecError = v.into();
         assert!(matches!(c, CodecError::Video(_)));
         use std::error::Error;
         assert!(c.source().is_some());

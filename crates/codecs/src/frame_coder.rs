@@ -95,7 +95,7 @@ pub enum LeafMode {
 }
 
 /// One node of the chosen partition tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum NodePlan {
     /// A coded leaf.
     Leaf {
@@ -379,11 +379,47 @@ pub fn estimate_tu_rate(n: usize, levels: &[i32]) -> u64 {
 // Phase A: search
 // ---------------------------------------------------------------------------
 
+/// One memoized leaf evaluation: the RD result plus the probe events the
+/// evaluation emitted, for replay on a hit (see [`eval_leaf_memo`]).
+#[derive(Debug, Clone)]
+struct LeafMemoEntry {
+    mode: LeafMode,
+    cost: u64,
+    seed_mv_out: MotionVector,
+    events: vstress_trace::EventBatch,
+}
+
+/// When the partition search may serve a leaf evaluation from the memo
+/// instead of recomputing it (see [`eval_leaf_memo`] for the fidelity
+/// argument and DESIGN.md "Performance" for the measurements behind the
+/// default).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MemoPolicy {
+    /// Never memoize; every leaf is fully recomputed.
+    Off,
+    /// Memoize only when the probe is dead ([`Probe::is_live`] is
+    /// `false`): hits skip the whole evaluation and nothing needs
+    /// recording, so the real (non-simulated) encode path gets the full
+    /// win at zero bookkeeping cost. Live probes recompute every leaf,
+    /// which is trivially stream-identical. This is the default:
+    /// measured on the quick profile, repeated keys are almost always
+    /// seen exactly twice, so eagerly recording every miss costs more
+    /// than replaying the repeat saves.
+    #[default]
+    DeadProbeOnly,
+    /// Memoize under live probes too, replaying the recorded event batch
+    /// on every hit. Exact — the equivalence tests prove the replayed
+    /// stream matches full recomputation byte-for-byte — but a measured
+    /// net loss on characterization runs; exposed for those tests and
+    /// for callers whose repeat rate differs.
+    Always,
+}
+
 /// PlanScratch buffers reused across Phase-A leaf evaluations.
 ///
 /// Owned by the caller (one per encode) so buffer addresses stay stable
 /// across superblocks — see [`CodeScratch`] for why that matters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PlanScratch {
     pred: Vec<u8>,
     res: Vec<i32>,
@@ -392,12 +428,47 @@ pub struct PlanScratch {
     tu_levels: Vec<i32>,
     tu_deq: Vec<i32>,
     tu_rec: Vec<i32>,
+    me: crate::mesearch::MeScratch,
+    /// Per-superblock leaf memo, keyed by `(rect, seed_mv at entry)` —
+    /// the complete input state of [`eval_leaf`] once the superblock's
+    /// tools/λ/sources/HME seeds are fixed. Cleared by
+    /// [`plan_superblock`].
+    memo: std::collections::HashMap<(BlockRect, MotionVector), LeafMemoEntry>,
+    memo_policy: MemoPolicy,
+}
+
+impl Default for PlanScratch {
+    fn default() -> Self {
+        PlanScratch {
+            pred: Vec::new(),
+            res: Vec::new(),
+            tu_src: Vec::new(),
+            tu_coeffs: Vec::new(),
+            tu_levels: Vec::new(),
+            tu_deq: Vec::new(),
+            tu_rec: Vec::new(),
+            me: crate::mesearch::MeScratch::new(),
+            memo: std::collections::HashMap::new(),
+            memo_policy: MemoPolicy::default(),
+        }
+    }
 }
 
 impl PlanScratch {
     /// An empty pool (buffers grow on first use).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the leaf-evaluation memo policy (default
+    /// [`MemoPolicy::DeadProbeOnly`]).
+    ///
+    /// [`MemoPolicy::Always`] and [`MemoPolicy::Off`] exist for the
+    /// equivalence tests, which assert that memoized and fully
+    /// recomputed searches produce identical plans and identical probe
+    /// event streams.
+    pub fn set_memo_policy(&mut self, policy: MemoPolicy) {
+        self.memo_policy = policy;
     }
 
     fn ensure(&mut self, area: usize, tu2: usize) {
@@ -456,6 +527,7 @@ impl HmeSeeds {
 }
 
 /// Runs the open-loop HME pre-pass for one superblock.
+#[allow(clippy::too_many_arguments)]
 pub fn hme_superblock<P: Probe>(
     probe: &mut P,
     tools: &ToolSet,
@@ -463,6 +535,7 @@ pub fn hme_superblock<P: Probe>(
     refs: &[&Frame],
     rect: BlockRect,
     sqrt_lambda: u64,
+    scratch: &mut crate::mesearch::MeScratch,
 ) -> HmeSeeds {
     let blocks_x = rect.w.div_ceil(HME_BLOCK);
     let blocks_y = rect.h.div_ceil(HME_BLOCK);
@@ -485,6 +558,7 @@ pub fn hme_superblock<P: Probe>(
                     pred,
                     &tools.me,
                     sqrt_lambda,
+                    scratch,
                 );
                 seeds[ref_idx][by * blocks_x + bx] = me.mv;
                 pred = me.mv;
@@ -511,8 +585,12 @@ pub fn plan_superblock<P: Probe>(
     scratch: &mut PlanScratch,
 ) -> NodePlan {
     let lambda = Lambda::from_qindex(cfg.qindex);
+    // The leaf memo is only valid while the superblock's tools/λ/HME
+    // context is fixed, so it lives one superblock at a time.
+    scratch.memo.clear();
     // Stage 1: open-loop HME (CRF-independent work and traffic).
-    let hme = hme_superblock(probe, tools, src, refs, rect, isqrt(lambda.scaled()).max(1));
+    let sqrt_lambda = isqrt(lambda.scaled()).max(1);
+    let hme = hme_superblock(probe, tools, src, refs, rect, sqrt_lambda, &mut scratch.me);
     // Stage 2: mode decision, refining around the HME seeds.
     let (plan, _cost) =
         plan_block(probe, tools, cfg, &lambda, src, refs, rect, 0, seed_mv, scratch, &hme);
@@ -550,8 +628,9 @@ fn plan_block<P: Probe>(
         probe.branch(vstress_trace::site_pc!(), i != 0);
         let candidate = match shape {
             PartitionShape::None => {
-                let (mode, cost) =
-                    eval_leaf(probe, tools, cfg, lambda, src, refs, rect, seed_mv, scratch, hme);
+                let (mode, cost) = eval_leaf_memo(
+                    probe, tools, cfg, lambda, src, refs, rect, seed_mv, scratch, hme,
+                );
                 Some((NodePlan::Leaf { rect, mode }, cost))
             }
             PartitionShape::Split if depth < cfg.max_depth => {
@@ -592,7 +671,7 @@ fn plan_block<P: Probe>(
                     let mut total = 0u64;
                     for (dx, dy, w, h) in subs {
                         let sub = BlockRect::new(rect.x + dx, rect.y + dy, w, h);
-                        let (mode, c) = eval_leaf(
+                        let (mode, c) = eval_leaf_memo(
                             probe, tools, cfg, lambda, src, refs, sub, seed_mv, scratch, hme,
                         );
                         total = total.saturating_add(c);
@@ -620,6 +699,77 @@ fn plan_block<P: Probe>(
 
     let (idx, _) = decision.winner().expect("PartitionShape::None always yields a plan");
     plans.into_iter().nth(idx).flatten().expect("winner index points at a live plan")
+}
+
+/// Memoizing front end for [`eval_leaf`].
+///
+/// Within one superblock plan, [`eval_leaf`] is a pure function of
+/// `(rect, *seed_mv)`: every other input (tools, λ, source, references,
+/// HME seeds) is fixed for the whole plan, and the scratch buffers carry
+/// no state between evaluations. The AV1-style shape grammar evaluates
+/// the same sub-rects repeatedly — `Horz`'s top half is `HorzA`'s first
+/// sub-block, `HorzA`'s bottom quads are `Split`'s lower quadrants, and
+/// so on — so repeats with an unchanged MV predictor are pure recompute.
+///
+/// Probe fidelity: on a miss with a live probe (under
+/// [`MemoPolicy::Always`]), the evaluation runs under a
+/// [`vstress_trace::RecordingProbe`] and the entry stores the exact
+/// event batch; a hit replays that batch, so downstream models observe
+/// precisely the stream the recomputation would have emitted (the
+/// evaluation's emissions do not depend on probe state, so record-once/
+/// replay-later is exact). With a dead probe ([`vstress_trace::NullProbe`])
+/// recording is skipped and the entry stores an empty batch — sound
+/// because probe liveness cannot change within one plan, so any later
+/// hit replays into the same dead probe where replay is a no-op.
+///
+/// Policy: under the default [`MemoPolicy::DeadProbeOnly`], live probes
+/// bypass the memo and recompute every leaf. Replay is exact either way
+/// (the tests prove it), but profiling the quick characterization run
+/// showed repeated keys are almost always seen exactly twice, so eager
+/// recording on every miss costs more wall time than the single replay
+/// saves. The dead-probe path has no such trade-off: hits skip the whole
+/// evaluation and there is nothing to record.
+#[allow(clippy::too_many_arguments)]
+fn eval_leaf_memo<P: Probe>(
+    probe: &mut P,
+    tools: &ToolSet,
+    cfg: &CoderConfig,
+    lambda: &Lambda,
+    src: &Frame,
+    refs: &[&Frame],
+    rect: BlockRect,
+    seed_mv: &mut MotionVector,
+    scratch: &mut PlanScratch,
+    hme: &HmeSeeds,
+) -> (LeafMode, u64) {
+    let use_memo = match scratch.memo_policy {
+        MemoPolicy::Off => false,
+        MemoPolicy::DeadProbeOnly => !probe.is_live(),
+        MemoPolicy::Always => true,
+    };
+    if !use_memo {
+        return eval_leaf(probe, tools, cfg, lambda, src, refs, rect, seed_mv, scratch, hme);
+    }
+    let key = (rect, *seed_mv);
+    if let Some(hit) = scratch.memo.get(&key) {
+        hit.events.replay(probe);
+        *seed_mv = hit.seed_mv_out;
+        return (hit.mode, hit.cost);
+    }
+    let mut seed = *seed_mv;
+    let (mode, cost, events) = if probe.is_live() {
+        let mut rec = vstress_trace::RecordingProbe::new(probe);
+        let (mode, cost) =
+            eval_leaf(&mut rec, tools, cfg, lambda, src, refs, rect, &mut seed, scratch, hme);
+        (mode, cost, rec.into_batch())
+    } else {
+        let (mode, cost) =
+            eval_leaf(probe, tools, cfg, lambda, src, refs, rect, &mut seed, scratch, hme);
+        (mode, cost, vstress_trace::EventBatch::new())
+    };
+    scratch.memo.insert(key, LeafMemoEntry { mode, cost, seed_mv_out: seed, events });
+    *seed_mv = seed;
+    (mode, cost)
 }
 
 /// Evaluates the best leaf mode for `rect` (Phase A).
@@ -667,6 +817,7 @@ fn eval_leaf<P: Probe>(
             *seed_mv,
             &refine,
             sqrt_lambda,
+            &mut scratch.me,
         );
         if best_me.as_ref().map(|(b, _)| me.cost < b.cost).unwrap_or(true) {
             best_me = Some((me, ref_idx));

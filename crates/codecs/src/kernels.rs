@@ -22,7 +22,7 @@ fn row_vectors(w: usize) -> u64 {
 /// rows per register by real kernels, so block kernels always count as
 /// AVX; the rare 128-bit paths live in the deblocker and edge gathering.
 #[inline]
-fn vec_ops<P: Probe>(probe: &mut P, _w: usize, n: u64) {
+fn vec_ops<P: Probe>(probe: &mut P, n: u64) {
     probe.avx(n);
 }
 
@@ -40,13 +40,14 @@ pub fn sad_plane_pred<P: Probe>(probe: &mut P, plane: &Plane, rect: BlockRect, p
     for y in 0..rect.h {
         let row = &plane.row(rect.y + y)[rect.x..rect.x + rect.w];
         let prow = &pred[y * rect.w..(y + 1) * rect.w];
-        for (a, b) in row.iter().zip(prow) {
-            sum += (*a as i32 - *b as i32).unsigned_abs() as u64;
-        }
+        // Narrow accumulator per row (255 * w fits u32 for any block size)
+        // so the compiler can keep the reduction in vector registers.
+        let row_sum: u32 = row.iter().zip(prow).map(|(a, b)| a.abs_diff(*b) as u32).sum();
+        sum += row_sum as u64;
         let v = row_vectors(rect.w);
         probe.load(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
         probe.load(probe_addr::fixed::PRED + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
-        vec_ops(probe, rect.w, v * 2); // psadbw + accumulate
+        vec_ops(probe, v * 2); // psadbw + accumulate
         probe.alu(1);
         // Unrolled-by-4 loop: one branch per four rows; the accumulator
         // spills to the stack every other row.
@@ -71,15 +72,34 @@ pub fn sad_plane_plane<P: Probe>(
     mvy: i32,
 ) -> u64 {
     probe.set_kernel(Kernel::Sad);
+    // Interior fast path: the displaced rect stays fully inside the
+    // reference plane, so no sample needs clamping and both rows are
+    // contiguous slices the compiler can autovectorize. The edge path
+    // (clamping per sample) only runs when `rect + mv` leaves the frame.
+    let rx0 = rect.x as isize + mvx as isize;
+    let ry0 = rect.y as isize + mvy as isize;
+    let interior = rx0 >= 0
+        && ry0 >= 0
+        && rx0 + rect.w as isize <= refp.width() as isize
+        && ry0 + rect.h as isize <= refp.height() as isize;
     let mut sum = 0u64;
     for y in 0..rect.h {
         let cy = rect.y + y;
         let ry = cy as isize + mvy as isize;
-        for x in 0..rect.w {
-            let a = cur.get(rect.x + x, cy) as i32;
-            let b = refp.get_clamped(rect.x as isize + x as isize + mvx as isize, ry) as i32;
-            sum += (a - b).unsigned_abs() as u64;
-        }
+        let crow = &cur.row(cy)[rect.x..rect.x + rect.w];
+        let row_sum: u32 = if interior {
+            let rrow = &refp.row(ry as usize)[rx0 as usize..rx0 as usize + rect.w];
+            crow.iter().zip(rrow).map(|(a, b)| a.abs_diff(*b) as u32).sum()
+        } else {
+            crow.iter()
+                .enumerate()
+                .map(|(x, a)| {
+                    let b = refp.get_clamped(rect.x as isize + x as isize + mvx as isize, ry);
+                    a.abs_diff(b) as u32
+                })
+                .sum()
+        };
+        sum += row_sum as u64;
         let v = row_vectors(rect.w);
         probe.load(cur.sample_addr(rect.x, cy), rect.w.min(VEC_PIXELS) as u32);
         let rx = (rect.x as isize + mvx as isize).clamp(0, refp.width() as isize - 1) as usize;
@@ -88,7 +108,7 @@ pub fn sad_plane_plane<P: Probe>(
         // two overlapping vector loads.
         probe.load(refp.sample_addr(rx, rcy), rect.w.min(VEC_PIXELS) as u32);
         probe.load(refp.sample_addr(rx, rcy) + 16, rect.w.min(VEC_PIXELS) as u32);
-        vec_ops(probe, rect.w, v * 2);
+        vec_ops(probe, v * 2);
         probe.alu(1);
         if y % 2 == 1 || y + 1 == rect.h {
             probe.store(cur.base_addr(), 8);
@@ -106,14 +126,32 @@ pub fn sse_plane_pred<P: Probe>(probe: &mut P, plane: &Plane, rect: BlockRect, p
     for y in 0..rect.h {
         let row = &plane.row(rect.y + y)[rect.x..rect.x + rect.w];
         let prow = &pred[y * rect.w..(y + 1) * rect.w];
-        for (a, b) in row.iter().zip(prow) {
-            let d = *a as i64 - *b as i64;
-            sum += (d * d) as u64;
+        // 255^2 * w fits u32 for any block size; the narrow per-row
+        // accumulator keeps the squared-difference reduction vectorizable,
+        // and the fixed-width 8-lane chunks give the compiler a known trip
+        // count to unroll (rows are short — 4..=64 samples).
+        let mut ca = row.chunks_exact(8);
+        let mut cb = prow.chunks_exact(8);
+        let mut row_sum: u32 = (&mut ca)
+            .zip(&mut cb)
+            .map(|(qa, qb)| {
+                let mut s = 0u32;
+                for i in 0..8 {
+                    let d = qa[i].abs_diff(qb[i]) as u32;
+                    s += d * d;
+                }
+                s
+            })
+            .sum();
+        for (a, b) in ca.remainder().iter().zip(cb.remainder()) {
+            let d = a.abs_diff(*b) as u32;
+            row_sum += d * d;
         }
+        sum += row_sum as u64;
         let v = row_vectors(rect.w);
         probe.load(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
         probe.load(probe_addr::fixed::PRED + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
-        vec_ops(probe, rect.w, v * 3);
+        vec_ops(probe, v * 3);
         probe.alu(1);
         if y % 2 == 1 || y + 1 == rect.h {
             probe.store(probe_addr::fixed::PRED, 8);
@@ -143,8 +181,9 @@ pub fn residual<P: Probe>(
     for y in 0..rect.h {
         let row = &plane.row(rect.y + y)[rect.x..rect.x + rect.w];
         let prow = &pred[y * rect.w..(y + 1) * rect.w];
-        for x in 0..rect.w {
-            dst[y * rect.w + x] = row[x] as i32 - prow[x] as i32;
+        let drow = &mut dst[y * rect.w..(y + 1) * rect.w];
+        for ((d, a), b) in drow.iter_mut().zip(row).zip(prow) {
+            *d = *a as i32 - *b as i32;
         }
         let v = row_vectors(rect.w);
         probe.load(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
@@ -153,7 +192,7 @@ pub fn residual<P: Probe>(
             probe_addr::fixed::RESIDUAL + (y * rect.w * 4) as u64,
             (rect.w * 4).min(64) as u32,
         );
-        vec_ops(probe, rect.w, v);
+        vec_ops(probe, v);
     }
 }
 
@@ -173,9 +212,11 @@ pub fn reconstruct<P: Probe>(
     assert!(pred.len() >= rect.area() && res.len() >= rect.area());
     probe.set_kernel(Kernel::FrameSetup);
     for y in 0..rect.h {
-        for x in 0..rect.w {
-            let v = pred[y * rect.w + x] as i32 + res[y * rect.w + x];
-            plane.set(rect.x + x, rect.y + y, v.clamp(0, 255) as u8);
+        let prow = &pred[y * rect.w..(y + 1) * rect.w];
+        let rrow = &res[y * rect.w..(y + 1) * rect.w];
+        let orow = &mut plane.row_mut(rect.y + y)[rect.x..rect.x + rect.w];
+        for ((o, p), r) in orow.iter_mut().zip(prow).zip(rrow) {
+            *o = (*p as i32 + *r).clamp(0, 255) as u8;
         }
         let v = row_vectors(rect.w);
         probe.load(probe_addr::fixed::PRED + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
@@ -184,7 +225,7 @@ pub fn reconstruct<P: Probe>(
             (rect.w * 4).min(64) as u32,
         );
         probe.store(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
-        vec_ops(probe, rect.w, v * 2);
+        vec_ops(probe, v * 2);
     }
 }
 
@@ -192,12 +233,11 @@ pub fn reconstruct<P: Probe>(
 pub fn write_pred<P: Probe>(probe: &mut P, plane: &mut Plane, rect: BlockRect, pred: &[u8]) {
     probe.set_kernel(Kernel::FrameSetup);
     for y in 0..rect.h {
-        for x in 0..rect.w {
-            plane.set(rect.x + x, rect.y + y, pred[y * rect.w + x]);
-        }
+        let prow = &pred[y * rect.w..(y + 1) * rect.w];
+        plane.row_mut(rect.y + y)[rect.x..rect.x + rect.w].copy_from_slice(prow);
         probe.load(probe_addr::fixed::PRED + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
         probe.store(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
-        vec_ops(probe, rect.w, row_vectors(rect.w));
+        vec_ops(probe, row_vectors(rect.w));
     }
 }
 

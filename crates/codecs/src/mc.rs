@@ -54,23 +54,70 @@ pub fn motion_compensate<P: Probe>(
     let iy = mv.y >> 1;
     let fx = (mv.x & 1) != 0;
     let fy = (mv.y & 1) != 0;
+    // Interior fast path: every tap of the bilinear filter stays inside
+    // the reference plane, so rows are contiguous slices and no sample
+    // needs clamping. The taps reach one sample right/down of the block
+    // when the corresponding half-pel fraction is set.
+    let sx0 = rect.x as isize + ix as isize;
+    let sy0 = rect.y as isize + iy as isize;
+    let interior = sx0 >= 0
+        && sy0 >= 0
+        && sx0 + rect.w as isize + fx as isize <= refp.width() as isize
+        && sy0 + rect.h as isize + fy as isize <= refp.height() as isize;
     for y in 0..rect.h {
         let sy = rect.y as isize + y as isize + iy as isize;
-        for x in 0..rect.w {
-            let sx = rect.x as isize + x as isize + ix as isize;
-            let p00 = refp.get_clamped(sx, sy) as u32;
-            let v = match (fx, fy) {
-                (false, false) => p00,
-                (true, false) => (p00 + refp.get_clamped(sx + 1, sy) as u32).div_ceil(2),
-                (false, true) => (p00 + refp.get_clamped(sx, sy + 1) as u32).div_ceil(2),
-                (true, true) => {
-                    let p10 = refp.get_clamped(sx + 1, sy) as u32;
-                    let p01 = refp.get_clamped(sx, sy + 1) as u32;
-                    let p11 = refp.get_clamped(sx + 1, sy + 1) as u32;
-                    (p00 + p10 + p01 + p11 + 2) / 4
+        let drow = &mut dst[y * rect.w..(y + 1) * rect.w];
+        if interior {
+            let sx0 = sx0 as usize;
+            let row0 = refp.row(sy as usize);
+            match (fx, fy) {
+                (false, false) => {
+                    drow.copy_from_slice(&row0[sx0..sx0 + rect.w]);
                 }
-            };
-            dst[y * rect.w + x] = v as u8;
+                (true, false) => {
+                    let a = &row0[sx0..sx0 + rect.w];
+                    let b = &row0[sx0 + 1..sx0 + 1 + rect.w];
+                    for ((d, p0), p1) in drow.iter_mut().zip(a).zip(b) {
+                        *d = ((*p0 as u32 + *p1 as u32).div_ceil(2)) as u8;
+                    }
+                }
+                (false, true) => {
+                    let row1 = refp.row(sy as usize + 1);
+                    let a = &row0[sx0..sx0 + rect.w];
+                    let b = &row1[sx0..sx0 + rect.w];
+                    for ((d, p0), p1) in drow.iter_mut().zip(a).zip(b) {
+                        *d = ((*p0 as u32 + *p1 as u32).div_ceil(2)) as u8;
+                    }
+                }
+                (true, true) => {
+                    let row1 = refp.row(sy as usize + 1);
+                    let a = &row0[sx0..sx0 + rect.w];
+                    let b = &row0[sx0 + 1..sx0 + 1 + rect.w];
+                    let c = &row1[sx0..sx0 + rect.w];
+                    let e = &row1[sx0 + 1..sx0 + 1 + rect.w];
+                    for x in 0..rect.w {
+                        drow[x] =
+                            ((a[x] as u32 + b[x] as u32 + c[x] as u32 + e[x] as u32 + 2) / 4) as u8;
+                    }
+                }
+            }
+        } else {
+            for (x, d) in drow.iter_mut().enumerate() {
+                let sx = rect.x as isize + x as isize + ix as isize;
+                let p00 = refp.get_clamped(sx, sy) as u32;
+                let v = match (fx, fy) {
+                    (false, false) => p00,
+                    (true, false) => (p00 + refp.get_clamped(sx + 1, sy) as u32).div_ceil(2),
+                    (false, true) => (p00 + refp.get_clamped(sx, sy + 1) as u32).div_ceil(2),
+                    (true, true) => {
+                        let p10 = refp.get_clamped(sx + 1, sy) as u32;
+                        let p01 = refp.get_clamped(sx, sy + 1) as u32;
+                        let p11 = refp.get_clamped(sx + 1, sy + 1) as u32;
+                        (p00 + p10 + p01 + p11 + 2) / 4
+                    }
+                };
+                *d = v as u8;
+            }
         }
         let vecs = (rect.w as u64).div_ceil(32);
         let cx = (rect.x as isize + ix as isize).clamp(0, refp.width() as isize - 1) as usize;

@@ -41,6 +41,34 @@ fn mv_cost(rate_lambda: u64, dx: i32, dy: i32) -> u64 {
     rate_lambda * (mv_component_bits(dx) + mv_component_bits(dy))
 }
 
+/// Reusable working buffers for motion search.
+///
+/// The half-pel refinement needs one block-sized predictor buffer per
+/// candidate; allocating it per [`motion_search`] call puts a heap
+/// round-trip on the hottest path of the RDO descent. Callers keep one
+/// `MeScratch` alive across blocks (it grows to the largest block seen
+/// and is then allocation-free — see `tests/alloc_regression.rs`).
+#[derive(Debug, Default)]
+pub struct MeScratch {
+    pred: Vec<u8>,
+}
+
+impl MeScratch {
+    /// An empty pool (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A predictor buffer of at least `area` samples.
+    #[inline]
+    fn pred(&mut self, area: usize) -> &mut [u8] {
+        if self.pred.len() < area {
+            self.pred.resize(area, 0);
+        }
+        &mut self.pred[..area]
+    }
+}
+
 /// Result of a motion search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MeResult {
@@ -57,6 +85,7 @@ pub struct MeResult {
 /// Seeds from the zero vector and `pred_mv` (the spatial predictor),
 /// optionally scans an exhaustive window, then refines with a
 /// large-diamond pattern and an optional half-pel pass.
+#[allow(clippy::too_many_arguments)]
 pub fn motion_search<P: Probe>(
     probe: &mut P,
     cur: &Plane,
@@ -65,6 +94,7 @@ pub fn motion_search<P: Probe>(
     pred_mv: MotionVector,
     settings: &MeSettings,
     rate_lambda: u64,
+    scratch: &mut MeScratch,
 ) -> MeResult {
     probe.set_kernel(Kernel::MotionSearch);
     let r = settings.range;
@@ -159,11 +189,11 @@ pub fn motion_search<P: Probe>(
 
     // Half-pel refinement around the full-pel winner.
     if settings.subpel {
-        let mut pred = vec![0u8; rect.area()];
+        let pred = scratch.pred(rect.area());
         for &(hx, hy) in &[(1i32, 0i32), (-1, 0), (0, 1), (0, -1), (1, 1), (-1, -1)] {
             let cand = MotionVector { x: mv.x + hx, y: mv.y + hy };
-            crate::mc::motion_compensate(probe, refp, rect, cand, &mut pred);
-            let c = crate::kernels::sad_plane_pred(probe, cur, rect, &pred)
+            crate::mc::motion_compensate(probe, refp, rect, cand, pred);
+            let c = crate::kernels::sad_plane_pred(probe, cur, rect, pred)
                 + mv_cost(rate_lambda, cand.x >> 1, cand.y >> 1);
             evaluated += 1;
             if c < cost {
@@ -190,6 +220,7 @@ pub fn motion_search_around<P: Probe>(
     pred_mv: MotionVector,
     settings: &MeSettings,
     rate_lambda: u64,
+    scratch: &mut MeScratch,
 ) -> MeResult {
     probe.set_kernel(Kernel::MotionSearch);
     let r = settings.range;
@@ -243,11 +274,11 @@ pub fn motion_search_around<P: Probe>(
     let mut mv = MotionVector::from_fullpel(best.0, best.1);
     let mut cost = best_cost;
     if settings.subpel {
-        let mut pred = vec![0u8; rect.area()];
+        let pred = scratch.pred(rect.area());
         for &(hx, hy) in &[(1i32, 0i32), (-1, 0), (0, 1), (0, -1)] {
             let cand = MotionVector { x: mv.x + hx, y: mv.y + hy };
-            crate::mc::motion_compensate(probe, refp, rect, cand, &mut pred);
-            let c = crate::kernels::sad_plane_pred(probe, cur, rect, &pred)
+            crate::mc::motion_compensate(probe, refp, rect, cand, pred);
+            let c = crate::kernels::sad_plane_pred(probe, cur, rect, pred)
                 + mv_cost(rate_lambda, cand.x >> 1, cand.y >> 1);
             evaluated += 1;
             if c < cost {
@@ -293,7 +324,16 @@ mod tests {
         let cur = textured(4);
         let refp = textured(0);
         let rect = BlockRect::new(16, 16, 16, 16);
-        let r = motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &fast(), 2);
+        let r = motion_search(
+            &mut NullProbe,
+            &cur,
+            rect,
+            &refp,
+            MotionVector::ZERO,
+            &fast(),
+            2,
+            &mut MeScratch::new(),
+        );
         assert_eq!((r.mv.x >> 1, r.mv.y >> 1), (4, 0), "cost {}", r.cost);
     }
 
@@ -302,12 +342,28 @@ mod tests {
         let cur = textured(7);
         let refp = textured(0);
         let rect = BlockRect::new(24, 24, 16, 16);
-        let diamond =
-            motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &fast(), 2);
+        let diamond = motion_search(
+            &mut NullProbe,
+            &cur,
+            rect,
+            &refp,
+            MotionVector::ZERO,
+            &fast(),
+            2,
+            &mut MeScratch::new(),
+        );
         let mut slow = fast();
         slow.exhaustive_radius = 10;
-        let exhaustive =
-            motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &slow, 2);
+        let exhaustive = motion_search(
+            &mut NullProbe,
+            &cur,
+            rect,
+            &refp,
+            MotionVector::ZERO,
+            &slow,
+            2,
+            &mut MeScratch::new(),
+        );
         assert!(exhaustive.cost <= diamond.cost);
         assert!(exhaustive.evaluated > diamond.evaluated * 2, "exhaustive must do more work");
     }
@@ -325,6 +381,7 @@ mod tests {
             MotionVector::from_fullpel(11, 0),
             &fast(),
             2,
+            &mut MeScratch::new(),
         );
         assert_eq!((seeded.mv.x >> 1, seeded.mv.y >> 1), (11, 0));
     }
@@ -336,7 +393,16 @@ mod tests {
         let rect = BlockRect::new(32, 32, 8, 8);
         let mut s = fast();
         s.range = 4;
-        let r = motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &s, 2);
+        let r = motion_search(
+            &mut NullProbe,
+            &cur,
+            rect,
+            &refp,
+            MotionVector::ZERO,
+            &s,
+            2,
+            &mut MeScratch::new(),
+        );
         assert!((r.mv.x >> 1).abs() <= 4 && (r.mv.y >> 1).abs() <= 4);
     }
 
@@ -357,6 +423,7 @@ mod tests {
             MotionVector::ZERO,
             &s,
             2,
+            &mut MeScratch::new(),
         );
         assert_eq!((r.mv.x >> 1, r.mv.y >> 1), (6, 0), "cost {}", r.cost);
     }
@@ -377,6 +444,7 @@ mod tests {
             MotionVector::ZERO,
             &s,
             2,
+            &mut MeScratch::new(),
         );
         assert!((r.mv.x / 2 - 2).abs() <= 3 && (r.mv.y / 2 - 2).abs() <= 3);
     }
@@ -386,10 +454,28 @@ mod tests {
         let cur = textured(3);
         let refp = textured(0);
         let rect = BlockRect::new(8, 8, 16, 16);
-        let full = motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &fast(), 2);
+        let full = motion_search(
+            &mut NullProbe,
+            &cur,
+            rect,
+            &refp,
+            MotionVector::ZERO,
+            &fast(),
+            2,
+            &mut MeScratch::new(),
+        );
         let mut s = fast();
         s.subpel = true;
-        let sub = motion_search(&mut NullProbe, &cur, rect, &refp, MotionVector::ZERO, &s, 2);
+        let sub = motion_search(
+            &mut NullProbe,
+            &cur,
+            rect,
+            &refp,
+            MotionVector::ZERO,
+            &s,
+            2,
+            &mut MeScratch::new(),
+        );
         assert!(sub.cost <= full.cost);
     }
 }

@@ -126,8 +126,12 @@ impl IntraEdges {
         let mut top = [128u8; MAX_EDGE];
         let mut left = [128u8; MAX_EDGE];
         if top_available {
-            for (x, t) in top.iter_mut().take(rect.w).enumerate() {
-                *t = plane.get_clamped((rect.x + x) as isize, rect.y as isize - 1);
+            if rect.x + rect.w <= plane.width() {
+                top[..rect.w].copy_from_slice(&plane.row(rect.y - 1)[rect.x..rect.x + rect.w]);
+            } else {
+                for (x, t) in top.iter_mut().take(rect.w).enumerate() {
+                    *t = plane.get_clamped((rect.x + x) as isize, rect.y as isize - 1);
+                }
             }
             probe.load(plane.sample_addr(rect.x, rect.y - 1), rect.w.min(32) as u32);
         }
@@ -199,15 +203,22 @@ pub fn predict<P: Probe>(
         }
         IntraMode::Smooth => {
             // AV1-style distance blend of V and H using the far corners.
+            // Column weights depend only on x: hoist them out of the row
+            // loop (one division per column instead of per pixel).
             let bottom = left[h - 1] as u32;
             let right = top[w - 1] as u32;
+            let mut wxs = [0u32; MAX_EDGE];
+            for (x, wx) in wxs.iter_mut().take(w).enumerate() {
+                *wx = 256 * (w - 1 - x) as u32 / (w - 1).max(1) as u32;
+            }
             for y in 0..h {
                 let wy = 256 * (h - 1 - y) as u32 / (h - 1).max(1) as u32;
-                for x in 0..w {
-                    let wx = 256 * (w - 1 - x) as u32 / (w - 1).max(1) as u32;
-                    let v = wy * top[x] as u32 + (256 - wy) * bottom;
-                    let hcomp = wx * left[y] as u32 + (256 - wx) * right;
-                    dst[y * w + x] = ((v + hcomp + 256) / 512) as u8;
+                let l = left[y] as u32;
+                let drow = &mut dst[y * w..(y + 1) * w];
+                for ((d, &t), &wx) in drow.iter_mut().zip(top).zip(&wxs[..w]) {
+                    let v = wy * t as u32 + (256 - wy) * bottom;
+                    let hcomp = wx * l + (256 - wx) * right;
+                    *d = ((v + hcomp + 256) / 512) as u8;
                 }
             }
         }
@@ -222,10 +233,15 @@ pub fn predict<P: Probe>(
         }
         IntraMode::SmoothH => {
             let right = top[w - 1] as u32;
+            let mut wxs = [0u32; MAX_EDGE];
+            for (x, wx) in wxs.iter_mut().take(w).enumerate() {
+                *wx = 256 * (w - 1 - x) as u32 / (w - 1).max(1) as u32;
+            }
             for y in 0..h {
-                for x in 0..w {
-                    let wx = 256 * (w - 1 - x) as u32 / (w - 1).max(1) as u32;
-                    dst[y * w + x] = ((wx * left[y] as u32 + (256 - wx) * right + 128) / 256) as u8;
+                let l = left[y] as u32;
+                let drow = &mut dst[y * w..(y + 1) * w];
+                for (d, &wx) in drow.iter_mut().zip(&wxs[..w]) {
+                    *d = ((wx * l + (256 - wx) * right + 128) / 256) as u8;
                 }
             }
         }

@@ -1,0 +1,110 @@
+//! Pins the allocation behaviour of the motion-search hot path.
+//!
+//! PR 3 threads a reusable [`MeScratch`] through `motion_search` so the
+//! RDO descent stops allocating per candidate. This test makes that a
+//! regression boundary: after one warm-up search has grown the scratch
+//! buffers, further searches — full-pel, subpel, and `_around` refinement,
+//! across the block sizes the partition search visits — must perform
+//! **zero** heap allocations.
+//!
+//! The counter wraps the system allocator for this whole test binary,
+//! which is why the test lives in its own integration-test file.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vstress_codecs::blocks::BlockRect;
+use vstress_codecs::mc::MotionVector;
+use vstress_codecs::mesearch::{motion_search, motion_search_around, MeScratch, MeSettings};
+use vstress_trace::NullProbe;
+use vstress_video::Plane;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn textured_plane(seed: u64) -> Plane {
+    let mut p = Plane::new(128, 128, 0).unwrap();
+    let mut x = seed | 1;
+    for y in 0..128 {
+        for xx in 0..128 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            p.set(xx, y, (x >> 56) as u8);
+        }
+    }
+    p
+}
+
+#[test]
+fn motion_search_is_allocation_free_after_warmup() {
+    let cur = textured_plane(1);
+    let refp = textured_plane(2);
+    let settings = MeSettings { range: 24, exhaustive_radius: 4, refine_steps: 12, subpel: true };
+    let rects = [
+        BlockRect::new(32, 32, 64, 64),
+        BlockRect::new(16, 48, 32, 32),
+        BlockRect::new(8, 8, 16, 16),
+        BlockRect::new(40, 24, 8, 8),
+    ];
+
+    let mut probe = NullProbe;
+    let mut scratch = MeScratch::new();
+    // Warm-up on the largest block grows the scratch buffers to their
+    // high-water mark.
+    motion_search(
+        &mut probe,
+        &cur,
+        rects[0],
+        &refp,
+        MotionVector::ZERO,
+        &settings,
+        60,
+        &mut scratch,
+    );
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for &rect in &rects {
+        let r = motion_search(
+            &mut probe,
+            &cur,
+            rect,
+            &refp,
+            MotionVector::from_fullpel(1, -1),
+            &settings,
+            60,
+            &mut scratch,
+        );
+        motion_search_around(
+            &mut probe,
+            &cur,
+            rect,
+            &refp,
+            r.mv,
+            MotionVector::ZERO,
+            &settings,
+            60,
+            &mut scratch,
+        );
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "motion search allocated {} times after warm-up", after - before);
+}

@@ -6,6 +6,7 @@
 //! vstress-repro --csv out/         # also write each table as CSV into out/
 //! vstress-repro --threads 4        # size of the encode worker pool
 //! vstress-repro --store cache/     # persist results; repeat runs resume
+//! vstress-repro --time             # per-experiment wall clock on stderr
 //! vstress-repro fig01 fig05        # subset of experiments
 //! ```
 //!
@@ -47,68 +48,112 @@ fn emit(csv_dir: &Option<PathBuf>, slug: &str, table: &Table) -> std::io::Result
     Ok(())
 }
 
+/// Runs one experiment body, reporting its wall clock on stderr when
+/// `--time` is set. Stdout carries only the tables either way, so runs
+/// stay byte-comparable.
+fn timed(
+    enabled: bool,
+    id: &str,
+    body: impl FnOnce() -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let t0 = std::time::Instant::now();
+    let r = body();
+    if enabled {
+        eprintln!("vstress-repro: [time] {id}: {:.3}s", t0.elapsed().as_secs_f64());
+    }
+    r
+}
+
 fn run(
     cfg: &ExperimentConfig,
     want: impl Fn(&str) -> bool,
     csv_dir: &Option<PathBuf>,
+    time: bool,
 ) -> std::io::Result<()> {
     if want("table1") {
-        emit(csv_dir, "table1", &catalogue::table1_vbench())?;
+        timed(time, "table1", || emit(csv_dir, "table1", &catalogue::table1_vbench()))?;
     }
     if want("fig01") {
-        let (t, _) = runtime_quality::fig01_runtime_vs_crf(cfg).expect("fig01");
-        emit(csv_dir, "fig01", &t)?;
+        timed(time, "fig01", || {
+            let (t, _) = runtime_quality::fig01_runtime_vs_crf(cfg).expect("fig01");
+            emit(csv_dir, "fig01", &t)
+        })?;
     }
     if want("fig02") || want("fig02a") || want("fig02b") {
-        let (t, _) = runtime_quality::fig02a_bdrate(cfg).expect("fig02a");
-        emit(csv_dir, "fig02a", &t)?;
-        emit(csv_dir, "fig02b", &runtime_quality::fig02b_psnr_vs_time(cfg).expect("fig02b"))?;
+        timed(time, "fig02", || {
+            let (t, _) = runtime_quality::fig02a_bdrate(cfg).expect("fig02a");
+            emit(csv_dir, "fig02a", &t)?;
+            emit(csv_dir, "fig02b", &runtime_quality::fig02b_psnr_vs_time(cfg).expect("fig02b"))
+        })?;
     }
     if want("table2") {
-        emit(csv_dir, "table2", &mix::table2_instruction_mix(cfg).expect("table2"))?;
+        timed(time, "table2", || {
+            emit(csv_dir, "table2", &mix::table2_instruction_mix(cfg).expect("table2"))
+        })?;
     }
     if want("fig03") {
-        emit(csv_dir, "fig03", &mix::fig03_opmix_sweep(cfg).expect("fig03"))?;
+        timed(time, "fig03", || {
+            emit(csv_dir, "fig03", &mix::fig03_opmix_sweep(cfg).expect("fig03"))
+        })?;
     }
     if want("fig04") || want("fig05") || want("fig06") || want("fig07") {
-        let points = crf_sweep::crf_sweep(cfg).expect("crf sweep");
-        emit(csv_dir, "fig04", &crf_sweep::fig04_crf_sweep(&points))?;
-        emit(csv_dir, "fig05", &crf_sweep::fig05_topdown(&points))?;
-        emit(csv_dir, "fig06", &crf_sweep::fig06_microarch(&points))?;
-        emit(csv_dir, "fig07", &crf_sweep::fig07_missrate(&points))?;
+        timed(time, "fig04-07", || {
+            let points = crf_sweep::crf_sweep(cfg).expect("crf sweep");
+            emit(csv_dir, "fig04", &crf_sweep::fig04_crf_sweep(&points))?;
+            emit(csv_dir, "fig05", &crf_sweep::fig05_topdown(&points))?;
+            emit(csv_dir, "fig06", &crf_sweep::fig06_microarch(&points))?;
+            emit(csv_dir, "fig07", &crf_sweep::fig07_missrate(&points))
+        })?;
     }
     if want("fig08") {
-        let (t, _) = cbp::fig08_cbp(cfg).expect("fig08");
-        emit(csv_dir, "fig08", &t)?;
+        timed(time, "fig08", || {
+            let (t, _) = cbp::fig08_cbp(cfg).expect("fig08");
+            emit(csv_dir, "fig08", &t)
+        })?;
     }
     if want("fig09") {
-        let (t, _) = cbp::fig09_cbp(cfg).expect("fig09");
-        emit(csv_dir, "fig09", &t)?;
+        timed(time, "fig09", || {
+            let (t, _) = cbp::fig09_cbp(cfg).expect("fig09");
+            emit(csv_dir, "fig09", &t)
+        })?;
     }
     if want("fig10") {
-        let (t, _) = cbp::fig10_cbp(cfg).expect("fig10");
-        emit(csv_dir, "fig10", &t)?;
+        timed(time, "fig10", || {
+            let (t, _) = cbp::fig10_cbp(cfg).expect("fig10");
+            emit(csv_dir, "fig10", &t)
+        })?;
     }
     if want("fig11") {
-        let points = preset_sweep::preset_sweep(cfg).expect("fig11");
-        emit(csv_dir, "fig11ab", &preset_sweep::fig11ab_runtime_quality(&points))?;
-        emit(csv_dir, "fig11cde", &preset_sweep::fig11cde_microarch(&points))?;
+        timed(time, "fig11", || {
+            let points = preset_sweep::preset_sweep(cfg).expect("fig11");
+            emit(csv_dir, "fig11ab", &preset_sweep::fig11ab_runtime_quality(&points))?;
+            emit(csv_dir, "fig11cde", &preset_sweep::fig11cde_microarch(&points))
+        })?;
     }
     if want("fig12") || want("fig13") || want("fig14") || want("fig15") {
-        let (tables, _) = threads::fig12_15_thread_scaling(cfg).expect("fig12-15");
-        for (i, t) in tables.iter().enumerate() {
-            emit(csv_dir, &format!("fig{}", 12 + i), t)?;
-        }
+        timed(time, "fig12-15", || {
+            let (tables, _) = threads::fig12_15_thread_scaling(cfg).expect("fig12-15");
+            for (i, t) in tables.iter().enumerate() {
+                emit(csv_dir, &format!("fig{}", 12 + i), t)?;
+            }
+            Ok(())
+        })?;
     }
     if want("fig16") {
-        emit(csv_dir, "fig16", &threads::fig16_topdown_threads(cfg).expect("fig16"))?;
+        timed(time, "fig16", || {
+            emit(csv_dir, "fig16", &threads::fig16_topdown_threads(cfg).expect("fig16"))
+        })?;
     }
     if want("decode") {
-        let (t, _) = decode_cost::table_decode_vs_encode(cfg).expect("decode cost");
-        emit(csv_dir, "decode_cost", &t)?;
+        timed(time, "decode", || {
+            let (t, _) = decode_cost::table_decode_vs_encode(cfg).expect("decode cost");
+            emit(csv_dir, "decode_cost", &t)
+        })?;
     }
     if want("profile") {
-        emit(csv_dir, "hot_kernels", &profile::table_hot_kernels(cfg).expect("profile"))?;
+        timed(time, "profile", || {
+            emit(csv_dir, "hot_kernels", &profile::table_hot_kernels(cfg).expect("profile"))
+        })?;
     }
     Ok(())
 }
@@ -116,6 +161,7 @@ fn run(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
+    let time = args.iter().any(|a| a == "--time");
     let csv_dir: Option<PathBuf> =
         args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).map(PathBuf::from);
     if let Some(dir) = &csv_dir {
@@ -196,7 +242,7 @@ fn main() {
         eprintln!("vstress-repro: store = {}", dir.display());
     }
 
-    let result = run(&cfg, want, &csv_dir);
+    let result = run(&cfg, want, &csv_dir, time);
 
     if store_dir.is_some() {
         let s = cfg.cache.stats();

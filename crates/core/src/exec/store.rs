@@ -320,7 +320,7 @@ mod tests {
         assert_eq!(store.get::<u64>(KIND_RUN, "k"), None);
         assert_eq!(store.stats().quarantined, 1);
         assert!(!path.exists(), "corrupt entry must be moved aside");
-        let mut quarantined = path.clone().into_os_string();
+        let mut quarantined = path.into_os_string();
         quarantined.push(".quarantined");
         assert!(PathBuf::from(quarantined).exists());
         // The slot is writable again.

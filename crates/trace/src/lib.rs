@@ -25,6 +25,7 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod event;
 pub mod io;
 pub mod kernel;
 pub mod mix;
@@ -34,6 +35,7 @@ pub mod profile;
 pub mod record;
 pub mod window;
 
+pub use event::{EventBatch, ProbeEvent, RecordingProbe};
 pub use kernel::Kernel;
 pub use mix::{OpClass, OpMix};
 pub use probe::{CountingProbe, NullProbe, Probe, SinkProbe, TeeProbe};

@@ -44,6 +44,17 @@ pub trait Probe {
     fn retired(&self) -> u64 {
         0
     }
+
+    /// Whether this probe actually observes events.
+    ///
+    /// `false` means every report is a no-op ([`NullProbe`]), so callers
+    /// may skip work whose *only* purpose is probe fidelity — e.g. the
+    /// partition-search memo skips recording replay batches when the
+    /// probe is dead, because replaying into a dead probe is itself a
+    /// no-op. Model-visible behaviour must not depend on this value.
+    fn is_live(&self) -> bool {
+        true
+    }
 }
 
 impl<P: Probe + ?Sized> Probe for &mut P {
@@ -86,6 +97,11 @@ impl<P: Probe + ?Sized> Probe for &mut P {
     fn retired(&self) -> u64 {
         (**self).retired()
     }
+
+    #[inline]
+    fn is_live(&self) -> bool {
+        (**self).is_live()
+    }
 }
 
 /// A probe that does nothing; instrumentation compiles away entirely.
@@ -113,6 +129,11 @@ impl Probe for NullProbe {
 
     #[inline]
     fn branch(&mut self, _pc: u64, _taken: bool) {}
+
+    #[inline]
+    fn is_live(&self) -> bool {
+        false
+    }
 }
 
 /// Counts the instruction mix and per-kernel totals (Pin's `insmix` +
@@ -429,6 +450,11 @@ impl<A: Probe, B: Probe> Probe for TeeProbe<A, B> {
     #[inline]
     fn retired(&self) -> u64 {
         self.first.retired().max(self.second.retired())
+    }
+
+    #[inline]
+    fn is_live(&self) -> bool {
+        self.first.is_live() || self.second.is_live()
     }
 }
 

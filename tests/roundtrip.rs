@@ -101,7 +101,7 @@ fn corrupt_streams_fail_cleanly() {
     truncated.truncate(10);
     assert!(Decoder::new().decode(&truncated, &mut NullProbe).is_err());
     // Bit-flips in the payload may decode to garbage but never panic.
-    let mut flipped = out.bitstream.clone();
+    let mut flipped = out.bitstream;
     let mid = flipped.len() / 2;
     flipped[mid] ^= 0x55;
     let _ = Decoder::new().decode(&flipped, &mut NullProbe);
