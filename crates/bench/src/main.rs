@@ -1,25 +1,34 @@
 //! `vstress-bench` — the machine-readable perf-trajectory harness.
 //!
 //! ```text
-//! vstress-bench                      # full run, writes BENCH_0003.json
+//! vstress-bench                      # full run, writes BENCH_0004.json
 //! vstress-bench --quick              # CI mode: shorter sampling windows
 //! vstress-bench --out path.json      # write the report elsewhere
 //! ```
 //!
 //! Times the leaf pixel kernels (interior and border paths separately),
-//! motion search, and a full quick-profile encode, then emits one JSON
-//! report (`ns/op`, `pixels/s`, wall time, git revision) so every PR can
-//! be compared against the committed trajectory. Human-readable lines go
-//! to stderr; the JSON artifact is the contract.
+//! motion search, the simulation-side hot paths (cache-hierarchy load
+//! stream, core-model event drain, branch predictors, CBP window
+//! replay — each next to its pre-optimization reference so the speedup
+//! is visible inside one report), and a full quick-profile encode, then
+//! emits one JSON report (`ns/op`, `pixels/s`, wall time, git revision)
+//! so every PR can be compared against the committed trajectory.
+//! Human-readable lines go to stderr; the JSON artifact is the contract.
 
 use std::hint::black_box;
 use std::time::Instant;
+use vstress::bpred::{harness, BranchPredictor, Gshare, ReferenceGshare, Tage};
+use vstress::cache::config::PrefetchKind;
+use vstress::cache::{Hierarchy, HierarchyConfig, ReferenceHierarchy};
 use vstress::codecs::blocks::BlockRect;
 use vstress::codecs::kernels;
 use vstress::codecs::mc::{motion_compensate, MotionVector};
 use vstress::codecs::mesearch::{motion_search, MeScratch, MeSettings};
+use vstress::codecs::{CodecId, EncoderParams};
 use vstress::experiments::{profile, ExperimentConfig};
-use vstress::trace::NullProbe;
+use vstress::pipeline::CoreModel;
+use vstress::trace::record::BranchRecord;
+use vstress::trace::{Kernel, NullProbe, Probe, ProbeEvent};
 use vstress::video::Plane;
 
 /// One timed microbenchmark.
@@ -115,7 +124,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
-        .unwrap_or_else(|| "BENCH_0003.json".to_owned());
+        .unwrap_or_else(|| "BENCH_0004.json".to_owned());
     let target_ms: u64 = if quick { 40 } else { 250 };
 
     eprintln!("vstress-bench: mode = {}", if quick { "quick" } else { "full" });
@@ -213,13 +222,155 @@ fn main() {
         ));
     }));
 
+    // ---- Simulation-side microbenchmarks. Each optimized path is timed
+    // next to the kept pre-optimization reference (`*_ref` /
+    // `*_per_event` / `*_per_record` names), so the speedup of this PR's
+    // rewrites stays visible inside a single report.
+
+    // Cache hierarchy, streaming load/store sweep: sequential 8-byte
+    // accesses (eight per 64 B line, so the L1D MRU fast path carries
+    // seven of eight) over a region larger than L2, with the stride
+    // prefetcher on — the exact shape that made the old prefetch path
+    // allocate per demand miss.
+    let mut hier_cfg = HierarchyConfig::broadwell();
+    hier_cfg.l2_prefetch = PrefetchKind::Stride;
+    let addrs: Vec<u64> = (0..4096u64).map(|i| (i * 8) % (512 << 10)).collect();
+    let mut live_hier = Hierarchy::new(hier_cfg);
+    samples.push(time_it("sim_hier_load_stream_4k", 0, target_ms, || {
+        for &a in &addrs {
+            black_box(live_hier.load(black_box(a), 8));
+        }
+    }));
+    let mut ref_hier = ReferenceHierarchy::new(hier_cfg);
+    samples.push(time_it("sim_hier_load_stream_4k_ref", 0, target_ms, || {
+        for &a in &addrs {
+            black_box(ref_hier.load(black_box(a), 8));
+        }
+    }));
+
+    // Core-model event drain: one batched `drain_batch` call versus the
+    // old per-event dispatch loop, over an encoder-shaped event mix.
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    let events: Vec<ProbeEvent> = (0..16_384u64)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match i % 8 {
+                0 => ProbeEvent::SetKernel(Kernel::ALL[(x % Kernel::ALL.len() as u64) as usize]),
+                1 => ProbeEvent::Alu(1 + x % 8),
+                2 => ProbeEvent::Avx(1 + x % 4),
+                3 => ProbeEvent::Load { addr: 0x10_0000 + (i * 192) % (2 << 20), bytes: 32 },
+                4 => ProbeEvent::Store { addr: 0x40_0000 + x % (1 << 20), bytes: 16 },
+                5 => ProbeEvent::Sse(1 + x % 4),
+                6 => ProbeEvent::Branch { pc: 0x1000 + (x % 32) * 8, taken: x & 1 == 0 },
+                _ => ProbeEvent::Load { addr: x % (4 << 20), bytes: 8 },
+            }
+        })
+        .collect();
+    let mut batched_model = CoreModel::broadwell();
+    samples.push(time_it("sim_core_drain_16k", 0, target_ms, || {
+        batched_model.drain_batch(black_box(&events));
+    }));
+    let mut per_event_model = CoreModel::broadwell();
+    samples.push(time_it("sim_core_drain_16k_per_event", 0, target_ms, || {
+        // The pre-batching interface: every event crosses the probe
+        // boundary as its own method call.
+        for &e in black_box(&events) {
+            match e {
+                ProbeEvent::SetKernel(k) => per_event_model.set_kernel(k),
+                ProbeEvent::Alu(n) => per_event_model.alu(n),
+                ProbeEvent::Avx(n) => per_event_model.avx(n),
+                ProbeEvent::Sse(n) => per_event_model.sse(n),
+                ProbeEvent::Load { addr, bytes } => per_event_model.load(addr, bytes),
+                ProbeEvent::Store { addr, bytes } => per_event_model.store(addr, bytes),
+                ProbeEvent::Branch { pc, taken } => per_event_model.branch(pc, taken),
+            }
+        }
+    }));
+
+    // Branch predictors: single predict+update round-trips.
+    let mut g32 = Gshare::with_budget_bytes(32 << 10);
+    let mut bi = 0u64;
+    samples.push(time_it("sim_gshare32_predict_update", 0, target_ms, || {
+        bi = bi.wrapping_add(0x9e37_79b9);
+        let pc = 0x1000 + (bi % 64) * 8;
+        let taken = bi & 3 != 0;
+        let guess = g32.predict(pc);
+        g32.update(pc, taken, guess);
+        black_box(guess);
+    }));
+    let mut t8 = Tage::seznec_8kb();
+    samples.push(time_it("sim_tage8_predict_update", 0, target_ms, || {
+        bi = bi.wrapping_add(0x9e37_79b9);
+        let pc = 0x1000 + (bi % 64) * 8;
+        let taken = bi & 3 != 0;
+        let guess = t8.predict(pc);
+        t8.update(pc, taken, guess);
+        black_box(guess);
+    }));
+
+    // CBP window replay, through type erasure as the study runs it: the
+    // whole-trace `replay` entry point (one virtual call per trace, with
+    // predict/update statically dispatched inside and the gshare history
+    // in a register) versus the pre-rewrite path — `ReferenceGshare`'s
+    // bit-by-bit history reads driven by the old per-record loop (two
+    // virtual calls per branch). Fresh predictor per iteration so both
+    // sides always replay from untrained tables.
+    let trace: Vec<BranchRecord> = (0..100_000u64)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match i % 3 {
+                0 => BranchRecord { pc: 0x100, taken: i % 24 != 23 },
+                1 => BranchRecord { pc: 0x200, taken: x & 3 == 0 },
+                _ => BranchRecord { pc: 0x300 + (x % 8) * 16, taken: x & 1 == 0 },
+            }
+        })
+        .collect();
+    samples.push(time_it("sim_cbp_replay_gshare2_100k", 0, target_ms, || {
+        let mut p: Box<dyn BranchPredictor> = Box::new(Gshare::with_budget_bytes(2 << 10));
+        black_box(harness::run_with_window(&mut p, black_box(&trace), 1_000_000));
+    }));
+    samples.push(time_it("sim_cbp_replay_gshare2_100k_ref", 0, target_ms, || {
+        let mut p: Box<dyn BranchPredictor> = Box::new(ReferenceGshare::with_budget_bytes(2 << 10));
+        black_box(harness::run_per_record(p.as_mut(), black_box(&trace), 1_000_000));
+    }));
+    samples.push(time_it("sim_cbp_replay_tage8_100k", 0, target_ms, || {
+        let mut p: Box<dyn BranchPredictor> = Box::new(Tage::seznec_8kb());
+        black_box(harness::run_with_window(&mut p, black_box(&trace), 1_000_000));
+    }));
+    samples.push(time_it("sim_cbp_replay_tage8_100k_per_record", 0, target_ms, || {
+        let mut p: Box<dyn BranchPredictor> = Box::new(Tage::seznec_8kb());
+        black_box(harness::run_per_record(p.as_mut(), black_box(&trace), 1_000_000));
+    }));
+
     // Full quick-profile encode: the hot-kernel profile experiment over the
-    // quick configuration, exactly what `vstress-repro profile` runs.
+    // quick configuration, exactly what `vstress-repro profile` runs. This
+    // is a counting-only pass (no simulators attached), so it tracks the
+    // encoder kernels, not the simulation path.
     let encode_start = Instant::now();
     let cfg = ExperimentConfig::quick();
     profile::table_hot_kernels(&cfg).expect("quick profile");
     let encode_wall_ms = encode_start.elapsed().as_secs_f64() * 1e3;
     eprintln!("vstress-bench: quick_profile_encode      {encode_wall_ms:>12.1} ms wall");
+
+    // Full quick-profile characterization: the same five clips and encoder
+    // parameters, but with the pipeline model attached (cache hierarchy,
+    // top-down slots, fetch stream) — the configuration every figure
+    // experiment actually runs, and the wall clock the simulation-path
+    // optimizations are accountable to.
+    let char_start = Instant::now();
+    let char_cfg = ExperimentConfig::quick();
+    let char_specs: Vec<_> = char_cfg
+        .clips
+        .iter()
+        .map(|&clip| char_cfg.spec(clip, CodecId::SvtAv1, EncoderParams::new(35, 4)))
+        .collect();
+    char_cfg.run_specs(&char_specs).expect("quick characterization");
+    let char_wall_ms = char_start.elapsed().as_secs_f64() * 1e3;
+    eprintln!("vstress-bench: quick_profile_characterization {char_wall_ms:>7.1} ms wall");
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -241,7 +392,11 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
-        "  \"encode\": {{\"name\": \"quick_profile\", \"wall_ms\": {encode_wall_ms:.1}}}\n"
+        "  \"encode\": {{\"name\": \"quick_profile\", \"wall_ms\": {encode_wall_ms:.1}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"characterization\": {{\"name\": \"quick_profile_pipeline\", \
+         \"wall_ms\": {char_wall_ms:.1}}}\n"
     ));
     json.push_str("}\n");
 

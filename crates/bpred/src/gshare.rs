@@ -1,15 +1,20 @@
 //! Gshare (McFarling 1993) global-history predictor.
 
 use crate::counter::SatCounter;
-use crate::history::GlobalHistory;
 use crate::BranchPredictor;
+use vstress_trace::record::BranchRecord;
 
 /// Gshare: a single table of 2-bit counters indexed by
 /// `PC XOR global-history`.
 ///
 /// This is one of the two predictor families the paper evaluates (at 2 KB
 /// and 32 KB budgets). History length equals the index width, the standard
-/// configuration.
+/// configuration — which means the whole history fits a single `u64`
+/// shift register (most recent outcome in bit 0), maintained in O(1) per
+/// branch. The pre-rewrite implementation, which read the history bit by
+/// bit out of the shared circular buffer on every index computation, is
+/// kept as [`crate::reference::ReferenceGshare`]; an equivalence test
+/// pins the two to identical per-branch predictions.
 ///
 /// ```
 /// use vstress_bpred::{BranchPredictor, Gshare};
@@ -26,7 +31,9 @@ use crate::BranchPredictor;
 #[derive(Debug, Clone)]
 pub struct Gshare {
     table: Vec<SatCounter<2>>,
-    history: GlobalHistory,
+    /// The `index_bits` most recent outcomes, most recent in bit 0, upper
+    /// bits always zero.
+    history: u64,
     index_bits: u32,
 }
 
@@ -41,7 +48,7 @@ impl Gshare {
         assert!((1..=28).contains(&index_bits), "index_bits must be 1..=28");
         Gshare {
             table: vec![SatCounter::weakly_not_taken(); 1 << index_bits],
-            history: GlobalHistory::new(),
+            history: 0,
             index_bits,
         }
     }
@@ -55,9 +62,13 @@ impl Gshare {
     }
 
     #[inline]
+    fn mask(&self) -> u64 {
+        (1u64 << self.index_bits) - 1
+    }
+
+    #[inline]
     fn index(&self, pc: u64) -> usize {
-        let mask = (1u64 << self.index_bits) - 1;
-        (((pc >> 2) ^ self.history.low_bits(self.index_bits as usize)) & mask) as usize
+        (((pc >> 2) ^ self.history) & self.mask()) as usize
     }
 }
 
@@ -71,7 +82,7 @@ impl BranchPredictor for Gshare {
     fn update(&mut self, pc: u64, taken: bool, _predicted: bool) {
         let idx = self.index(pc);
         self.table[idx].update(taken);
-        self.history.push(taken);
+        self.history = ((self.history << 1) | taken as u64) & self.mask();
     }
 
     fn storage_bits(&self) -> u64 {
@@ -80,6 +91,25 @@ impl BranchPredictor for Gshare {
 
     fn label(&self) -> String {
         format!("gshare-{}KB", (self.table.len() as u64 * 2) / 8 / 1024)
+    }
+
+    fn replay(&mut self, trace: &[BranchRecord]) -> u64 {
+        // The predict/update pair of one branch computes the same table
+        // index twice; a whole-trace replay computes it once and keeps
+        // the history register in a local. Observably identical to the
+        // default per-record body (same counters touched, same history).
+        let mask = self.mask();
+        let mut history = self.history;
+        let mut mispredicts = 0u64;
+        for r in trace {
+            let idx = (((r.pc >> 2) ^ history) & mask) as usize;
+            let guess = self.table[idx].is_taken();
+            mispredicts += (guess != r.taken) as u64;
+            self.table[idx].update(r.taken);
+            history = ((history << 1) | r.taken as u64) & mask;
+        }
+        self.history = history;
+        mispredicts
     }
 }
 

@@ -34,6 +34,7 @@ pub mod history;
 pub mod local;
 pub mod looppred;
 pub mod perceptron;
+pub mod reference;
 pub mod tage;
 pub mod tournament;
 
@@ -43,8 +44,11 @@ pub use harness::{run, BpredStats};
 pub use local::TwoLevelLocal;
 pub use looppred::{LoopPredictor, TageWithLoop};
 pub use perceptron::Perceptron;
+pub use reference::ReferenceGshare;
 pub use tage::{Tage, TageConfig};
 pub use tournament::Tournament;
+
+use vstress_trace::record::BranchRecord;
 
 /// A direction predictor for conditional branches.
 ///
@@ -68,6 +72,29 @@ pub trait BranchPredictor {
 
     /// Short configuration label for reports (e.g. `"gshare-32KB"`).
     fn label(&self) -> String;
+
+    /// Replays a whole recorded trace under the CBP contract and returns
+    /// the mispredict count.
+    ///
+    /// The body is the canonical predict/compare/update loop; overrides
+    /// must be observably identical. The method exists for dispatch cost:
+    /// default trait methods are monomorphized per implementing type, so
+    /// calling this through `&mut dyn BranchPredictor` costs one virtual
+    /// call per *trace* — with statically dispatched predict/update
+    /// inside — instead of two per *branch* (`harness::run_per_record`
+    /// keeps the old loop as the equivalence reference and bench
+    /// baseline).
+    fn replay(&mut self, trace: &[BranchRecord]) -> u64 {
+        let mut mispredicts = 0u64;
+        for r in trace {
+            let guess = self.predict(r.pc);
+            if guess != r.taken {
+                mispredicts += 1;
+            }
+            self.update(r.pc, r.taken, guess);
+        }
+        mispredicts
+    }
 }
 
 impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
@@ -86,6 +113,12 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for Box<P> {
     fn label(&self) -> String {
         (**self).label()
     }
+
+    fn replay(&mut self, trace: &[BranchRecord]) -> u64 {
+        // Forward explicitly: the boxed type's monomorphized replay (not a
+        // per-record loop over forwarded predict/update) must run.
+        (**self).replay(trace)
+    }
 }
 
 impl<P: BranchPredictor + ?Sized> BranchPredictor for &mut P {
@@ -103,6 +136,10 @@ impl<P: BranchPredictor + ?Sized> BranchPredictor for &mut P {
 
     fn label(&self) -> String {
         (**self).label()
+    }
+
+    fn replay(&mut self, trace: &[BranchRecord]) -> u64 {
+        (**self).replay(trace)
     }
 }
 

@@ -1,0 +1,140 @@
+//! Kept pre-rewrite predictor implementations.
+//!
+//! Mirrors `vstress_cache::reference`: when a predictor's hot path is
+//! rewritten for speed, the original implementation moves here verbatim
+//! and stays compiled, serving two purposes —
+//!
+//! 1. **equivalence oracle**: property tests drive the live predictor
+//!    and its reference with the same traces and assert identical
+//!    per-branch predictions and final mispredict counts, so the rewrite
+//!    cannot silently change simulated results;
+//! 2. **bench baseline**: `vstress-bench` times the live path next to
+//!    the reference, so the speedup stays measurable in every report.
+
+use crate::counter::SatCounter;
+use crate::history::GlobalHistory;
+use crate::BranchPredictor;
+
+/// The original gshare implementation: the global history lives in the
+/// shared circular-buffer register and every index computation re-reads
+/// it bit by bit through [`GlobalHistory::low_bits`] — O(history length)
+/// per predict *and* per update. The live [`crate::Gshare`] replaces
+/// this with an O(1) single-word shift register and a whole-trace
+/// `replay` that computes each branch's table index once.
+#[derive(Debug, Clone)]
+pub struct ReferenceGshare {
+    table: Vec<SatCounter<2>>,
+    history: GlobalHistory,
+    index_bits: u32,
+}
+
+impl ReferenceGshare {
+    /// Creates a reference gshare with `2^index_bits` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index_bits` is 0 or greater than 28.
+    pub fn new(index_bits: u32) -> Self {
+        assert!((1..=28).contains(&index_bits), "index_bits must be 1..=28");
+        ReferenceGshare {
+            table: vec![SatCounter::weakly_not_taken(); 1 << index_bits],
+            history: GlobalHistory::new(),
+            index_bits,
+        }
+    }
+
+    /// Creates the largest reference gshare fitting in `bytes` of
+    /// storage (2 bits per counter).
+    pub fn with_budget_bytes(bytes: u64) -> Self {
+        let counters = (bytes * 8 / 2).max(2);
+        Self::new(63 - counters.leading_zeros())
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        let mask = (1u64 << self.index_bits) - 1;
+        (((pc >> 2) ^ self.history.low_bits(self.index_bits as usize)) & mask) as usize
+    }
+}
+
+impl BranchPredictor for ReferenceGshare {
+    fn predict(&mut self, pc: u64) -> bool {
+        self.table[self.index(pc)].is_taken()
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, _predicted: bool) {
+        let idx = self.index(pc);
+        self.table[idx].update(taken);
+        self.history.push(taken);
+    }
+
+    fn storage_bits(&self) -> u64 {
+        (self.table.len() as u64) * 2 + self.index_bits as u64
+    }
+
+    fn label(&self) -> String {
+        format!("ref-gshare-{}KB", (self.table.len() as u64 * 2) / 8 / 1024)
+    }
+
+    // No `replay` override: the reference keeps the default per-record
+    // body, exactly the pre-rewrite dispatch cost.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Gshare;
+    use proptest::prelude::*;
+    use vstress_trace::record::BranchRecord;
+
+    // The live gshare must agree with the kept original on every
+    // single prediction, not just on aggregate counts: any divergence
+    // in the history register or index hash shows up on the first
+    // branch where they disagree.
+    proptest! {
+        #[test]
+        fn live_gshare_predicts_identically_to_reference(
+            steps in prop::collection::vec((0u64..1u64 << 12, any::<bool>()), 1..3000),
+            index_bits in 1u32..18,
+        ) {
+            let mut live = Gshare::new(index_bits);
+            let mut reference = ReferenceGshare::new(index_bits);
+            prop_assert_eq!(live.storage_bits(), reference.storage_bits());
+            for (i, &(pc_seed, taken)) in steps.iter().enumerate() {
+                let pc = 0x1000 + pc_seed * 4;
+                let a = live.predict(pc);
+                let b = reference.predict(pc);
+                prop_assert_eq!(a, b, "diverged at branch {} (pc {:#x})", i, pc);
+                live.update(pc, taken, a);
+                reference.update(pc, taken, b);
+            }
+        }
+
+        // The specialized whole-trace replay must equal the reference's
+        // per-record replay on mispredict count *and* leave the live
+        // predictor in a state that keeps predicting identically.
+        #[test]
+        fn live_replay_equals_reference_replay(
+            records in prop::collection::vec((0u64..1u64 << 10, any::<bool>()), 1..3000),
+            index_bits in 1u32..18,
+        ) {
+            let trace: Vec<BranchRecord> = records
+                .iter()
+                .map(|&(pc_seed, taken)| BranchRecord { pc: 0x4000 + pc_seed * 8, taken })
+                .collect();
+            let mut live = Gshare::new(index_bits);
+            let mut reference = ReferenceGshare::new(index_bits);
+            let fast = live.replay(&trace);
+            let slow = reference.replay(&trace);
+            prop_assert_eq!(fast, slow, "mispredict counts diverged");
+            // Post-replay state check: both must carry on identically.
+            for &(pc_seed, taken) in records.iter().take(200) {
+                let pc = 0x4000 + pc_seed * 8;
+                let a = live.predict(pc);
+                let b = reference.predict(pc);
+                prop_assert_eq!(a, b, "post-replay state diverged at pc {:#x}", pc);
+                live.update(pc, taken, a);
+                reference.update(pc, taken, b);
+            }
+        }
+    }
+}

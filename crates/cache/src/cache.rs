@@ -75,11 +75,20 @@ pub struct Cache {
     valid: Vec<bool>,
     dirty: Vec<bool>,
     sets: Vec<SetState>,
-    set_count: usize,
+    /// `set_count - 1`; set counts are validated powers of two, so masking
+    /// is exactly the old `line % set_count`.
+    set_mask: u64,
     ways: usize,
     line_shift: u32,
     tick: u64,
     rng: u64,
+    /// Flat slot / set / way of the most recently hit or filled line.
+    /// `access_line` checks this slot before scanning the set: consecutive
+    /// touches of the same line (the dominant pattern in probe streams)
+    /// skip the way scan while performing the identical state updates.
+    mru_slot: usize,
+    mru_set: usize,
+    mru_way: usize,
     stats: CacheStats,
 }
 
@@ -98,11 +107,16 @@ impl Cache {
             valid: vec![false; set_count * ways],
             dirty: vec![false; set_count * ways],
             sets: (0..set_count).map(|_| SetState::new(config.policy, ways)).collect(),
-            set_count,
+            set_mask: set_count as u64 - 1,
             ways,
             line_shift: config.line_bytes.trailing_zeros(),
             tick: 0,
             rng: 0x9e37_79b9_7f4a_7c15,
+            // Slot 0 starts invalid, so the MRU fast path cannot fire
+            // before the first fill.
+            mru_slot: 0,
+            mru_set: 0,
+            mru_way: 0,
             stats: CacheStats::default(),
         }
     }
@@ -130,7 +144,7 @@ impl Cache {
 
     #[inline]
     fn set_of(&self, line: u64) -> usize {
-        (line % self.set_count as u64) as usize
+        (line & self.set_mask) as usize
     }
 
     #[inline]
@@ -141,9 +155,22 @@ impl Cache {
     /// Looks up `line`; on miss, installs it (evicting as needed).
     ///
     /// Returns whether it hit and any dirty line evicted.
+    #[inline]
     pub fn access_line(&mut self, line: u64, kind: AccessKind) -> LookupResult {
         self.tick += 1;
         self.stats.accesses += 1;
+        // MRU fast path. A valid slot whose tag matches can only belong to
+        // `line`'s own set (tags are full line addresses and lines install
+        // only in their home set), so this is a true hit; every state
+        // update matches the scan path below exactly.
+        if self.valid[self.mru_slot] && self.tags[self.mru_slot] == line {
+            self.stats.hits += 1;
+            self.sets[self.mru_set].touch(self.mru_way, self.ways, self.tick);
+            if kind == AccessKind::Write {
+                self.dirty[self.mru_slot] = true;
+            }
+            return LookupResult { hit: true, writeback: None };
+        }
         let set = self.set_of(line);
         for way in 0..self.ways {
             let s = self.slot(set, way);
@@ -153,12 +180,36 @@ impl Cache {
                 if kind == AccessKind::Write {
                     self.dirty[s] = true;
                 }
+                self.mru_slot = s;
+                self.mru_set = set;
+                self.mru_way = way;
                 return LookupResult { hit: true, writeback: None };
             }
         }
         self.stats.misses += 1;
         let writeback = self.fill_internal(line, kind == AccessKind::Write);
         LookupResult { hit: false, writeback }
+    }
+
+    /// The state updates of a hit on the MRU line, skipping the lookup.
+    ///
+    /// Callers must guarantee the line they mean is the one the MRU slot
+    /// holds — the hierarchy uses this for back-to-back accesses to the
+    /// last touched L1 line, which stays resident (and MRU) because only
+    /// its own accesses can evict it.
+    #[inline]
+    pub(crate) fn mru_hit(&mut self, line: u64, kind: AccessKind) {
+        debug_assert!(
+            self.valid[self.mru_slot] && self.tags[self.mru_slot] == line,
+            "mru_hit caller invariant broken for line {line:#x}"
+        );
+        self.tick += 1;
+        self.stats.accesses += 1;
+        self.stats.hits += 1;
+        self.sets[self.mru_set].touch(self.mru_way, self.ways, self.tick);
+        if kind == AccessKind::Write {
+            self.dirty[self.mru_slot] = true;
+        }
     }
 
     /// Installs `line` without counting an access (prefetch / fill path).
@@ -202,6 +253,9 @@ impl Cache {
         self.valid[s] = true;
         self.dirty[s] = dirty;
         self.sets[set].touch(way, self.ways, self.tick);
+        self.mru_slot = s;
+        self.mru_set = set;
+        self.mru_way = way;
         evicted
     }
 

@@ -2,7 +2,7 @@
 
 use crate::cache::{AccessKind, Cache, CacheStats};
 use crate::config::{HierarchyConfig, PrefetchKind};
-use crate::prefetch::{NextLinePrefetcher, StridePrefetcher};
+use crate::prefetch::{NextLinePrefetcher, PrefetchList, StridePrefetcher};
 use vstress_trace::record::{MemAccess, MemSink};
 
 /// The L2 prefetch engine variants.
@@ -61,6 +61,16 @@ pub struct Hierarchy {
     llc: Cache,
     prefetcher: Prefetcher,
     config: HierarchyConfig,
+    /// Uniform line shift (validated identical across levels); turns the
+    /// per-access line-splitting divisions into shifts.
+    line_shift: u32,
+    /// The last line passed to an L1D lookup. A repeat access is a
+    /// guaranteed L1 hit — only the line's own L1D accesses can evict it,
+    /// and the previous one left it resident and MRU — so the hierarchy
+    /// can skip the lookup entirely (`Cache::mru_hit` applies the
+    /// identical stat/replacement updates). `u64::MAX` is a safe
+    /// sentinel: synthetic probe addresses never reach the top line.
+    l1d_mru_line: u64,
     memory_accesses: u64,
     memory_writebacks: u64,
 }
@@ -85,6 +95,8 @@ impl Hierarchy {
                 PrefetchKind::Stride => Prefetcher::Stride(StridePrefetcher::new(2)),
             },
             config,
+            line_shift: config.l1d.line_bytes.trailing_zeros(),
+            l1d_mru_line: u64::MAX,
             memory_accesses: 0,
             memory_writebacks: 0,
         }
@@ -96,16 +108,19 @@ impl Hierarchy {
     }
 
     /// Load of `bytes` bytes at byte address `addr`.
+    #[inline]
     pub fn load(&mut self, addr: u64, bytes: u32) -> ServiceLevel {
         self.data_access(addr, bytes, AccessKind::Read)
     }
 
     /// Store of `bytes` bytes at byte address `addr`.
+    #[inline]
     pub fn store(&mut self, addr: u64, bytes: u32) -> ServiceLevel {
         self.data_access(addr, bytes, AccessKind::Write)
     }
 
     /// Instruction fetch of one line-aligned block at `addr`.
+    #[inline]
     pub fn fetch(&mut self, addr: u64) -> ServiceLevel {
         let line = self.l1i.line_of(addr);
         if self.l1i.access_line(line, AccessKind::Read).hit {
@@ -147,10 +162,15 @@ impl Hierarchy {
         self.memory_writebacks = 0;
     }
 
+    #[inline]
     fn data_access(&mut self, addr: u64, bytes: u32, kind: AccessKind) -> ServiceLevel {
-        let line_bytes = self.l1d.line_bytes() as u64;
-        let first = addr / line_bytes;
-        let last = (addr + bytes.max(1) as u64 - 1) / line_bytes;
+        // Line sizes are powers of two, so shifting is exactly the
+        // division the reference performs.
+        let first = addr >> self.line_shift;
+        let last = (addr + bytes.max(1) as u64 - 1) >> self.line_shift;
+        if first == last {
+            return self.data_access_line(first, kind);
+        }
         let mut worst = ServiceLevel::L1;
         for line in first..=last {
             let level = self.data_access_line(line, kind);
@@ -161,7 +181,13 @@ impl Hierarchy {
         worst
     }
 
+    #[inline]
     fn data_access_line(&mut self, line: u64, kind: AccessKind) -> ServiceLevel {
+        if line == self.l1d_mru_line {
+            self.l1d.mru_hit(line, kind);
+            return ServiceLevel::L1;
+        }
+        self.l1d_mru_line = line;
         let l1 = self.l1d.access_line(line, kind);
         if l1.hit {
             return ServiceLevel::L1;
@@ -197,7 +223,8 @@ impl Hierarchy {
             let _ = victim;
             self.memory_writebacks += 1;
         }
-        for pf_line in self.prefetch_suggestions(line) {
+        let suggestions = self.prefetch_suggestions(line);
+        for &pf_line in suggestions.as_slice() {
             self.install_prefetch(pf_line);
         }
         if llc_result.hit {
@@ -208,12 +235,18 @@ impl Hierarchy {
         }
     }
 
-    fn prefetch_suggestions(&mut self, miss_line: u64) -> Vec<u64> {
+    fn prefetch_suggestions(&mut self, miss_line: u64) -> PrefetchList {
+        let mut out = PrefetchList::default();
         match &mut self.prefetcher {
-            Prefetcher::None => Vec::new(),
-            Prefetcher::NextLine(p) => p.on_miss(miss_line).into_iter().collect(),
-            Prefetcher::Stride(p) => p.on_miss(miss_line),
+            Prefetcher::None => {}
+            Prefetcher::NextLine(p) => {
+                if let Some(l) = p.on_miss(miss_line) {
+                    out.push(l);
+                }
+            }
+            Prefetcher::Stride(p) => out = p.on_miss(miss_line),
         }
+        out
     }
 
     /// Installs a prefetched line into L2 (and LLC), propagating victims.

@@ -33,9 +33,12 @@ pub mod hierarchy;
 pub mod multicore;
 pub mod policy;
 pub mod prefetch;
+pub mod reference;
 
 pub use cache::{AccessKind, Cache, CacheStats};
 pub use config::{CacheConfig, HierarchyConfig};
 pub use hierarchy::{Hierarchy, HierarchyStats, ServiceLevel};
 pub use multicore::MulticoreHierarchy;
 pub use policy::ReplacementPolicy;
+pub use prefetch::PrefetchList;
+pub use reference::ReferenceHierarchy;

@@ -1,5 +1,51 @@
 //! Simple hardware prefetchers.
 
+/// A fixed-capacity list of prefetch suggestions.
+///
+/// Prefetch suggestions are produced on every L2 demand miss — the
+/// hottest path of the whole simulation — so they must not touch the
+/// heap. Real prefetch engines have a small fixed issue width anyway;
+/// [`PrefetchList::CAP`] bounds the degree a prefetcher may be built
+/// with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchList {
+    lines: [u64; PrefetchList::CAP],
+    len: u8,
+}
+
+impl PrefetchList {
+    /// Maximum number of suggestions one miss may produce.
+    pub const CAP: usize = 8;
+
+    /// Appends a suggestion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is full (prefetcher degrees are validated
+    /// against [`PrefetchList::CAP`] at construction).
+    #[inline]
+    pub fn push(&mut self, line: u64) {
+        self.lines[self.len as usize] = line;
+        self.len += 1;
+    }
+
+    /// The suggested lines, in issue order.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.lines[..self.len as usize]
+    }
+
+    /// Number of suggestions.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no lines were suggested.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// A next-line (sequential) prefetcher with a small stream filter.
 ///
 /// On each demand miss it suggests the following line; a tiny history of
@@ -58,16 +104,17 @@ impl StridePrefetcher {
     ///
     /// # Panics
     ///
-    /// Panics if `degree` is zero.
+    /// Panics if `degree` is zero or exceeds [`PrefetchList::CAP`].
     pub fn new(degree: u32) -> Self {
         assert!(degree > 0, "degree must be positive");
+        assert!(degree as usize <= PrefetchList::CAP, "degree exceeds the inline suggestion list");
         StridePrefetcher { last_line: u64::MAX, stride: 0, confidence: 0, degree }
     }
 
     /// Observes a demand miss and returns lines to prefetch (empty until
     /// the stride is confirmed by two consecutive matches).
-    pub fn on_miss(&mut self, line: u64) -> Vec<u64> {
-        let mut out = Vec::new();
+    pub fn on_miss(&mut self, line: u64) -> PrefetchList {
+        let mut out = PrefetchList::default();
         if self.last_line != u64::MAX {
             let delta = line as i64 - self.last_line as i64;
             if delta != 0 && delta == self.stride {
@@ -116,7 +163,7 @@ mod tests {
         assert!(p.on_miss(105).is_empty()); // stride learned, low confidence
         assert!(p.on_miss(110).is_empty()); // confidence 1
         let pf = p.on_miss(115); // confidence 2: fire
-        assert_eq!(pf, vec![120, 125]);
+        assert_eq!(pf.as_slice(), &[120, 125]);
     }
 
     #[test]
@@ -125,12 +172,12 @@ mod tests {
         for l in [10u64, 20, 30, 40] {
             p.on_miss(l);
         }
-        assert_eq!(p.on_miss(50), vec![60]);
+        assert_eq!(p.on_miss(50).as_slice(), &[60]);
         // Break the pattern: must stop firing until retrained.
         assert!(p.on_miss(1000).is_empty());
         assert!(p.on_miss(1001).is_empty());
         assert!(p.on_miss(1002).is_empty());
-        assert_eq!(p.on_miss(1003), vec![1004]);
+        assert_eq!(p.on_miss(1003).as_slice(), &[1004]);
     }
 
     #[test]
@@ -139,7 +186,24 @@ mod tests {
         for l in [100u64, 90, 80, 70] {
             p.on_miss(l);
         }
-        assert_eq!(p.on_miss(60), vec![50]);
+        assert_eq!(p.on_miss(60).as_slice(), &[50]);
+    }
+
+    #[test]
+    fn prefetch_list_is_bounded() {
+        let mut l = PrefetchList::default();
+        assert!(l.is_empty());
+        for i in 0..PrefetchList::CAP as u64 {
+            l.push(i);
+        }
+        assert_eq!(l.len(), PrefetchList::CAP);
+        assert_eq!(l.as_slice()[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inline suggestion list")]
+    fn oversized_degree_is_rejected() {
+        StridePrefetcher::new(PrefetchList::CAP as u32 + 1);
     }
 
     #[test]

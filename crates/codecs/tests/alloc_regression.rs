@@ -1,17 +1,22 @@
-//! Pins the allocation behaviour of the motion-search hot path.
+//! Pins the allocation behaviour of the hot paths on both sides of the
+//! probe interface.
 //!
 //! PR 3 threads a reusable [`MeScratch`] through `motion_search` so the
-//! RDO descent stops allocating per candidate. This test makes that a
-//! regression boundary: after one warm-up search has grown the scratch
-//! buffers, further searches — full-pel, subpel, and `_around` refinement,
-//! across the block sizes the partition search visits — must perform
-//! **zero** heap allocations.
+//! RDO descent stops allocating per candidate. PR 4 does the same for
+//! the simulation side: the cache hierarchy's prefetch path loses its
+//! per-miss `Vec`, and the batched probe→model event drain reuses only
+//! fixed state. These tests make both regression boundaries: after one
+//! warm-up pass has grown every lazily-sized buffer, further work must
+//! perform **zero** heap allocations.
 //!
 //! The counter wraps the system allocator for this whole test binary,
-//! which is why the test lives in its own integration-test file.
+//! which is why the tests live in their own integration-test file; a
+//! shared lock keeps the measurement windows from overlapping when the
+//! harness runs tests on parallel threads.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use vstress_codecs::blocks::BlockRect;
 use vstress_codecs::mc::MotionVector;
@@ -42,6 +47,11 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// Serializes the tests: each one measures a window of the shared
+/// counter, so another test's warm-up allocations must not land inside
+/// it.
+static SERIAL: Mutex<()> = Mutex::new(());
+
 fn textured_plane(seed: u64) -> Plane {
     let mut p = Plane::new(128, 128, 0).unwrap();
     let mut x = seed | 1;
@@ -56,6 +66,7 @@ fn textured_plane(seed: u64) -> Plane {
 
 #[test]
 fn motion_search_is_allocation_free_after_warmup() {
+    let _serial = SERIAL.lock().unwrap();
     let cur = textured_plane(1);
     let refp = textured_plane(2);
     let settings = MeSettings { range: 24, exhaustive_radius: 4, refine_steps: 12, subpel: true };
@@ -107,4 +118,77 @@ fn motion_search_is_allocation_free_after_warmup() {
     }
     let after = ALLOCS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "motion search allocated {} times after warm-up", after - before);
+}
+
+/// The simulation-side pin: replaying a characterization-sized event
+/// batch through a [`CoreModel`] — and the same access stream through a
+/// bare [`Hierarchy`] with the stride prefetcher enabled — allocates
+/// nothing once a warm-up pass has first-touched every page. The
+/// prefetch path is the one that used to allocate (a `Vec<u64>` of
+/// suggestions per demand miss); the strided loads here force it on
+/// every L2 refill.
+#[test]
+fn simulation_event_path_is_allocation_free_in_steady_state() {
+    use vstress_cache::config::PrefetchKind;
+    use vstress_cache::{Hierarchy, HierarchyConfig};
+    use vstress_pipeline::CoreModel;
+    use vstress_trace::{Kernel, Probe, ProbeEvent};
+
+    let _serial = SERIAL.lock().unwrap();
+
+    // A mixed stream shaped like real encoder output: kernel switches,
+    // compute bursts, strided loads sweeping far past L2 (demand misses
+    // feed the prefetcher), scattered stores, and branchy control.
+    let mut x = 0x2545_f491_4f6c_dd1du64;
+    let events: Vec<ProbeEvent> = (0..48_000u64)
+        .map(|i| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            match i % 8 {
+                0 => ProbeEvent::SetKernel(Kernel::ALL[(x % Kernel::ALL.len() as u64) as usize]),
+                1 => ProbeEvent::Alu(1 + x % 8),
+                2 => ProbeEvent::Avx(1 + x % 4),
+                3 => ProbeEvent::Load { addr: 0x10_0000 + (i * 192) % (2 << 20), bytes: 32 },
+                4 => ProbeEvent::Store { addr: 0x40_0000 + x % (1 << 20), bytes: 16 },
+                5 => ProbeEvent::Sse(1 + x % 4),
+                6 => ProbeEvent::Branch { pc: 0x1000 + (x % 32) * 8, taken: x & 1 == 0 },
+                _ => ProbeEvent::Load { addr: x % (4 << 20), bytes: 8 },
+            }
+        })
+        .collect();
+
+    let mut model = CoreModel::broadwell_scaled(4);
+    let mut cfg = HierarchyConfig::broadwell_scaled(4);
+    cfg.l2_prefetch = PrefetchKind::Stride;
+    let mut hier = Hierarchy::new(cfg);
+    let drive_hierarchy = |hier: &mut Hierarchy| {
+        for &e in &events {
+            match e {
+                ProbeEvent::Load { addr, bytes } => {
+                    hier.load(addr, bytes);
+                }
+                ProbeEvent::Store { addr, bytes } => {
+                    hier.store(addr, bytes);
+                }
+                _ => {}
+            }
+        }
+    };
+
+    // Warm-up: the model's first-touch page canonicalizer grows here;
+    // cache arrays and predictor tables are fixed-size from construction.
+    model.drain_batch(&events);
+    drive_hierarchy(&mut hier);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    model.drain_batch(&events);
+    drive_hierarchy(&mut hier);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "simulation event path allocated {} times in steady state",
+        after - before
+    );
 }

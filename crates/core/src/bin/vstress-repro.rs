@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! vstress-repro                    # quick profile, all experiments
+//! vstress-repro --quick            # the same, spelled out (CI uses this)
 //! vstress-repro --paper            # full profile (slow; used for EXPERIMENTS.md)
 //! vstress-repro --csv out/         # also write each table as CSV into out/
 //! vstress-repro --threads 4        # size of the encode worker pool
@@ -161,6 +162,12 @@ fn run(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paper = args.iter().any(|a| a == "--paper");
+    // `--quick` names the default profile explicitly (scripts and CI can
+    // state their intent); it only conflicts with `--paper`.
+    if paper && args.iter().any(|a| a == "--quick") {
+        eprintln!("--quick and --paper are mutually exclusive");
+        std::process::exit(1);
+    }
     let time = args.iter().any(|a| a == "--time");
     let csv_dir: Option<PathBuf> =
         args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).map(PathBuf::from);

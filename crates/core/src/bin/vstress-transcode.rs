@@ -142,7 +142,7 @@ fn run() -> Result<(), String> {
                         "store: {} hits, {} misses, {} quarantined",
                         s.store_hits, s.store_misses, s.store_quarantined
                     );
-                    window.0.clone()
+                    window.records.to_vec()
                 }
                 _ => {
                     if store_dir.is_some() {

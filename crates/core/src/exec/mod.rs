@@ -136,7 +136,38 @@ impl WindowKey {
 
 /// A captured mid-run branch window: the records plus the number of
 /// instructions the window actually covered.
-pub type BranchWindow = (Vec<BranchRecord>, u64);
+///
+/// The records sit behind an `Arc<[BranchRecord]>` so every consumer of
+/// a cached window — the CBP study replays each one through four
+/// predictors, possibly from several replay workers at once — shares a
+/// single allocation instead of cloning a multi-million-record vector
+/// per use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchWindow {
+    /// The captured branch records, in program order.
+    pub records: Arc<[BranchRecord]>,
+    /// Instructions the window actually covered (the MPKI denominator).
+    pub instructions: u64,
+}
+
+// Hand-written serialization emitting exactly the wire bytes of the
+// previous `(Vec<BranchRecord>, u64)` tuple representation — a sequence
+// followed by an unsigned, no struct name tag — so windows persisted by
+// existing stores load unchanged and no `SCHEMA_VERSION` bump is needed.
+impl serde::Serialize for BranchWindow {
+    fn serialize(&self, s: &mut serde::Serializer) {
+        self.records[..].serialize(s);
+        self.instructions.serialize(s);
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for BranchWindow {
+    fn deserialize(d: &mut serde::Deserializer<'de>) -> Result<Self, serde::Error> {
+        let records = Vec::<BranchRecord>::deserialize(d)?;
+        let instructions = u64::deserialize(d)?;
+        Ok(BranchWindow { records: records.into(), instructions })
+    }
+}
 
 /// Instruction costs of one encode and of decoding its bitstream — the
 /// decode-cost study's measurement, cached and persisted like runs.
@@ -392,7 +423,7 @@ impl RunCache {
                 let mut probe = BranchWindowProbe::mid_run(total, window.min(total));
                 encoder.encode(&clip, &mut probe)?;
                 let captured = probe.window_retired().max(1);
-                Ok((probe.into_records(), captured))
+                Ok(BranchWindow { records: probe.into_records().into(), instructions: captured })
             })
         })
     }

@@ -7,13 +7,15 @@
 //! TAGE at 8 KB and 64 KB.
 
 use super::ExperimentConfig;
+use crate::exec::BranchWindow;
 use crate::table::{f1, f2, Table};
 use crate::workbench::WorkbenchError;
+use std::sync::Arc;
 use vstress_bpred::{harness, BranchPredictor, Gshare, Tage};
 use vstress_codecs::{CodecId, EncoderParams};
 
 /// Results for one clip under the four predictors.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct CbpRow {
     /// Clip name.
     pub clip: String,
@@ -25,25 +27,35 @@ pub struct CbpRow {
 
 /// Captures the mid-run branch window of one encode, via the config's
 /// window cache (the counting pre-pass that places the window is shared
-/// with any counting-only characterization of the same spec).
+/// with any counting-only characterization of the same spec). The
+/// returned handle shares the cached records — an `Arc` bump, not a
+/// copy of the record vector.
 fn capture_window(
     cfg: &ExperimentConfig,
     clip_name: &'static str,
     params: EncoderParams,
-) -> Result<(Vec<vstress_trace::BranchRecord>, u64), WorkbenchError> {
+) -> Result<Arc<BranchWindow>, WorkbenchError> {
     let spec = cfg.spec(clip_name, CodecId::SvtAv1, params);
-    let window = cfg.cache.branch_window(&spec, cfg.cbp_window)?;
-    Ok((window.0.clone(), window.1))
+    cfg.cache.branch_window(&spec, cfg.cbp_window)
+}
+
+/// Number of predictor configurations the paper simulates.
+pub const PAPER_PREDICTOR_COUNT: usize = 4;
+
+/// The `i`-th of the paper's predictor configurations, freshly
+/// constructed (each replay needs untrained tables).
+fn paper_predictor(i: usize) -> Box<dyn BranchPredictor> {
+    match i {
+        0 => Box::new(Gshare::with_budget_bytes(2 << 10)),
+        1 => Box::new(Gshare::with_budget_bytes(32 << 10)),
+        2 => Box::new(Tage::seznec_8kb()),
+        _ => Box::new(Tage::seznec_64kb()),
+    }
 }
 
 /// The paper's four predictor configurations.
 pub fn paper_predictors() -> Vec<Box<dyn BranchPredictor>> {
-    vec![
-        Box::new(Gshare::with_budget_bytes(2 << 10)),
-        Box::new(Gshare::with_budget_bytes(32 << 10)),
-        Box::new(Tage::seznec_8kb()),
-        Box::new(Tage::seznec_64kb()),
-    ]
+    (0..PAPER_PREDICTOR_COUNT).map(paper_predictor).collect()
 }
 
 /// Runs the CBP study at a given (preset, CRF) trace point.
@@ -71,32 +83,38 @@ pub fn cbp_study(
             "tage-64KB MPKI",
         ],
     );
-    // Window capture and predictor replay are both per-clip pure
-    // functions, so the whole study fans out over the executor's queue.
-    let per_clip = vstress_codecs::batch::run_ordered(
-        cfg.clips.len(),
+    // Window capture and predictor replay are pure per-(clip, predictor)
+    // functions, so the whole replay matrix fans out over the executor's
+    // queue at its finest grain: job `i` replays predictor `i % 4` on
+    // clip `i / 4`. Clip-major indexing keeps the first-failure contract
+    // clip-ordered, and the window cache hands every job of a clip the
+    // same `Arc`-shared record buffer (the first job computes it, the
+    // other three block briefly on the memo slot instead of recapturing).
+    let n = PAPER_PREDICTOR_COUNT;
+    let matrix = vstress_codecs::batch::run_ordered(
+        cfg.clips.len() * n,
         cfg.threads,
-        |i| -> Result<(Vec<String>, CbpRow), WorkbenchError> {
-            let clip_name = cfg.clips[i];
-            let (trace, window_instrs) =
-                capture_window(cfg, clip_name, EncoderParams::new(crf, preset))?;
-            let mut row = CbpRow {
-                clip: clip_name.to_owned(),
-                branches: trace.len() as u64,
-                predictors: Vec::new(),
-            };
-            let mut cells = vec![clip_name.to_owned(), trace.len().to_string()];
-            for mut p in paper_predictors() {
-                let stats = harness::run_with_window(&mut p, &trace, window_instrs);
-                cells.push(f1(stats.miss_rate() * 100.0));
-                cells.push(f2(stats.mpki()));
-                row.predictors.push((p.label(), stats.miss_rate(), stats.mpki()));
-            }
-            Ok((cells, row))
+        |i| -> Result<(String, harness::BpredStats), WorkbenchError> {
+            let clip_name = cfg.clips[i / n];
+            let window = capture_window(cfg, clip_name, EncoderParams::new(crf, preset))?;
+            let mut p = paper_predictor(i % n);
+            let stats = harness::run_with_window(&mut p, &window.records, window.instructions);
+            Ok((p.label(), stats))
         },
     )?;
     let mut rows = Vec::new();
-    for (cells, row) in per_clip {
+    for (ci, clip_results) in matrix.chunks(n).enumerate() {
+        let clip_name = cfg.clips[ci];
+        // Every predictor replayed the same window, so any job's branch
+        // count is the clip's window size.
+        let branches = clip_results[0].1.branches;
+        let mut row = CbpRow { clip: clip_name.to_owned(), branches, predictors: Vec::new() };
+        let mut cells = vec![clip_name.to_owned(), branches.to_string()];
+        for (label, stats) in clip_results {
+            cells.push(f1(stats.miss_rate() * 100.0));
+            cells.push(f2(stats.mpki()));
+            row.predictors.push((label.clone(), stats.miss_rate(), stats.mpki()));
+        }
         table.push_row(cells);
         rows.push(row);
     }
@@ -173,9 +191,29 @@ mod tests {
     #[test]
     fn window_capture_is_reproducible() {
         let cfg = tiny_cfg();
-        let (a, wa) = capture_window(&cfg, "game2", EncoderParams::new(63, 8)).unwrap();
-        let (b, wb) = capture_window(&cfg, "game2", EncoderParams::new(63, 8)).unwrap();
-        assert_eq!(a, b, "branch windows must be deterministic");
-        assert_eq!(wa, wb);
+        let a = capture_window(&cfg, "game2", EncoderParams::new(63, 8)).unwrap();
+        let b = capture_window(&cfg, "game2", EncoderParams::new(63, 8)).unwrap();
+        assert_eq!(a.records, b.records, "branch windows must be deterministic");
+        assert_eq!(a.instructions, b.instructions);
+        // The two handles share one cached allocation — the whole point
+        // of the Arc-shaped window.
+        assert!(Arc::ptr_eq(&a, &b), "repeat captures must share the cached window");
+    }
+
+    /// Satellite guarantee for the fanned-out replay matrix: the study's
+    /// tables and rows are byte-identical no matter how many workers
+    /// replay the (clip × predictor) jobs.
+    #[test]
+    fn parallel_replay_matrix_matches_serial() {
+        let mut serial_cfg = tiny_cfg();
+        serial_cfg.threads = 1;
+        let (serial_table, serial_rows) = fig08_cbp(&serial_cfg).unwrap();
+        for workers in [2, 4] {
+            let mut cfg = tiny_cfg();
+            cfg.threads = workers;
+            let (table, rows) = fig08_cbp(&cfg).unwrap();
+            assert_eq!(table, serial_table, "{workers}-worker table diverged from serial");
+            assert_eq!(rows, serial_rows, "{workers}-worker rows diverged from serial");
+        }
     }
 }

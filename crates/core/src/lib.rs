@@ -41,7 +41,7 @@ pub mod runtime;
 pub mod table;
 pub mod workbench;
 
-pub use exec::{RunCache, RunCacheStats, RunStore, StoreStats, SCHEMA_VERSION};
+pub use exec::{BranchWindow, RunCache, RunCacheStats, RunStore, StoreStats, SCHEMA_VERSION};
 pub use table::Table;
 pub use workbench::{characterize, CharacterizationRun, RunSpec};
 

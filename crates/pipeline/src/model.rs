@@ -4,7 +4,7 @@ use crate::config::CoreConfig;
 use crate::report::{CoreReport, ResourceStalls};
 use vstress_bpred::{BranchPredictor, Gshare};
 use vstress_cache::{Hierarchy, HierarchyConfig, ServiceLevel};
-use vstress_trace::{Kernel, Probe};
+use vstress_trace::{Kernel, Probe, ProbeEvent};
 
 /// An interval-model out-of-order core consuming an instrumented encode.
 ///
@@ -40,6 +40,10 @@ pub struct CoreModel<B: BranchPredictor = Gshare> {
     /// `1 / kernel_ilp(kernel)` — cycles per instruction at the current
     /// kernel's ILP limit.
     cur_cost: f64,
+    /// Per-kernel `cur_cost` values, precomputed in [`CoreModel::new`]
+    /// with the identical expression so a kernel switch is a table load
+    /// instead of a match plus an f64 division.
+    cost_table: [f64; Kernel::ALL.len()],
     /// Bytes fetched so far per kernel (monotonic; wraps over the kernel's
     /// current hot window to model loop re-execution).
     fetch_bytes: [u64; Kernel::ALL.len()],
@@ -102,7 +106,11 @@ impl<B: BranchPredictor> CoreModel<B> {
         config.validate();
         hierarchy.validate();
         let kernel = Kernel::FrameSetup;
-        let cur_cost = 1.0 / config.kernel_ilp(kernel).min(config.width as f64);
+        let mut cost_table = [0.0f64; Kernel::ALL.len()];
+        for k in Kernel::ALL {
+            cost_table[k.index()] = 1.0 / config.kernel_ilp(k).min(config.width as f64);
+        }
+        let cur_cost = cost_table[kernel.index()];
         CoreModel {
             hierarchy: Hierarchy::new(hierarchy),
             predictor,
@@ -120,6 +128,7 @@ impl<B: BranchPredictor> CoreModel<B> {
             stalls: ResourceStalls::default(),
             kernel,
             cur_cost,
+            cost_table,
             fetch_bytes: [0; Kernel::ALL.len()],
             last_miss_at: 0,
             cur_mlp: 1,
@@ -250,7 +259,7 @@ impl<B: BranchPredictor> Probe for CoreModel<B> {
     #[inline]
     fn set_kernel(&mut self, k: Kernel) {
         self.kernel = k;
-        self.cur_cost = 1.0 / self.config.kernel_ilp(k).min(self.config.width as f64);
+        self.cur_cost = self.cost_table[k.index()];
     }
 
     #[inline]
@@ -307,6 +316,34 @@ impl<B: BranchPredictor> Probe for CoreModel<B> {
     #[inline]
     fn retired(&self) -> u64 {
         self.retired
+    }
+
+    /// Batched event drain for memo replay and recorded traces.
+    ///
+    /// Observably identical to per-event dispatch — `alu`/`avx`/`sse` all
+    /// reduce to `advance(n)` (the batch is *not* coalesced: f64 addition
+    /// is non-associative, so each event performs its own `advance`
+    /// arithmetic), and a `SetKernel` repeating the current kernel is
+    /// skipped because `set_kernel` writes only `kernel` and `cur_cost`,
+    /// both pure functions of `k`. What the loop saves is the per-event
+    /// call overhead and redundant kernel-cost updates, which dominate
+    /// replayed streams (recorded batches re-declare their kernel far
+    /// more often than they switch it).
+    fn drain_batch(&mut self, events: &[ProbeEvent]) {
+        for &e in events {
+            match e {
+                ProbeEvent::SetKernel(k) => {
+                    if k != self.kernel {
+                        self.kernel = k;
+                        self.cur_cost = self.cost_table[k.index()];
+                    }
+                }
+                ProbeEvent::Alu(n) | ProbeEvent::Avx(n) | ProbeEvent::Sse(n) => self.advance(n),
+                ProbeEvent::Load { addr, bytes } => self.load(addr, bytes),
+                ProbeEvent::Store { addr, bytes } => self.store(addr, bytes),
+                ProbeEvent::Branch { pc, taken } => self.branch(pc, taken),
+            }
+        }
     }
 }
 
@@ -441,6 +478,69 @@ mod tests {
             "ROB (192) must stall less than RS (60): {:?}",
             r.resource_stalls
         );
+    }
+
+    /// The batched drain must be invisible: a pseudo-random event stream
+    /// (kernel switches, repeated same-kernel declarations, loads/stores
+    /// with page locality, biased branches) driven per event and via one
+    /// `drain_batch` call must produce bit-identical reports — every f64
+    /// accumulator included, which is why the drain must not coalesce
+    /// compute events (f64 addition is non-associative).
+    #[test]
+    fn drain_batch_is_bit_identical_to_per_event_dispatch() {
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut events = Vec::new();
+        for _ in 0..120_000 {
+            match step() % 12 {
+                0 => events
+                    .push(ProbeEvent::SetKernel(Kernel::ALL[step() as usize % Kernel::ALL.len()])),
+                1 => {
+                    // Re-declaring the current kernel is the common case in
+                    // recorded batches; the drain's skip path must be
+                    // equivalent to the full set_kernel.
+                    let k = Kernel::ALL[step() as usize % Kernel::ALL.len()];
+                    events.push(ProbeEvent::SetKernel(k));
+                    events.push(ProbeEvent::SetKernel(k));
+                }
+                2..=4 => events.push(ProbeEvent::Alu(1 + step() % 8)),
+                5 => events.push(ProbeEvent::Avx(1 + step() % 4)),
+                6 => events.push(ProbeEvent::Sse(1 + step() % 4)),
+                7 | 8 => events.push(ProbeEvent::Load {
+                    addr: 0x10_0000 + step() % (1 << 20),
+                    bytes: 1 + (step() % 64) as u32,
+                }),
+                9 => events.push(ProbeEvent::Store {
+                    addr: 0x30_0000 + step() % (1 << 18),
+                    bytes: 1 + (step() % 64) as u32,
+                }),
+                _ => events.push(ProbeEvent::Branch {
+                    pc: 0x5000_0000_0000 + (step() % 64) * 16,
+                    taken: step() % 3 == 0,
+                }),
+            }
+        }
+
+        let mut per_event = scaled();
+        for &e in &events {
+            match e {
+                ProbeEvent::SetKernel(k) => per_event.set_kernel(k),
+                ProbeEvent::Alu(n) => per_event.alu(n),
+                ProbeEvent::Avx(n) => per_event.avx(n),
+                ProbeEvent::Sse(n) => per_event.sse(n),
+                ProbeEvent::Load { addr, bytes } => per_event.load(addr, bytes),
+                ProbeEvent::Store { addr, bytes } => per_event.store(addr, bytes),
+                ProbeEvent::Branch { pc, taken } => per_event.branch(pc, taken),
+            }
+        }
+        let mut batched = scaled();
+        batched.drain_batch(&events);
+        assert_eq!(per_event.into_report(), batched.into_report());
     }
 
     #[test]

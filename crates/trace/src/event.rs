@@ -81,18 +81,14 @@ impl EventBatch {
     }
 
     /// Re-emits every recorded event, in order, into `probe`.
+    ///
+    /// Delegates to [`Probe::drain_batch`], so probes with a specialized
+    /// batch drain (the pipeline model hoists its per-event kernel-cost
+    /// lookups) get it automatically; for everything else the default
+    /// drain dispatches the events one by one, exactly as this method
+    /// always has.
     pub fn replay<P: Probe>(&self, probe: &mut P) {
-        for &e in &self.events {
-            match e {
-                ProbeEvent::SetKernel(k) => probe.set_kernel(k),
-                ProbeEvent::Alu(n) => probe.alu(n),
-                ProbeEvent::Avx(n) => probe.avx(n),
-                ProbeEvent::Sse(n) => probe.sse(n),
-                ProbeEvent::Load { addr, bytes } => probe.load(addr, bytes),
-                ProbeEvent::Store { addr, bytes } => probe.store(addr, bytes),
-                ProbeEvent::Branch { pc, taken } => probe.branch(pc, taken),
-            }
-        }
+        probe.drain_batch(&self.events);
     }
 }
 
@@ -167,6 +163,15 @@ impl<P: Probe> Probe for RecordingProbe<'_, P> {
     fn retired(&self) -> u64 {
         self.inner.retired()
     }
+
+    #[inline]
+    fn drain_batch(&mut self, events: &[ProbeEvent]) {
+        // Record the whole slice, then hand the wrapped probe one batched
+        // drain: the captured batch and the inner probe's final state are
+        // identical to per-event push-and-forward.
+        self.batch.events.extend_from_slice(events);
+        self.inner.drain_batch(events);
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +219,54 @@ mod tests {
         drive(&mut reference);
         assert_eq!(direct.mix(), reference.mix());
         assert_eq!(direct.profile().count(Kernel::Sad), reference.profile().count(Kernel::Sad));
+    }
+
+    #[test]
+    fn drain_batch_equals_per_event_dispatch() {
+        let mut null = NullProbe;
+        let mut rec = RecordingProbe::new(&mut null);
+        drive(&mut rec);
+        let batch = rec.into_batch();
+
+        let mut direct = CountingProbe::new();
+        drive(&mut direct);
+        let mut drained = CountingProbe::new();
+        drained.drain_batch(batch.events());
+        assert_eq!(direct, drained, "one drain call must equal per-event dispatch");
+    }
+
+    #[test]
+    fn tee_drain_feeds_both_sides_identically() {
+        use crate::probe::TeeProbe;
+        let mut null = NullProbe;
+        let mut rec = RecordingProbe::new(&mut null);
+        drive(&mut rec);
+        let batch = rec.into_batch();
+
+        let mut per_event = TeeProbe::new(CountingProbe::new(), CountingProbe::new());
+        drive(&mut per_event);
+        let mut batched = TeeProbe::new(CountingProbe::new(), CountingProbe::new());
+        batched.drain_batch(batch.events());
+        let (pa, pb) = per_event.into_parts();
+        let (ba, bb) = batched.into_parts();
+        assert_eq!(pa, ba);
+        assert_eq!(pb, bb);
+    }
+
+    #[test]
+    fn recording_drain_captures_and_forwards() {
+        let mut null = NullProbe;
+        let mut rec = RecordingProbe::new(&mut null);
+        drive(&mut rec);
+        let batch = rec.into_batch();
+
+        let mut inner = CountingProbe::new();
+        let mut rerec = RecordingProbe::new(&mut inner);
+        rerec.drain_batch(batch.events());
+        assert_eq!(rerec.into_batch(), batch, "batched drain must capture the full stream");
+        let mut reference = CountingProbe::new();
+        drive(&mut reference);
+        assert_eq!(inner, reference, "batched drain must forward the full stream");
     }
 
     #[test]

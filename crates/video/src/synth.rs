@@ -151,6 +151,12 @@ impl NoiseField {
 
     /// Samples the field at continuous coordinates; output roughly in
     /// `[-96, 96]`.
+    ///
+    /// This is the straightforward per-point reference form; the render
+    /// loops use `NoiseField::row_state` + `NoiseField::sample_in_row`,
+    /// which hoist the y-dependent half of the work out of the pixel loop
+    /// and are pinned bit-identical to this form by a property test.
+    #[cfg(test)]
     fn sample(&self, x: f64, y: f64) -> f64 {
         let mut acc = 0.0;
         for oct in &self.octaves {
@@ -175,6 +181,63 @@ impl NoiseField {
         }
         acc
     }
+
+    /// Precomputes, per octave, everything `sample` derives from `y`
+    /// alone: the two lattice row offsets and the smoothed vertical
+    /// interpolation weight. One call per rendered row replaces one per
+    /// pixel.
+    fn row_state(&self, y: f64) -> ([OctaveRow; MAX_OCTAVES], usize) {
+        let mut rows = [OctaveRow::default(); MAX_OCTAVES];
+        for (oct, row) in self.octaves.iter().zip(rows.iter_mut()) {
+            let fy = y / oct.cell;
+            let y0 = fy.floor();
+            let ty = fy - y0;
+            let n = oct.size as i64;
+            let yi = (y0 as i64).rem_euclid(n) as usize;
+            let yj = (yi + 1) % oct.size;
+            *row = OctaveRow { row0: yi * oct.size, row1: yj * oct.size, sm_ty: smooth(ty) };
+        }
+        (rows, self.octaves.len())
+    }
+
+    /// Samples at horizontal position `x` within a row prepared by
+    /// `NoiseField::row_state`. Performs the identical arithmetic, in the
+    /// identical order, as the reference `NoiseField::sample`.
+    fn sample_in_row(&self, x: f64, rows: &[OctaveRow]) -> f64 {
+        let mut acc = 0.0;
+        for (oct, row) in self.octaves.iter().zip(rows) {
+            let fx = x / oct.cell;
+            let x0 = fx.floor();
+            let tx = fx - x0;
+            let n = oct.size as i64;
+            let xi = (x0 as i64).rem_euclid(n) as usize;
+            let xj = (xi + 1) % oct.size;
+            let v00 = oct.lattice[row.row0 + xi] as f64;
+            let v10 = oct.lattice[row.row0 + xj] as f64;
+            let v01 = oct.lattice[row.row1 + xi] as f64;
+            let v11 = oct.lattice[row.row1 + xj] as f64;
+            let sm_tx = smooth(tx);
+            let top = v00 + (v10 - v00) * sm_tx;
+            let bot = v01 + (v11 - v01) * sm_tx;
+            acc += (top + (bot - top) * row.sm_ty) / 128.0 * oct.amplitude;
+        }
+        acc
+    }
+}
+
+/// Upper bound on the octave count: `2 + (8.0 * 0.6).round()`.
+const MAX_OCTAVES: usize = 8;
+
+/// The y-dependent half of one octave's bilinear sample, hoisted out of
+/// the pixel loop by [`NoiseField::row_state`].
+#[derive(Debug, Clone, Copy, Default)]
+struct OctaveRow {
+    /// Lattice offset of the row containing the sample point.
+    row0: usize,
+    /// Lattice offset of the row below (wrapped).
+    row1: usize,
+    /// `smooth(ty)` — the vertical interpolation weight.
+    sm_ty: f64,
 }
 
 #[inline]
@@ -222,18 +285,36 @@ impl Sprite {
             .collect()
     }
 
-    /// Sprite-local sample value at frame `t`, if `(x, y)` lies inside it.
-    fn sample(&self, x: usize, y: usize, t: usize, frame_w: usize, frame_h: usize) -> Option<i32> {
+    /// Top-left corner at frame `t`, wrapped to the frame. Depends only on
+    /// `(sprite, t)`, so the render loop computes it once per frame
+    /// instead of once per pixel.
+    fn position(&self, t: usize, frame_w: usize, frame_h: usize) -> (usize, usize) {
         let px = (self.x0 + self.vx * t as f64).rem_euclid(frame_w as f64) as usize;
         let py = (self.y0 + self.vy * t as f64).rem_euclid(frame_h as f64) as usize;
+        (px, py)
+    }
+
+    /// Sprite-local sample value at frame `t`, if `(x, y)` lies inside it
+    /// — the reference form of the hoisted `position` + `texel` pair the
+    /// render loop uses, kept for the equivalence test.
+    #[cfg(test)]
+    fn sample(&self, x: usize, y: usize, t: usize, frame_w: usize, frame_h: usize) -> Option<i32> {
+        let (px, py) = self.position(t, frame_w, frame_h);
         let dx = (x + frame_w - px) % frame_w;
         let dy = (y + frame_h - py) % frame_h;
         if dx < self.w && dy < self.h {
-            let tex = hash2(self.texture_seed, (dx / 2) as u64, (dy / 2) as u64);
-            Some(self.tone + (tex % 33) as i32 - 16)
+            Some(self.texel(dx, dy))
         } else {
             None
         }
+    }
+
+    /// Texture value at sprite-local offset `(dx, dy)` (callers have
+    /// already established `dx < self.w && dy < self.h`).
+    #[inline]
+    fn texel(&self, dx: usize, dy: usize) -> i32 {
+        let tex = hash2(self.texture_seed, (dx / 2) as u64, (dy / 2) as u64);
+        self.tone + (tex % 33) as i32 - 16
     }
 }
 
@@ -256,16 +337,31 @@ fn render_luma(
     p: &SynthParams,
 ) {
     let (w, h) = (plane.width(), plane.height());
+    // Sprite positions depend only on the frame index; the per-row pass
+    // below then keeps just the sprites whose vertical span covers the
+    // row, in their original order (overlap blending is order-sensitive).
+    let positions: Vec<(usize, usize)> = sprites.iter().map(|s| s.position(t, w, h)).collect();
+    let mut row_sprites: Vec<(&Sprite, usize, usize)> = Vec::with_capacity(sprites.len());
     for y in 0..h {
+        row_sprites.clear();
+        for (s, &(px, py)) in sprites.iter().zip(&positions) {
+            let dy = (y + h - py) % h;
+            if dy < s.h {
+                row_sprites.push((s, px, dy));
+            }
+        }
+        let (rows, n) = field.row_state(y as f64 + motion.1);
+        let rows = &rows[..n];
         for x in 0..w {
-            let mut v = 128.0 + field.sample(x as f64 + motion.0, y as f64 + motion.1);
+            let mut v = 128.0 + field.sample_in_row(x as f64 + motion.0, rows);
             if matches!(p.class, SceneClass::Screen) {
                 v = screen_overlay(v, x, y, p);
             }
             let mut vi = v as i32;
-            for s in sprites {
-                if let Some(sv) = s.sample(x, y, t, w, h) {
-                    vi = 128 + sv + (vi - 128) / 4;
+            for &(s, px, dy) in &row_sprites {
+                let dx = (x + w - px) % w;
+                if dx < s.w {
+                    vi = 128 + s.texel(dx, dy) + (vi - 128) / 4;
                 }
             }
             plane.set(x, y, vi.clamp(0, 255) as u8);
@@ -309,9 +405,10 @@ fn render_chroma(
         _ => 0.5,
     };
     for y in 0..plane.height() {
+        let (rows, count) = field.row_state(y as f64 * 2.0 + motion.1);
+        let rows = &rows[..count];
         for x in 0..plane.width() {
-            let n =
-                field.sample(x as f64 * 2.0 + motion.0 + bias as f64, y as f64 * 2.0 + motion.1);
+            let n = field.sample_in_row(x as f64 * 2.0 + motion.0 + bias as f64, rows);
             let v = 128.0 + n * chroma_gain + (bias - 49) as f64 * 0.2;
             plane.set(x, y, (v as i32).clamp(0, 255) as u8);
         }
@@ -399,6 +496,51 @@ mod tests {
     fn screen_content_is_mostly_static() {
         let screen = params(0.2, SceneClass::Screen).synthesize("s").unwrap();
         assert!(temporal_activity(&screen) < 2.0, "screen content should barely move");
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        // The row-hoisted sampling path used by the render loops must be
+        // bit-identical to the per-point reference form, for any field and
+        // any sample coordinate the renderer can produce.
+        #[test]
+        fn row_state_sampling_is_bit_identical_to_reference(
+            seed in any::<u64>(),
+            entropy in 0.0f64..8.0,
+            x in -4096.0f64..4096.0,
+            y in -4096.0f64..4096.0,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let field = NoiseField::new(&mut rng, entropy);
+            let (rows, n) = field.row_state(y);
+            let fast = field.sample_in_row(x, &rows[..n]);
+            let reference = field.sample(x, y);
+            prop_assert_eq!(fast.to_bits(), reference.to_bits());
+        }
+
+        // The per-frame `position` + per-row span filter + `texel` path
+        // must reproduce the reference per-pixel `Sprite::sample` exactly,
+        // including the None cases the row filter skips.
+        #[test]
+        fn hoisted_sprite_path_matches_reference(
+            seed in any::<u64>(),
+            t in 0usize..64,
+            x in 0usize..128,
+            y in 0usize..96,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let p = params(5.0, SceneClass::Game);
+            let sprites = Sprite::spawn(&mut rng, &p);
+            let (w, h) = (128usize, 96usize);
+            for s in &sprites {
+                let (px, py) = s.position(t, w, h);
+                let dy = (y + h - py) % h;
+                let dx = (x + w - px) % w;
+                let fast = (dy < s.h && dx < s.w).then(|| s.texel(dx, dy));
+                prop_assert_eq!(fast, s.sample(x, y, t, w, h));
+            }
+        }
     }
 
     #[test]
