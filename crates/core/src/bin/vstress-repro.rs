@@ -22,11 +22,31 @@
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::sync::Arc;
+use vstress::cli::{self, FlagSpec};
 use vstress::experiments::{
     catalogue, cbp, crf_sweep, decode_cost, mix, preset_sweep, profile, runtime_quality, threads,
     ExperimentConfig,
 };
 use vstress::{RunStore, Table};
+
+/// Every flag this binary accepts; anything else `--`-prefixed is a
+/// usage error (exit 2), as are missing or flag-like values.
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec::switch("--quick", "quick profile (the default, spelled out)"),
+    FlagSpec::switch("--paper", "full profile (slow; behind EXPERIMENTS.md)"),
+    FlagSpec::switch("--time", "per-experiment wall clock on stderr"),
+    FlagSpec::value("--csv", "DIR", "also write each table as CSV into DIR"),
+    FlagSpec::value("--threads", "N", "encode worker pool size (positive)"),
+    FlagSpec::value("--store", "DIR", "persist results; repeat runs resume"),
+    FlagSpec::switch("--no-store", "disable the store (wins over --store)"),
+];
+
+/// Prints a usage error plus the flag table and exits 2.
+fn usage_error(e: &cli::CliError) -> ! {
+    eprintln!("error: {e}");
+    eprint!("{}", cli::usage("vstress-repro", "[flags] [experiment ids...]", FLAGS));
+    std::process::exit(cli::USAGE_EXIT.into());
+}
 
 /// Every experiment id accepted as a positional argument.
 const EXPERIMENT_IDS: &[&str] = &[
@@ -161,68 +181,42 @@ fn run(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let paper = args.iter().any(|a| a == "--paper");
+    let parsed = match cli::parse(&args, FLAGS) {
+        Ok(p) => p,
+        Err(e) => usage_error(&e),
+    };
+    let paper = parsed.switch("--paper");
     // `--quick` names the default profile explicitly (scripts and CI can
     // state their intent); it only conflicts with `--paper`.
-    if paper && args.iter().any(|a| a == "--quick") {
+    if paper && parsed.switch("--quick") {
         eprintln!("--quick and --paper are mutually exclusive");
-        std::process::exit(1);
+        std::process::exit(cli::USAGE_EXIT.into());
     }
-    let time = args.iter().any(|a| a == "--time");
-    let csv_dir: Option<PathBuf> =
-        args.iter().position(|a| a == "--csv").and_then(|i| args.get(i + 1)).map(PathBuf::from);
+    let time = parsed.switch("--time");
+    let csv_dir: Option<PathBuf> = parsed.value("--csv").map(PathBuf::from);
     if let Some(dir) = &csv_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
             std::process::exit(1);
         }
     }
-    let threads: Option<usize> = args.iter().position(|a| a == "--threads").map(|i| {
-        match args.get(i + 1).map(|v| v.parse::<usize>()) {
-            Some(Ok(n)) if n > 0 => n,
-            _ => {
-                eprintln!("--threads needs a positive integer argument");
-                std::process::exit(1);
-            }
-        }
-    });
-    // `--no-store` (the default) wins over `--store` if both appear.
-    let store_dir: Option<PathBuf> = if args.iter().any(|a| a == "--no-store") {
-        None
-    } else {
-        args.iter().position(|a| a == "--store").map(|i| match args.get(i + 1) {
-            Some(dir) if !dir.starts_with("--") => PathBuf::from(dir),
-            _ => {
-                eprintln!("--store needs a directory argument");
-                std::process::exit(1);
-            }
-        })
+    let threads: Option<usize> = match parsed.parsed("--threads", cli::positive_usize) {
+        Ok(t) => t,
+        Err(e) => usage_error(&e),
     };
-    let mut positional: Vec<String> = Vec::new();
-    let mut skip_next = false;
-    for a in &args {
-        if skip_next {
-            skip_next = false;
-            continue;
-        }
-        if a == "--csv" || a == "--threads" || a == "--store" {
-            skip_next = true;
-            continue;
-        }
-        if !a.starts_with("--") {
-            positional.push(a.clone());
-        }
-    }
+    // `--no-store` (the default) wins over `--store` if both appear.
+    let store_dir: Option<PathBuf> =
+        if parsed.switch("--no-store") { None } else { parsed.value("--store").map(PathBuf::from) };
     let unknown: Vec<&String> =
-        positional.iter().filter(|p| !EXPERIMENT_IDS.contains(&p.as_str())).collect();
+        parsed.positionals.iter().filter(|p| !EXPERIMENT_IDS.contains(&p.as_str())).collect();
     if !unknown.is_empty() {
         for u in &unknown {
             eprintln!("unknown experiment: {u}");
         }
         eprintln!("valid experiments: {}", EXPERIMENT_IDS.join(" "));
-        std::process::exit(1);
+        std::process::exit(cli::USAGE_EXIT.into());
     }
-    let wanted: BTreeSet<String> = positional.into_iter().collect();
+    let wanted: BTreeSet<String> = parsed.positionals.into_iter().collect();
     let mut cfg = if paper { ExperimentConfig::paper() } else { ExperimentConfig::quick() };
     if let Some(n) = threads {
         cfg = cfg.with_threads(n);

@@ -21,7 +21,13 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use vstress::cli::{self, FlagSpec};
 use vstress::codecs::{CodecId, Decoder, Encoder, EncoderParams};
+
+/// The only flag this binary accepts (`trace` subcommand); unknown
+/// `--flags` and missing/flag-like values are usage errors (exit 2).
+const FLAGS: &[FlagSpec] =
+    &[FlagSpec::value("--store", "DIR", "persistent run store (trace, clip: inputs)")];
 use vstress::trace::NullProbe;
 use vstress::video::vbench::{self, FidelityConfig};
 use vstress::video::{y4m, Clip};
@@ -46,19 +52,9 @@ fn load_clip(spec: &str) -> Result<Clip, String> {
     y4m::read_y4m(BufReader::new(file), spec).map_err(|e| e.to_string())
 }
 
-fn run() -> Result<(), String> {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
-    // Extract `--store DIR` (trace only) before positional parsing.
-    let mut store_dir: Option<String> = None;
-    let mut args: Vec<String> = Vec::new();
-    let mut it = raw.into_iter();
-    while let Some(a) = it.next() {
-        if a == "--store" {
-            store_dir = Some(it.next().ok_or("--store needs a directory argument")?);
-        } else {
-            args.push(a);
-        }
-    }
+fn run(parsed: &cli::Parsed) -> Result<(), String> {
+    let store_dir: Option<String> = parsed.value("--store").map(str::to_owned);
+    let args = &parsed.positionals;
     match args.first().map(String::as_str) {
         Some("encode") => {
             let input = args.get(1).ok_or("encode needs an input")?;
@@ -187,7 +183,16 @@ fn run() -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    match run() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match cli::parse(&raw, FLAGS) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{}", cli::usage("vstress-transcode", "<encode|decode|info|trace> ...", FLAGS));
+            return ExitCode::from(cli::USAGE_EXIT);
+        }
+    };
+    match run(&parsed) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

@@ -1,0 +1,261 @@
+//! Shared command-line parsing for the `vstress-*` binaries.
+//!
+//! The binaries used to hand-roll `args.iter().position(..)` scans,
+//! which silently accepted two classes of bad invocation:
+//!
+//! * a value flag followed by another flag or nothing — `--csv
+//!   --threads 4` happily created a directory named `--threads`, and a
+//!   trailing `--csv` was ignored;
+//! * an unknown flag — the typo `--thread 4` (or `--paperr`) was
+//!   skipped entirely, so the run silently did something other than
+//!   what was asked.
+//!
+//! [`parse`] rejects both: every `--flag` must be declared in the
+//! binary's [`FlagSpec`] table, and a flag declared as value-taking
+//! must be followed by a value that is not itself `--`-prefixed.
+//! Errors render with a usage block listing the valid flags, and the
+//! binaries exit with code [`USAGE_EXIT`] (2, the conventional usage
+//! error) so tests can tell parse failures from runtime failures.
+
+/// Exit code for command-line usage errors (distinct from runtime
+/// failures, which exit 1).
+pub const USAGE_EXIT: u8 = 2;
+
+/// One flag a binary accepts.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagSpec {
+    /// The flag including the leading dashes, e.g. `--store`.
+    pub name: &'static str,
+    /// Placeholder for the value in usage output (`""` for switches).
+    pub value: &'static str,
+    /// One-line help shown in the usage block.
+    pub help: &'static str,
+}
+
+impl FlagSpec {
+    /// A boolean switch (takes no value).
+    pub const fn switch(name: &'static str, help: &'static str) -> Self {
+        FlagSpec { name, value: "", help }
+    }
+
+    /// A flag taking one value (named `value` in usage output).
+    pub const fn value(name: &'static str, value: &'static str, help: &'static str) -> Self {
+        FlagSpec { name, value, help }
+    }
+
+    fn takes_value(&self) -> bool {
+        !self.value.is_empty()
+    }
+}
+
+/// A parse failure, rendered with enough context to fix the invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// A `--flag` not in the binary's spec table.
+    Unknown {
+        /// The offending argument.
+        flag: String,
+        /// Space-joined list of valid flags.
+        valid: String,
+    },
+    /// A value flag at the end of the line, or followed by another
+    /// `--`-prefixed token.
+    MissingValue {
+        /// The flag missing its value.
+        flag: String,
+        /// Its value placeholder (e.g. `DIR`).
+        value: &'static str,
+    },
+    /// A value that parsed but failed the flag's validation.
+    BadValue {
+        /// The flag whose value was rejected.
+        flag: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Unknown { flag, valid } => {
+                write!(f, "unknown flag: {flag}\nvalid flags: {valid}")
+            }
+            CliError::MissingValue { flag, value } => {
+                write!(f, "{flag} needs a {value} argument (flag-like values are rejected)")
+            }
+            CliError::BadValue { flag, detail } => write!(f, "invalid value for {flag}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The parsed command line: flag values (first occurrence wins, like
+/// the previous `position()`-based scans), switches seen, and the
+/// non-flag positionals in order.
+#[derive(Debug, Clone, Default)]
+pub struct Parsed {
+    values: Vec<(&'static str, String)>,
+    switches: Vec<&'static str>,
+    /// Arguments that are not flags (or flag values), in order.
+    pub positionals: Vec<String>,
+}
+
+impl Parsed {
+    /// Whether `name` appeared as a switch.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(&name)
+    }
+
+    /// The value of `name`, if the flag appeared.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The value of `name` run through `parse`, with parse failures
+    /// reported as [`CliError::BadValue`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] when the value fails `parse`.
+    pub fn parsed<T, E: std::fmt::Display>(
+        &self,
+        name: &str,
+        parse: impl FnOnce(&str) -> Result<T, E>,
+    ) -> Result<Option<T>, CliError> {
+        match self.value(name) {
+            None => Ok(None),
+            Some(raw) => parse(raw).map(Some).map_err(|e| CliError::BadValue {
+                flag: name.to_owned(),
+                detail: format!("{raw:?}: {e}"),
+            }),
+        }
+    }
+}
+
+/// Parses `args` (without the program name) against `flags`.
+///
+/// # Errors
+///
+/// Returns [`CliError::Unknown`] for any `--`-prefixed argument not in
+/// `flags`, and [`CliError::MissingValue`] for a value flag whose next
+/// argument is absent or itself `--`-prefixed.
+pub fn parse(args: &[String], flags: &[FlagSpec]) -> Result<Parsed, CliError> {
+    let mut out = Parsed::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if !arg.starts_with("--") {
+            out.positionals.push(arg.clone());
+            continue;
+        }
+        let spec = flags.iter().find(|f| f.name == arg).ok_or_else(|| CliError::Unknown {
+            flag: arg.clone(),
+            valid: flags.iter().map(|f| f.name).collect::<Vec<_>>().join(" "),
+        })?;
+        if !spec.takes_value() {
+            out.switches.push(spec.name);
+            continue;
+        }
+        match it.next() {
+            Some(v) if !v.starts_with("--") => out.values.push((spec.name, v.clone())),
+            _ => {
+                return Err(CliError::MissingValue { flag: arg.clone(), value: spec.value });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the usage block: one `usage:` line plus one line per flag.
+pub fn usage(binary: &str, synopsis: &str, flags: &[FlagSpec]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("usage: {binary} {synopsis}\n");
+    for f in flags {
+        let left =
+            if f.takes_value() { format!("{} {}", f.name, f.value) } else { f.name.to_owned() };
+        let _ = writeln!(out, "  {left:<18} {}", f.help);
+    }
+    out
+}
+
+/// Parses a strictly positive integer — the shared validator for
+/// `--threads`-style flags.
+///
+/// # Errors
+///
+/// Returns a description when the value is not a positive integer.
+pub fn positive_usize(raw: &str) -> Result<usize, String> {
+    match raw.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err("expected a positive integer".to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FLAGS: &[FlagSpec] = &[
+        FlagSpec::switch("--quick", "quick profile"),
+        FlagSpec::value("--csv", "DIR", "write CSVs into DIR"),
+        FlagSpec::value("--threads", "N", "worker threads"),
+    ];
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn happy_path_splits_flags_values_positionals() {
+        let p = parse(&args(&["fig01", "--quick", "--csv", "out", "fig05"]), FLAGS).unwrap();
+        assert!(p.switch("--quick"));
+        assert_eq!(p.value("--csv"), Some("out"));
+        assert_eq!(p.value("--threads"), None);
+        assert_eq!(p.positionals, vec!["fig01", "fig05"]);
+    }
+
+    #[test]
+    fn flag_like_value_is_rejected() {
+        let e = parse(&args(&["--csv", "--threads", "4"]), FLAGS).unwrap_err();
+        assert_eq!(e, CliError::MissingValue { flag: "--csv".into(), value: "DIR" });
+    }
+
+    #[test]
+    fn trailing_value_flag_is_rejected() {
+        let e = parse(&args(&["fig01", "--csv"]), FLAGS).unwrap_err();
+        assert!(matches!(e, CliError::MissingValue { .. }));
+    }
+
+    #[test]
+    fn unknown_flag_lists_valid_ones() {
+        let e = parse(&args(&["--thread", "4"]), FLAGS).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("unknown flag: --thread"), "{msg}");
+        assert!(msg.contains("--threads"), "{msg}");
+    }
+
+    #[test]
+    fn first_occurrence_wins() {
+        let p = parse(&args(&["--csv", "a", "--csv", "b"]), FLAGS).unwrap();
+        assert_eq!(p.value("--csv"), Some("a"));
+    }
+
+    #[test]
+    fn parsed_validates() {
+        let p = parse(&args(&["--threads", "4"]), FLAGS).unwrap();
+        assert_eq!(p.parsed("--threads", positive_usize).unwrap(), Some(4));
+        let p = parse(&args(&["--threads", "0"]), FLAGS).unwrap();
+        assert!(matches!(p.parsed("--threads", positive_usize), Err(CliError::BadValue { .. })));
+        let p = parse(&args(&["--threads", "x"]), FLAGS).unwrap();
+        assert!(p.parsed("--threads", positive_usize).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let u = usage("vstress-x", "[flags]", FLAGS);
+        for f in FLAGS {
+            assert!(u.contains(f.name), "{u}");
+        }
+    }
+}

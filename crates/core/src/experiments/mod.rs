@@ -34,14 +34,9 @@ pub mod profile;
 pub mod runtime_quality;
 pub mod threads;
 
-use crate::exec::{RunCache, RunStore};
+use crate::exec::{default_threads, RunCache, RunStore};
 use std::sync::Arc;
 use vstress_video::vbench::FidelityConfig;
-
-/// The executor's default worker-thread count: every available core.
-fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
 
 /// Scale knobs shared by every experiment runner.
 #[derive(Debug, Clone)]

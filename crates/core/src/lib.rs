@@ -18,7 +18,10 @@
 //!   model;
 //! * [`vstress_sched`] — the thread-scalability engine;
 //! * [`experiments`] — `fig01` … `fig16` and `table1`/`table2` runners
-//!   that print the same rows/series the paper reports.
+//!   that print the same rows/series the paper reports;
+//! * [`serve`] — the long-running encode service: staged pipeline with
+//!   bounded queues and backpressure under deterministic synthetic
+//!   traffic (`vstress-serve`).
 //!
 //! # Quickstart
 //!
@@ -35,13 +38,16 @@
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod cli;
 pub mod exec;
 pub mod experiments;
 pub mod runtime;
+pub mod serve;
 pub mod table;
 pub mod workbench;
 
 pub use exec::{BranchWindow, RunCache, RunCacheStats, RunStore, StoreStats, SCHEMA_VERSION};
+pub use serve::{ServeConfig, ServeReport, TrafficConfig};
 pub use table::Table;
 pub use workbench::{characterize, CharacterizationRun, RunSpec};
 

@@ -1,0 +1,111 @@
+//! Service-level metrics: latency percentiles, throughput, gauges.
+//!
+//! Two classes of numbers come out of a serve run and they must not be
+//! mixed, because the repo's contract is a byte-comparable stdout:
+//!
+//! * **Deterministic** — per-job encode results (bits, PSNR, retired
+//!   instructions) and the *modeled* service time (the pipeline model's
+//!   seconds for the job's instruction stream). Pure functions of the
+//!   job spec; identical for a fixed traffic seed on every run and at
+//!   every worker count. These back the job-level summary on stdout.
+//! * **Wall-clock** — measured sojourn latency (ingress-enqueue →
+//!   egress), throughput, and queue-depth high-water marks. Genuinely
+//!   racy (they are the point of running a live pipeline), so they are
+//!   reported on stderr where runs are not diffed.
+//!
+//! Percentiles use the nearest-rank definition (ceil(p·n)-th of the
+//!   sorted sample) — exact, allocation-light, and stable for the small
+//!   samples a smoke run produces.
+
+/// Nearest-rank percentile of an unsorted sample; `None` when empty.
+///
+/// `p` is a fraction in `(0, 1]` — `0.5` is the median.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    assert!(p > 0.0 && p <= 1.0, "percentile fraction out of range: {p}");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+/// The p50/p95/p99 + mean + max digest of one latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl LatencyStats {
+    /// Digest of `values`; `None` when the sample is empty.
+    pub fn from_sample(values: &[f64]) -> Option<Self> {
+        let n = values.len();
+        if n == 0 {
+            return None;
+        }
+        Some(LatencyStats {
+            p50: percentile(values, 0.50).unwrap(),
+            p95: percentile(values, 0.95).unwrap(),
+            p99: percentile(values, 0.99).unwrap(),
+            mean: values.iter().sum::<f64>() / n as f64,
+            max: values.iter().fold(f64::MIN, |a, &b| a.max(b)),
+        })
+    }
+
+    /// The stable one-line rendering used by both summary channels,
+    /// e.g. `p50=1.234 p95=2.345 p99=2.345 mean=1.500 max=2.345`.
+    pub fn render_ms(&self) -> String {
+        format!(
+            "p50={:.3} p95={:.3} p99={:.3} mean={:.3} max={:.3}",
+            self.p50, self.p95, self.p99, self.mean, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.50), Some(50.0));
+        assert_eq!(percentile(&v, 0.95), Some(95.0));
+        assert_eq!(percentile(&v, 0.99), Some(99.0));
+        assert_eq!(percentile(&v, 1.0), Some(100.0));
+        // Unsorted input is handled.
+        let v = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&v, 0.5), Some(2.0));
+        assert_eq!(percentile(&v, 0.01), Some(1.0));
+        let empty: &[f64] = &[];
+        assert_eq!(percentile(empty, 0.5), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencyStats::from_sample(&[7.5]).unwrap();
+        assert_eq!((s.p50, s.p95, s.p99, s.mean, s.max), (7.5, 7.5, 7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn render_is_stable() {
+        let s = LatencyStats::from_sample(&[1.0, 2.0, 4.0, 8.0]).unwrap();
+        assert_eq!(s.render_ms(), "p50=2.000 p95=8.000 p99=8.000 mean=3.750 max=8.000");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_percentile_panics() {
+        let _ = percentile(&[1.0], 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Bounded MPMC queues with explicit backpressure.
+//!
+//! Every stage boundary in the serve pipeline is a [`Bounded`] queue:
+//! a `Mutex<VecDeque>` plus two condvars, a hard capacity, and a
+//! closed flag for shutdown cascades. The interesting policy decision —
+//! *block* the producer or *reject* the item when the queue is full —
+//! is made by the caller by choosing [`Bounded::push`] versus
+//! [`Bounded::try_push`]; the queue itself only enforces the bound and
+//! keeps occupancy accounting (current depth, high-water mark,
+//! cumulative push/pop/reject counts) that the metrics layer reports
+//! per stage.
+//!
+//! Closing is one-way and idempotent: after [`Bounded::close`],
+//! producers get their item back and consumers drain what remains, so
+//! a stage can shut its successor down simply by closing the queue
+//! between them once its own input is exhausted.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a non-blocking push did not enqueue. The item is handed back so
+/// the caller can shed it with a reason instead of losing it.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the caller should shed the item (or
+    /// retry later — this queue never blocks inside `try_push`).
+    Full(T),
+    /// The queue was closed; no further items will ever be accepted.
+    Closed(T),
+}
+
+/// Occupancy snapshot of one queue, for the per-stage gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Hard capacity the queue was created with.
+    pub capacity: usize,
+    /// Items currently enqueued.
+    pub depth: usize,
+    /// High-water mark of `depth` over the queue's lifetime.
+    pub max_depth: usize,
+    /// Items accepted (by either push flavour).
+    pub pushed: u64,
+    /// Items handed to consumers.
+    pub popped: u64,
+    /// `try_push` attempts bounced because the queue was full.
+    pub rejected: u64,
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+    max_depth: usize,
+    pushed: u64,
+    popped: u64,
+    rejected: u64,
+}
+
+/// A bounded multi-producer/multi-consumer queue (see module docs).
+#[derive(Debug)]
+pub struct Bounded<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Bounded<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity queue can never
+    /// transfer an item.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        Bounded {
+            capacity,
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+                max_depth: 0,
+                pushed: 0,
+                popped: 0,
+                rejected: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    fn enqueue_locked(&self, state: &mut State<T>, item: T) {
+        state.items.push_back(item);
+        state.pushed += 1;
+        state.max_depth = state.max_depth.max(state.items.len());
+        self.not_empty.notify_one();
+    }
+
+    /// Blocking push: waits for space (backpressure), returning the
+    /// item as `Err` only if the queue is (or becomes) closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.closed {
+                return Err(item);
+            }
+            if state.items.len() < self.capacity {
+                self.enqueue_locked(&mut state, item);
+                return Ok(());
+            }
+            state = self.not_full.wait(state).unwrap();
+        }
+    }
+
+    /// Non-blocking push: enqueues if there is space, otherwise hands
+    /// the item back as [`PushError::Full`] (counted as a rejection) or
+    /// [`PushError::Closed`].
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.state.lock().unwrap();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            state.rejected += 1;
+            return Err(PushError::Full(item));
+        }
+        self.enqueue_locked(&mut state, item);
+        Ok(())
+    }
+
+    /// Blocking pop: waits for an item, returning `None` only once the
+    /// queue is closed *and* fully drained — consumers never lose
+    /// queued work to a shutdown.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                state.popped += 1;
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Closes the queue: future pushes fail, and consumers see `None`
+    /// once the remaining items are drained. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        // Wake everyone: blocked producers must give up, blocked
+        // consumers must drain-and-exit.
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently enqueued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Occupancy snapshot for the per-stage gauges.
+    pub fn stats(&self) -> QueueStats {
+        let state = self.state.lock().unwrap();
+        QueueStats {
+            capacity: self.capacity,
+            depth: state.items.len(),
+            max_depth: state.max_depth,
+            pushed: state.pushed,
+            popped: state.popped,
+            rejected: state.rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order_and_stats() {
+        let q = Bounded::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.depth(), 4);
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        let s = q.stats();
+        assert_eq!((s.pushed, s.popped, s.rejected), (4, 4, 0));
+        assert_eq!(s.max_depth, 4);
+        assert_eq!(s.depth, 0);
+    }
+
+    #[test]
+    fn try_push_rejects_exactly_past_capacity() {
+        let q = Bounded::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.try_push(4), Err(PushError::Full(4)));
+        assert_eq!(q.stats().rejected, 2);
+        // Draining one slot re-opens exactly one.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(5).is_ok());
+        assert_eq!(q.try_push(6), Err(PushError::Full(6)));
+    }
+
+    #[test]
+    fn close_rejects_producers_and_drains_consumers() {
+        let q = Bounded::new(4);
+        q.push("a").unwrap();
+        q.close();
+        assert_eq!(q.push("b"), Err("b"));
+        assert_eq!(q.try_push("c"), Err(PushError::Closed("c")));
+        // The queued item survives the close…
+        assert_eq!(q.pop(), Some("a"));
+        // …and only then does the consumer see end-of-stream.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop(), None, "close is sticky");
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Bounded::new(1);
+        q.push(0u32).unwrap();
+        let popped = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                // Blocks until the main thread pops.
+                q.push(1).unwrap();
+            });
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            assert_eq!(q.pop(), Some(0));
+            popped.fetch_add(1, Ordering::Relaxed);
+            assert_eq!(q.pop(), Some(1));
+        });
+        assert_eq!(q.stats().pushed, 2);
+    }
+
+    #[test]
+    fn close_unblocks_a_waiting_producer() {
+        let q = Bounded::new(1);
+        q.push(0u32).unwrap();
+        std::thread::scope(|s| {
+            let h = s.spawn(|| q.push(1));
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+            assert_eq!(h.join().unwrap(), Err(1), "closed queue returns the item");
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = Bounded::<u8>::new(0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Deterministic synthetic traffic: a seeded arrival process over a
+//! realistic job mix.
+//!
+//! A datacenter encode tier does not see a CRF sweep; it sees a stream
+//! of jobs drawn from a stable distribution — an ABR resolution ladder,
+//! a quality/preset policy, a codec split skewed toward the cheap
+//! incumbents with a growing AV1 share. [`generate`] samples exactly
+//! that shape from a single seed: every draw (inter-arrival gap, clip,
+//! codec, quality tier, preset, ladder rung) comes from one
+//! `SmallRng`, so a fixed seed yields a byte-identical job list on
+//! every run — the property the service's job-level summary (and the
+//! CI smoke) relies on.
+//!
+//! Arrivals are a Poisson-like process: exponential inter-arrival gaps
+//! around [`TrafficConfig::mean_gap_us`]. The timestamps are *virtual*
+//! (microseconds since traffic start); the server decides whether to
+//! pace against them in real time (`--pace`) or inject as fast as the
+//! ingress queue accepts (`--pace 0`, the deterministic CI mode).
+
+use crate::workbench::{equivalent_params, RunSpec};
+use rand::{Rng, SeedableRng, SmallRng};
+use vstress_codecs::CodecId;
+use vstress_video::vbench::FidelityConfig;
+
+/// Clip popularity: a handful of catalogue clips with a skew toward
+/// screen content and gaming, the segments the paper calls out as
+/// growth drivers.
+const CLIP_MIX: &[(&str, u32)] =
+    &[("desktop", 25), ("game1", 20), ("bike", 15), ("cat", 15), ("hall", 15), ("chicken", 10)];
+
+/// Codec split: x264 still carries most traffic, AV1 (SVT) is the
+/// growing premium tier, libaom a trickle (too slow to serve widely —
+/// the paper's headline observation).
+const CODEC_MIX: &[(CodecId, u32)] = &[
+    (CodecId::X264, 35),
+    (CodecId::SvtAv1, 25),
+    (CodecId::X265, 20),
+    (CodecId::LibvpxVp9, 15),
+    (CodecId::Libaom, 5),
+];
+
+/// Quality tiers as AV1-basis CRF points (normalized per codec family
+/// by [`equivalent_params`]); mid-quality dominates.
+const CRF_MIX: &[(u8, u32)] = &[(20, 10), (30, 25), (40, 35), (50, 20), (60, 10)];
+
+/// Preset tiers (AV1 basis, 8 = fastest): services run fast presets for
+/// the long tail and slower ones for premium titles.
+const PRESET_MIX: &[(u8, u32)] = &[(8, 50), (6, 30), (4, 20)];
+
+/// One weighted draw from `table`. Weights are integers so the sampling
+/// path stays free of float round-off.
+fn pick<T: Copy>(rng: &mut SmallRng, table: &[(T, u32)]) -> T {
+    let total: u32 = table.iter().map(|(_, w)| w).sum();
+    let mut roll = rng.gen_range(0..total);
+    for &(value, weight) in table {
+        if roll < weight {
+            return value;
+        }
+        roll -= weight;
+    }
+    unreachable!("roll < sum of weights")
+}
+
+/// Knobs of the synthetic arrival process.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Seed for every random draw; same seed ⇒ identical job list.
+    pub seed: u64,
+    /// Number of jobs to generate.
+    pub jobs: usize,
+    /// Mean exponential inter-arrival gap, in virtual microseconds.
+    pub mean_gap_us: u64,
+    /// Frames synthesized per clip (fidelity knob; smaller = cheaper).
+    pub frame_count: usize,
+    /// The resolution ladder as `(dimension_divisor, weight)` rungs —
+    /// divisor 8 is the "1080p-class" top rung of the quick fidelity
+    /// scale, 64 the cheapest bottom rung. Divisors must be powers of
+    /// two ≤ 64: the scaled cache hierarchy
+    /// (`HierarchyConfig::broadwell_scaled`) rejects anything else.
+    pub ladder: Vec<(usize, u32)>,
+}
+
+impl TrafficConfig {
+    /// The quick profile: cheap rungs only and short clips, so a smoke
+    /// run (CI, tests) finishes in seconds.
+    pub fn quick(seed: u64, jobs: usize) -> Self {
+        TrafficConfig {
+            seed,
+            jobs,
+            mean_gap_us: 50_000,
+            frame_count: 4,
+            ladder: vec![(16, 40), (32, 35), (64, 25)],
+        }
+    }
+
+    /// The standard profile: the full ladder including the expensive
+    /// top rungs, at the workbench's default frame count.
+    pub fn standard(seed: u64, jobs: usize) -> Self {
+        TrafficConfig {
+            seed,
+            jobs,
+            mean_gap_us: 200_000,
+            frame_count: 8,
+            ladder: vec![(8, 10), (16, 30), (32, 35), (64, 25)],
+        }
+    }
+}
+
+/// One job drawn from the mix: what arrives at the service's ingress.
+///
+/// CRF and preset are stored on the AV1 basis the sweep experiments
+/// use; [`JobSpec::run_spec`] normalizes them per codec family, exactly
+/// like the paper's cross-codec comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Sequential id, in arrival order.
+    pub id: u64,
+    /// Virtual arrival time, microseconds since traffic start.
+    pub arrival_us: u64,
+    /// Catalogue clip name.
+    pub clip: &'static str,
+    /// Target codec.
+    pub codec: CodecId,
+    /// Quality point (AV1-basis CRF, 0–63).
+    pub crf: u8,
+    /// Speed point (AV1-basis preset, 0 slow – 8 fast).
+    pub preset: u8,
+    /// Ladder rung: dimension divisor applied to the clip's native
+    /// resolution (also used as the cache-hierarchy scale divisor).
+    pub divisor: usize,
+    /// Frames to synthesize.
+    pub frames: usize,
+}
+
+impl JobSpec {
+    /// The characterization spec this job runs as. Uses the workbench's
+    /// shared fidelity seed, so a `--store` warmed by `vstress-repro`
+    /// at the same divisor/frame-count serves these jobs too.
+    pub fn run_spec(&self) -> RunSpec {
+        RunSpec {
+            clip: self.clip,
+            codec: self.codec,
+            params: equivalent_params(self.codec, self.crf, self.preset),
+            fidelity: FidelityConfig {
+                dimension_divisor: self.divisor,
+                frame_count: self.frames,
+                ..FidelityConfig::default()
+            },
+            cache_divisor: self.divisor,
+            model_pipeline: true,
+        }
+    }
+
+    /// The stable one-line description used by the job-level summary
+    /// (codec-native CRF/preset, i.e. what the encoder actually ran).
+    pub fn describe(&self) -> String {
+        let p = equivalent_params(self.codec, self.crf, self.preset);
+        format!(
+            "clip={} codec={} crf={} preset={} div={} frames={} arr_us={}",
+            self.clip, self.codec, p.crf, p.preset, self.divisor, self.frames, self.arrival_us
+        )
+    }
+
+    /// The fields that determine the encode result — the dedup key for
+    /// cache prewarming ([`crate::serve::unique_specs`]).
+    pub fn work_key(&self) -> (&'static str, CodecId, u8, u8, usize, usize) {
+        (self.clip, self.codec, self.crf, self.preset, self.divisor, self.frames)
+    }
+}
+
+/// Samples the full arrival schedule for `cfg` (see module docs).
+///
+/// # Panics
+///
+/// Panics if the ladder is empty or a rung's divisor is not a power of
+/// two ≤ 64 — failing here, before any job is admitted, beats a panic
+/// deep inside an encode worker.
+pub fn generate(cfg: &TrafficConfig) -> Vec<JobSpec> {
+    assert!(!cfg.ladder.is_empty(), "traffic needs at least one ladder rung");
+    for &(div, _) in &cfg.ladder {
+        assert!(
+            div.is_power_of_two() && div <= 64,
+            "ladder divisor {div} must be a power of two <= 64 (cache scaling requires it)"
+        );
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut at_us: u64 = 0;
+    (0..cfg.jobs as u64)
+        .map(|id| {
+            // Exponential gap via inverse transform; u < 1 keeps ln finite.
+            let u: f64 = rng.gen();
+            let gap = -(1.0 - u).ln() * cfg.mean_gap_us as f64;
+            at_us = at_us.saturating_add(gap as u64);
+            JobSpec {
+                id,
+                arrival_us: at_us,
+                clip: pick(&mut rng, CLIP_MIX),
+                codec: pick(&mut rng, CODEC_MIX),
+                crf: pick(&mut rng, CRF_MIX),
+                preset: pick(&mut rng, PRESET_MIX),
+                divisor: pick(&mut rng, &cfg.ladder),
+                frames: cfg.frame_count,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_traffic() {
+        let cfg = TrafficConfig::quick(42, 64);
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = TrafficConfig::quick(43, 64);
+        assert_ne!(generate(&cfg), generate(&other), "seed must matter");
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_mix_is_diverse() {
+        let jobs = generate(&TrafficConfig::quick(7, 256));
+        assert_eq!(jobs.len(), 256);
+        for pair in jobs.windows(2) {
+            assert!(pair[0].arrival_us <= pair[1].arrival_us);
+            assert_eq!(pair[0].id + 1, pair[1].id);
+        }
+        let codecs: std::collections::BTreeSet<_> = jobs.iter().map(|j| j.codec).collect();
+        assert!(codecs.len() >= 4, "256 draws should hit most codecs");
+        let rungs: std::collections::BTreeSet<_> = jobs.iter().map(|j| j.divisor).collect();
+        assert_eq!(rungs.len(), 3, "quick ladder has three rungs");
+    }
+
+    #[test]
+    fn run_specs_are_valid_and_normalized() {
+        for job in generate(&TrafficConfig::quick(11, 64)) {
+            let spec = job.run_spec();
+            assert_eq!(spec.fidelity.dimension_divisor, spec.cache_divisor);
+            // The normalized params must satisfy the codec's ranges —
+            // Encoder::new validates, so just build one.
+            assert!(
+                vstress_codecs::Encoder::new(spec.codec, spec.params).is_ok(),
+                "invalid params for {job:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_rungs_survive_cache_scaling() {
+        // Regression: a non-power-of-two rung (the first cut of the
+        // quick ladder had 24) panics inside the scaled cache hierarchy
+        // — in a worker thread, mid-serve. Every profile rung must be
+        // accepted by the scaler up front.
+        for cfg in [TrafficConfig::quick(0, 1), TrafficConfig::standard(0, 1)] {
+            for &(div, _) in &cfg.ladder {
+                let _ = vstress_cache::HierarchyConfig::broadwell_scaled(div);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_ladder_divisor_is_rejected_before_any_job_runs() {
+        let mut cfg = TrafficConfig::quick(0, 4);
+        cfg.ladder = vec![(24, 1)];
+        let _ = generate(&cfg);
+    }
+
+    #[test]
+    fn mean_gap_roughly_matches() {
+        let cfg = TrafficConfig::quick(3, 2000);
+        let jobs = generate(&cfg);
+        let mean = jobs.last().unwrap().arrival_us as f64 / jobs.len() as f64;
+        let expect = cfg.mean_gap_us as f64;
+        assert!(
+            (mean - expect).abs() < expect * 0.2,
+            "empirical mean gap {mean:.0}us vs configured {expect:.0}us"
+        );
+    }
+}

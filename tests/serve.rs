@@ -1,0 +1,149 @@
+//! End-to-end tests of the serve pipeline: fixed-seed determinism,
+//! bounded-queue overload shedding, and graceful drain on shutdown.
+
+use std::process::Command;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use vstress::serve::{generate, serve, IngressPolicy, ServeConfig, TrafficConfig};
+
+/// A cheap job schedule for library-level tests (tiny frames, bottom
+/// ladder rung only).
+fn cheap_jobs(seed: u64, n: usize) -> Vec<vstress::serve::JobSpec> {
+    let mut cfg = TrafficConfig::quick(seed, n);
+    cfg.frame_count = 2;
+    cfg.ladder = vec![(32, 1)];
+    generate(&cfg)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "vstress-serve-test-{tag}-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn overload_sheds_via_bounded_queue_and_still_drains() {
+    let jobs = cheap_jobs(21, 16);
+    let cfg = ServeConfig {
+        workers: 1,
+        ingress_capacity: 1,
+        stage_capacity: 2,
+        ingress: IngressPolicy::Reject,
+        pace: 0.0,
+        ..ServeConfig::default()
+    };
+    let report = serve(&cfg, &jobs, &AtomicBool::new(false));
+    // Unpaced injection against a capacity-1 queue and one worker must
+    // shed: the worker cannot complete 15 encodes in the microseconds
+    // the ingress loop needs to flood the queue.
+    assert!(!report.rejected.is_empty(), "expected overload rejections");
+    for r in &report.rejected {
+        assert!(r.reason.contains("ingress queue full (capacity 1)"), "{}", r.reason);
+    }
+    // Conservation: every offered job is accounted for exactly once.
+    let accepted = report.offered - report.rejected.len() - report.shed_on_shutdown.len();
+    assert_eq!(report.completed.len() + report.failed.len(), accepted);
+    assert!(report.drained, "queues must drain even under overload");
+    // The bound held: the ingress queue never grew past its capacity.
+    assert!(report.gauges.ingress.max_depth <= 1);
+    assert_eq!(report.gauges.ingress.rejected as usize, report.rejected.len());
+}
+
+#[test]
+fn pre_raised_shutdown_sheds_everything_and_drains() {
+    let jobs = cheap_jobs(3, 8);
+    let shutdown = AtomicBool::new(true);
+    let report = serve(&ServeConfig::default(), &jobs, &shutdown);
+    assert_eq!(report.shed_on_shutdown.len(), 8, "nothing may be admitted after shutdown");
+    assert!(report.completed.is_empty());
+    assert!(report.drained);
+}
+
+#[test]
+fn mid_run_shutdown_drains_admitted_work() {
+    // Paced arrivals (~40ms apart) with a shutdown raised mid-schedule:
+    // some jobs are admitted and must complete; the rest are shed.
+    let mut cfg = TrafficConfig::quick(17, 40);
+    cfg.frame_count = 2;
+    cfg.ladder = vec![(32, 1)];
+    cfg.mean_gap_us = 40_000;
+    let jobs = generate(&cfg);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let stopper = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        flag.store(true, Ordering::Release);
+    });
+    let serve_cfg = ServeConfig { workers: 2, pace: 1.0, ..ServeConfig::default() };
+    let report = serve(&serve_cfg, &jobs, &shutdown);
+    stopper.join().unwrap();
+    assert!(report.drained, "graceful shutdown must drain queued work");
+    assert!(!report.shed_on_shutdown.is_empty(), "late arrivals must be shed");
+    let accepted = report.offered - report.shed_on_shutdown.len() - report.rejected.len();
+    assert_eq!(report.completed.len() + report.failed.len(), accepted);
+}
+
+#[test]
+fn serve_binary_fixed_seed_summary_is_deterministic_and_store_resumable() {
+    let bin = env!("CARGO_BIN_EXE_vstress-serve");
+    let store = temp_dir("store");
+    let run = |workers: &str| {
+        Command::new(bin)
+            .args(["--seed", "7", "--jobs", "5", "--workers", workers])
+            .args(["--store", store.to_str().unwrap()])
+            .output()
+            .expect("spawn vstress-serve")
+    };
+    let first = run("2");
+    assert!(first.status.success(), "stderr: {}", String::from_utf8_lossy(&first.stderr));
+    let second = run("1");
+    assert!(second.status.success(), "stderr: {}", String::from_utf8_lossy(&second.stderr));
+    // Same fixed seed ⇒ byte-identical job-level summary, at a
+    // different worker count and from a cold in-process cache.
+    assert_eq!(
+        String::from_utf8_lossy(&first.stdout),
+        String::from_utf8_lossy(&second.stdout),
+        "job-level summary must be deterministic"
+    );
+    let err2 = String::from_utf8_lossy(&second.stderr);
+    assert!(err2.contains("drained cleanly"), "{err2}");
+    // The warm store served every encode: zero store misses.
+    assert!(
+        err2.lines().any(|l| l.contains("store") && l.contains(" hits, 0 misses")),
+        "second run must be store-served: {err2}"
+    );
+    std::fs::remove_dir_all(store).ok();
+}
+
+#[test]
+fn serve_binary_stdin_eof_triggers_graceful_drain() {
+    let bin = env!("CARGO_BIN_EXE_vstress-serve");
+    // 60 paced jobs ~300ms apart would take ~18s; closing stdin after
+    // ~1s must shed the tail and still exit 0 with a clean drain.
+    let mut child = Command::new(bin)
+        .args(["--seed", "9", "--jobs", "60", "--stdin", "--pace", "1"])
+        .args(["--mean-gap-ms", "300", "--workers", "2"])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn vstress-serve");
+    std::thread::sleep(std::time::Duration::from_millis(1000));
+    drop(child.stdin.take()); // EOF = shutdown request
+    let out = child.wait_with_output().expect("wait for vstress-serve");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr: {err}");
+    assert!(err.contains("drained cleanly"), "{err}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let shed: usize = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("shed "))
+        .expect("summary has a shed line")
+        .parse()
+        .unwrap();
+    assert!(shed > 0, "the tail of the schedule must have been shed:\n{stdout}");
+}
