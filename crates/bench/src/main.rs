@@ -346,6 +346,33 @@ fn main() {
         black_box(harness::run_per_record(p.as_mut(), black_box(&trace), 1_000_000));
     }));
 
+    // Intra-encode tile parallelism: one dead-probe SVT-AV1 encode at 1
+    // vs 4 tile workers. The artifacts are identical by the probe-merge
+    // contract; only the partition-planning wall clock may differ, and
+    // this pair makes the phase-A speedup (or single-core overhead)
+    // visible in the trajectory.
+    let tile_clip = vstress::video::synth::SynthParams {
+        width: 160,
+        height: 96,
+        frame_count: 2,
+        fps: 30.0,
+        entropy: 4.5,
+        class: vstress::video::synth::SceneClass::Game,
+        seed: 9,
+    }
+    .synthesize("bench-tiles")
+    .expect("even dimensions synthesize");
+    let tile_encoder = vstress::codecs::Encoder::new(CodecId::SvtAv1, EncoderParams::new(35, 6))
+        .expect("valid params");
+    samples.push(time_it("encode_tile_workers_1", 0, target_ms, || {
+        let mut probe = NullProbe;
+        black_box(tile_encoder.encode_with(&tile_clip, &mut probe, 1).expect("encode"));
+    }));
+    samples.push(time_it("encode_tile_workers_4", 0, target_ms, || {
+        let mut probe = NullProbe;
+        black_box(tile_encoder.encode_with(&tile_clip, &mut probe, 4).expect("encode"));
+    }));
+
     // Full quick-profile encode: the hot-kernel profile experiment over the
     // quick configuration, exactly what `vstress-repro profile` runs. This
     // is a counting-only pass (no simulators attached), so it tracks the

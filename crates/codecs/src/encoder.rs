@@ -1,18 +1,20 @@
 //! The top-level encoder: frames in, decodable bitstream + statistics out.
 
+use crate::batch::run_ordered;
 use crate::bitstream::{mode_mask, shape_mask, SequenceHeader};
 use crate::codecs::{CodecId, ToolSet};
 use crate::deblock::deblock_plane;
 use crate::entropy::RangeEncoder;
 use crate::error::CodecError;
 use crate::frame_coder::{
-    code_sb_chroma, code_superblock, plan_superblock, CoderConfig, CoderState, PlanScratch,
+    code_sb_chroma, code_superblock, plan_superblock, CoderConfig, CoderState, NodePlan,
+    PlanScratch,
 };
 use crate::mc::MotionVector;
 use crate::params::{qindex_to_qstep, EncoderParams};
 use crate::params::{MAX_QINDEX, MIN_QINDEX};
-use crate::taskgraph::{FrameTaskTrace, TaskTrace};
-use vstress_trace::{Kernel, Probe};
+use crate::taskgraph::{plan_layout, FrameTaskTrace, PlanLayout, PlanUnit, TaskTrace};
+use vstress_trace::{CountingProbe, Kernel, NullProbe, Probe, RecordingProbe};
 use vstress_video::{Clip, Frame};
 
 /// Result of encoding a clip.
@@ -112,11 +114,49 @@ impl Encoder {
 
     /// Encodes `clip`, reporting all instrumentation through `probe`.
     ///
+    /// Equivalent to [`Encoder::encode_with`] at one tile worker (the
+    /// canonical serial execution).
+    ///
     /// # Errors
     ///
     /// Returns [`CodecError::UnsupportedInput`] for clips that exceed the
     /// header's 16-bit geometry fields.
     pub fn encode<P: Probe>(&self, clip: &Clip, probe: &mut P) -> Result<EncodeResult, CodecError> {
+        self.encode_with(clip, probe, 1)
+    }
+
+    /// Encodes `clip` with the partition search decomposed into the
+    /// codec's tile/wavefront plan units
+    /// ([`plan_layout`](crate::taskgraph::plan_layout)) and executed on
+    /// up to `tile_workers` worker threads.
+    ///
+    /// The result is **worker-count invariant**: every unit records its
+    /// probe events into a private
+    /// [`EventBatch`](vstress_trace::EventBatch) and the batches are
+    /// replayed into `probe` in canonical merge order (tile-major,
+    /// row-major within tile), so the bitstream, the reconstruction, the
+    /// task trace, and the full probe event stream — branch PCs included
+    /// — are byte-identical to the serial encode (pinned by the
+    /// `tile_equivalence` oracle; comparisons across separate encode
+    /// calls go through the model's first-touch page canonicalization,
+    /// since the synthetic allocator hands each encode fresh page
+    /// bases).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodecError::UnsupportedInput`] for clips that exceed the
+    /// header's 16-bit geometry fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_workers` is zero.
+    pub fn encode_with<P: Probe>(
+        &self,
+        clip: &Clip,
+        probe: &mut P,
+        tile_workers: usize,
+    ) -> Result<EncodeResult, CodecError> {
+        assert!(tile_workers > 0, "need at least one tile worker thread");
         let (w, h) = clip.dimensions();
         if w > u16::MAX as usize || h > u16::MAX as usize || clip.frames().len() > u16::MAX as usize
         {
@@ -167,7 +207,6 @@ impl Encoder {
             let padded_src = pad_to_multiple(src, sb);
             let (pw, ph) = (padded_src.width(), padded_src.height());
             let mut recon = Frame::new(pw, ph).map_err(CodecError::Video)?;
-            let mut seed_mv = MotionVector::ZERO;
             let mut frame_trace = FrameTaskTrace::default();
             let lookahead_mark = probe.retired();
             // Rate control: the lookahead measures frame activity and the
@@ -200,21 +239,45 @@ impl Encoder {
             }
             let refs_slice: &[&Frame] = &refs;
 
-            for sy in (0..ph).step_by(sb) {
-                let row_mark = probe.retired();
-                for sx in (0..pw).step_by(sb) {
+            // Phase A — partition search, decomposed into the codec's
+            // tile/wavefront plan units. Planning reads only the source
+            // and the (finalized) references, never this frame's
+            // reconstruction, so units without a seed dependency are
+            // data-independent and can run on worker threads.
+            let sb_cols = pw / sb;
+            let sb_row_count = ph / sb;
+            let layout = plan_layout(self.tools.codec, sb_cols, sb_row_count);
+            let (plan_grid, plan_units) = plan_frame(
+                probe,
+                &self.tools,
+                &cfg,
+                &padded_src,
+                refs_slice,
+                &layout,
+                (sb_cols, sb_row_count),
+                tile_workers,
+                &mut plan_scratch,
+            )?;
+            let mut row_plan_cost = vec![0u64; sb_row_count];
+            for u in &plan_units {
+                row_plan_cost[u.row] += u.cost;
+            }
+            frame_trace.plan_units = plan_units;
+
+            // Phase B — coding: entropy coding, reconstruction and the
+            // adaptive contexts are a single serial chain over the frame
+            // raster (one range coder defines the bitstream), exactly as
+            // before the decomposition.
+            let mut plan_grid = plan_grid;
+            for row in 0..sb_row_count {
+                let code_mark = probe.retired();
+                let sy = row * sb;
+                for col in 0..sb_cols {
+                    let sx = col * sb;
                     let rect =
                         crate::blocks::BlockRect::new(sx, sy, sb.min(pw - sx), sb.min(ph - sy));
-                    let plan = plan_superblock(
-                        probe,
-                        &self.tools,
-                        &cfg,
-                        &padded_src,
-                        refs_slice,
-                        rect,
-                        &mut seed_mv,
-                        &mut plan_scratch,
-                    );
+                    let plan =
+                        plan_grid[row * sb_cols + col].take().expect("every superblock planned");
                     let info = code_superblock(
                         probe,
                         &self.tools,
@@ -238,7 +301,7 @@ impl Encoder {
                         &mut recon,
                     );
                 }
-                frame_trace.sb_rows.push(probe.retired() - row_mark);
+                frame_trace.sb_rows.push(row_plan_cost[row] + (probe.retired() - code_mark));
             }
 
             // In-loop filtering (frame-serial stage).
@@ -282,6 +345,159 @@ impl Encoder {
             bit_accounting: state.bits,
         })
     }
+}
+
+/// Runs Phase A for one frame: plans every superblock, unit by unit
+/// along the layout's chains, and returns the plans (raster-indexed)
+/// plus the measured per-unit costs in canonical order.
+///
+/// Serial execution (one worker, or a single chain) runs the units in
+/// canonical order directly against `probe` — the stream that *defines*
+/// the merge contract. Parallel execution records each unit into a
+/// private [`EventBatch`](vstress_trace::EventBatch) on its worker (a
+/// live thread-local probe, so the leaf memo stays bypassed exactly as
+/// under a live serial probe) and replays the batches into `probe` in
+/// canonical order. Unit costs are retired-counter deltas — a pure
+/// additive function of the event stream — so both paths measure
+/// identical values.
+#[allow(clippy::too_many_arguments)]
+fn plan_frame<P: Probe>(
+    probe: &mut P,
+    tools: &ToolSet,
+    cfg: &CoderConfig,
+    src: &Frame,
+    refs: &[&Frame],
+    layout: &PlanLayout,
+    (sb_cols, sb_rows): (usize, usize),
+    tile_workers: usize,
+    scratch: &mut PlanScratch,
+) -> Result<(Vec<Option<NodePlan>>, Vec<PlanUnit>), CodecError> {
+    let sb = tools.superblock;
+    let (pw, ph) = (src.width(), src.height());
+    let rect_of = |col: usize, row: usize| {
+        crate::blocks::BlockRect::new(
+            col * sb,
+            row * sb,
+            sb.min(pw - col * sb),
+            sb.min(ph - row * sb),
+        )
+    };
+    let mut grid: Vec<Option<NodePlan>> = (0..sb_cols * sb_rows).map(|_| None).collect();
+    let mut units: Vec<PlanUnit> = Vec::with_capacity(layout.chains.len());
+
+    if tile_workers <= 1 || layout.chains.len() <= 1 {
+        for chain in &layout.chains {
+            let mut seed = MotionVector::ZERO;
+            for unit in &chain.units {
+                let mark = probe.retired();
+                for col in unit.cols.clone() {
+                    let plan = plan_superblock(
+                        probe,
+                        tools,
+                        cfg,
+                        src,
+                        refs,
+                        rect_of(col, unit.row),
+                        &mut seed,
+                        scratch,
+                    );
+                    grid[unit.row * sb_cols + col] = Some(plan);
+                }
+                units.push(PlanUnit {
+                    tile: unit.tile,
+                    row: unit.row,
+                    chunk: unit.chunk,
+                    cost: probe.retired() - mark,
+                });
+            }
+        }
+        return Ok((grid, units));
+    }
+
+    let workers = tile_workers.min(layout.chains.len());
+    if probe.is_live() {
+        // Record every unit on its worker, then merge canonically.
+        let per_chain = run_ordered(layout.chains.len(), workers, |ci| {
+            let chain = &layout.chains[ci];
+            let mut local = CountingProbe::new();
+            let mut scratch = PlanScratch::new();
+            let mut seed = MotionVector::ZERO;
+            let mut out = Vec::with_capacity(chain.units.len());
+            for unit in &chain.units {
+                let mut rec = RecordingProbe::new(&mut local);
+                let mut plans = Vec::with_capacity(unit.cols.len());
+                for col in unit.cols.clone() {
+                    plans.push(plan_superblock(
+                        &mut rec,
+                        tools,
+                        cfg,
+                        src,
+                        refs,
+                        rect_of(col, unit.row),
+                        &mut seed,
+                        &mut scratch,
+                    ));
+                }
+                out.push((rec.into_batch(), plans));
+            }
+            Ok::<_, CodecError>(out)
+        })?;
+        for (chain, chain_out) in layout.chains.iter().zip(per_chain) {
+            for (unit, (batch, plans)) in chain.units.iter().zip(chain_out) {
+                let mark = probe.retired();
+                batch.replay(probe);
+                units.push(PlanUnit {
+                    tile: unit.tile,
+                    row: unit.row,
+                    chunk: unit.chunk,
+                    cost: probe.retired() - mark,
+                });
+                for (col, plan) in unit.cols.clone().zip(plans) {
+                    grid[unit.row * sb_cols + col] = Some(plan);
+                }
+            }
+        }
+    } else {
+        // Dead probe: nothing downstream observes events, so skip the
+        // recording entirely — each worker plans under its own dead
+        // probe (the leaf memo is active on both the serial path and
+        // this one, and memoization is exact, so the plans are identical
+        // either way) and unit costs stay zero, matching the serial
+        // retired deltas under a dead probe.
+        let per_chain = run_ordered(layout.chains.len(), workers, |ci| {
+            let chain = &layout.chains[ci];
+            let mut null = NullProbe;
+            let mut scratch = PlanScratch::new();
+            let mut seed = MotionVector::ZERO;
+            let mut out = Vec::with_capacity(chain.units.len());
+            for unit in &chain.units {
+                let mut plans = Vec::with_capacity(unit.cols.len());
+                for col in unit.cols.clone() {
+                    plans.push(plan_superblock(
+                        &mut null,
+                        tools,
+                        cfg,
+                        src,
+                        refs,
+                        rect_of(col, unit.row),
+                        &mut seed,
+                        &mut scratch,
+                    ));
+                }
+                out.push(plans);
+            }
+            Ok::<_, CodecError>(out)
+        })?;
+        for (chain, chain_out) in layout.chains.iter().zip(per_chain) {
+            for (unit, plans) in chain.units.iter().zip(chain_out) {
+                units.push(PlanUnit { tile: unit.tile, row: unit.row, chunk: unit.chunk, cost: 0 });
+                for (col, plan) in unit.cols.clone().zip(plans) {
+                    grid[unit.row * sb_cols + col] = Some(plan);
+                }
+            }
+        }
+    }
+    Ok((grid, units))
 }
 
 /// Frames between golden-reference refreshes.

@@ -4,11 +4,13 @@
 //! SVT-AV1 ≈ 6×, x264 strong, libaom moderate, x265 ≈ 1.3×, and it
 //! attributes the difference to how each encoder *divides work among
 //! threads* ("x265 may spread the workload among its cores unevenly").
-//! This module encodes those structures: the encoder records real
-//! instruction costs for each unit of work ([`TaskTrace`], filled during
-//! the single-threaded instrumented encode), and [`build_task_graph`]
-//! assembles the dependency graph that codec's threading model implies.
-//! `vstress-sched` then schedules the graph on N cores.
+//! This module encodes those structures: [`plan_layout`] defines the
+//! tile/wavefront unit decomposition the encoder *actually executes*
+//! (serially or on `--tile-workers` worker threads), the encoder records
+//! the real instruction cost of every unit ([`TaskTrace::frames`]'
+//! [`FrameTaskTrace::plan_units`]), and [`build_task_graph`] assembles
+//! the dependency graph that codec's threading model implies from those
+//! measured units. `vstress-sched` then schedules the graph on N cores.
 //!
 //! Threading models (from the encoders' documented designs):
 //!
@@ -26,6 +28,7 @@
 //!   stage is serial too: Amdahl caps the speedup near the paper's 1.3×.
 
 use crate::codecs::CodecId;
+use std::ops::Range;
 
 /// Instruction costs measured during an instrumented encode.
 #[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -43,6 +46,27 @@ pub struct FrameTaskTrace {
     pub lookahead: u64,
     /// In-loop filter stage instructions (serial per frame).
     pub filter: u64,
+    /// Measured per-unit partition-search (Phase A) costs, in canonical
+    /// merge order (tile-major, row-major within tile, chunk-major
+    /// within row) — filled by the encoder's tile/wavefront
+    /// decomposition. Empty for synthetic traces and stored runs from
+    /// schema v1; the graph builders then fall back to an even split of
+    /// each row's cost.
+    pub plan_units: Vec<PlanUnit>,
+}
+
+/// One executed plan unit's measured cost (see [`PlanLayout`] for the
+/// unit geometry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PlanUnit {
+    /// Tile the unit belongs to (0 for non-tiled codecs).
+    pub tile: usize,
+    /// Superblock row of the unit.
+    pub row: usize,
+    /// Chunk index within the row.
+    pub chunk: usize,
+    /// Instructions retired by the unit's partition search.
+    pub cost: u64,
 }
 
 impl TaskTrace {
@@ -50,6 +74,161 @@ impl TaskTrace {
     pub fn total_instructions(&self) -> u64 {
         self.frames.iter().map(|f| f.sb_rows.iter().sum::<u64>() + f.lookahead + f.filter).sum()
     }
+}
+
+/// How one frame's partition search (Phase A) decomposes into
+/// schedulable units for a codec — the *execution* counterpart of
+/// [`build_task_graph`]'s modeled shapes, shared by the encoder's
+/// tile/wavefront executor and the graph builders so both agree on the
+/// geometry.
+///
+/// Units are grouped into **chains**: the units of a chain share a
+/// spatial-MV-seed thread and must run in order on one worker; distinct
+/// chains are data-independent and run concurrently. Per codec:
+///
+/// * **SVT-AV1** — every row chunk is its own single-unit chain (the
+///   decoupled segment design: no intra-frame data dependencies);
+/// * **x264 / x265** — one chain per superblock row, the row's chunks
+///   chained left to right (the WPP seed thread);
+/// * **libaom / libvpx** — one chain per tile (a contiguous group of
+///   rows), the tile's rows chained top to bottom, tiles independent.
+///
+/// Iterating chains in order and units within each chain yields the
+/// canonical merge order: tile-major, row-major within tile,
+/// chunk-major within row — frame raster order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanLayout {
+    /// Chains in canonical order.
+    pub chains: Vec<PlanChain>,
+}
+
+/// One seed-chained sequence of plan units (see [`PlanLayout`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanChain {
+    /// Units in execution (and canonical merge) order.
+    pub units: Vec<UnitSpan>,
+}
+
+/// The superblock span one plan unit covers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitSpan {
+    /// Tile the unit belongs to (0 for non-tiled codecs).
+    pub tile: usize,
+    /// Superblock row.
+    pub row: usize,
+    /// Chunk index within the row.
+    pub chunk: usize,
+    /// Superblock columns covered (half-open).
+    pub cols: Range<usize>,
+}
+
+/// Row chunks the codec's threading model uses (1 = whole rows).
+fn row_chunk_count(codec: CodecId) -> usize {
+    match codec {
+        // SVT segments and x264 sliced rows: 4 chunks; x265's coarser
+        // helper units: 3; tile codecs work in whole rows.
+        CodecId::SvtAv1 | CodecId::X264 => 4,
+        CodecId::X265 => 3,
+        CodecId::Libaom | CodecId::LibvpxVp9 => 1,
+    }
+}
+
+/// Balanced half-open column spans: `min(chunks, cols)` non-empty
+/// chunks, sizes differing by at most one, earlier chunks larger.
+fn chunk_spans(cols: usize, chunks: usize) -> Vec<Range<usize>> {
+    let n = chunks.min(cols).max(1);
+    let base = cols / n;
+    let rem = cols % n;
+    let mut spans = Vec::with_capacity(n);
+    let mut start = 0;
+    for c in 0..n {
+        let len = base + usize::from(c < rem);
+        spans.push(start..start + len);
+        start += len;
+    }
+    spans
+}
+
+/// Contiguous row groups standing in for tiles: up to 4 tiles, matching
+/// the libaom/libvpx graph model.
+fn tile_rows(rows: usize) -> Vec<Range<usize>> {
+    if rows == 0 {
+        return Vec::new();
+    }
+    // Exactly min(rows, 4) balanced tiles (sizes differ by at most one,
+    // earlier tiles larger) — a ceil-divide grouping can collapse to
+    // fewer tiles (e.g. 6 rows → 3 tiles of 2), understating the
+    // codec's available parallelism.
+    chunk_spans(rows, 4)
+}
+
+/// Builds the plan-unit decomposition for a `sb_cols` x `sb_rows`
+/// superblock grid under `codec`'s threading model (see [`PlanLayout`]).
+pub fn plan_layout(codec: CodecId, sb_cols: usize, sb_rows: usize) -> PlanLayout {
+    let mut chains = Vec::new();
+    match codec {
+        CodecId::SvtAv1 => {
+            for row in 0..sb_rows {
+                for (chunk, cols) in
+                    chunk_spans(sb_cols, row_chunk_count(codec)).into_iter().enumerate()
+                {
+                    chains.push(PlanChain { units: vec![UnitSpan { tile: 0, row, chunk, cols }] });
+                }
+            }
+        }
+        CodecId::X264 | CodecId::X265 => {
+            for row in 0..sb_rows {
+                let units = chunk_spans(sb_cols, row_chunk_count(codec))
+                    .into_iter()
+                    .enumerate()
+                    .map(|(chunk, cols)| UnitSpan { tile: 0, row, chunk, cols })
+                    .collect();
+                chains.push(PlanChain { units });
+            }
+        }
+        CodecId::Libaom | CodecId::LibvpxVp9 => {
+            for (tile, rows) in tile_rows(sb_rows).into_iter().enumerate() {
+                let units =
+                    rows.map(|row| UnitSpan { tile, row, chunk: 0, cols: 0..sb_cols }).collect();
+                chains.push(PlanChain { units });
+            }
+        }
+    }
+    PlanLayout { chains }
+}
+
+/// Groups a frame's measured plan-unit costs by row (chunk-major within
+/// each row, i.e. canonical order preserved).
+fn unit_costs_by_row(ft: &FrameTaskTrace, rows: usize) -> Vec<Vec<u64>> {
+    let mut by_row = vec![Vec::new(); rows];
+    for u in &ft.plan_units {
+        if u.row < rows {
+            by_row[u.row].push(u.cost);
+        }
+    }
+    by_row
+}
+
+/// Splits one row's total cost into per-chunk task costs. With measured
+/// plan units, each chunk carries its real search cost plus an even
+/// share of the row's (serial-in-execution, row-parallel-in-model)
+/// coding cost; without measurements, the legacy even split over
+/// `fallback_chunks`.
+fn split_row_cost(row_cost: u64, measured: &[u64], fallback_chunks: usize) -> Vec<u64> {
+    if measured.is_empty() {
+        let n = fallback_chunks.max(1) as u64;
+        let per = row_cost / n;
+        let mut out = vec![per; fallback_chunks.max(1)];
+        *out.last_mut().expect("at least one chunk") = row_cost - per * (n - 1);
+        return out;
+    }
+    let plan_sum: u64 = measured.iter().sum();
+    let code_share = row_cost.saturating_sub(plan_sum);
+    let n = measured.len() as u64;
+    let per = code_share / n;
+    let mut out: Vec<u64> = measured.iter().map(|&c| c + per).collect();
+    *out.last_mut().expect("measured is nonempty") += code_share - per * n;
+    out
 }
 
 /// What a task models (used for reporting and contention classes).
@@ -135,11 +314,12 @@ fn svt_pipeline(trace: &TaskTrace) -> TaskGraph {
         let la_deps = prev_la.into_iter().collect();
         let la = push(&mut g, ft.lookahead, TaskKind::Lookahead, f, la_deps, false);
         prev_la = Some(la);
+        let measured = unit_costs_by_row(ft, ft.sb_rows.len());
         let mut rows: Vec<Vec<usize>> = Vec::with_capacity(ft.sb_rows.len());
         for (r, &row_cost) in ft.sb_rows.iter().enumerate() {
-            let seg_cost = row_cost / SEGMENTS as u64;
-            let mut segs = Vec::with_capacity(SEGMENTS);
-            for c in 0..SEGMENTS {
+            let seg_costs = split_row_cost(row_cost, &measured[r], SEGMENTS);
+            let mut segs = Vec::with_capacity(seg_costs.len());
+            for (c, &cost) in seg_costs.iter().enumerate() {
                 let mut deps = vec![la];
                 // Motion search reads the deblocked reference: the
                 // previous frame's filter gates each segment.
@@ -150,14 +330,9 @@ fn svt_pipeline(trace: &TaskTrace) -> TaskGraph {
                 let hi = r + 1;
                 for dr in lo..=hi {
                     if let Some(prev_row) = prev_segments.get(dr) {
-                        deps.push(prev_row[c]);
+                        deps.push(prev_row[c.min(prev_row.len() - 1)]);
                     }
                 }
-                let cost = if c == SEGMENTS - 1 {
-                    row_cost - seg_cost * (SEGMENTS as u64 - 1)
-                } else {
-                    seg_cost
-                };
                 segs.push(push(&mut g, cost, TaskKind::CodeRow, f, deps, false));
             }
             rows.push(segs);
@@ -203,20 +378,24 @@ fn wavefront(trace: &TaskTrace, primary_thread_model: bool) -> TaskGraph {
             }
         }
         let la = push(&mut g, ft.lookahead, TaskKind::Lookahead, f, la_deps, primary_thread_model);
+        let measured = unit_costs_by_row(ft, ft.sb_rows.len());
         let mut rows_chunks: Vec<Vec<usize>> = Vec::with_capacity(ft.sb_rows.len());
         for (r, &row_cost) in ft.sb_rows.iter().enumerate() {
-            let chunk_cost = row_cost / chunks as u64;
-            let mut chunk_ids = Vec::with_capacity(chunks);
-            for c in 0..chunks {
+            let chunk_costs = split_row_cost(row_cost, &measured[r], chunks);
+            let mut chunk_ids = Vec::with_capacity(chunk_costs.len());
+            for (c, &cost) in chunk_costs.iter().enumerate() {
                 let mut deps = vec![la];
                 if c > 0 {
+                    // The intra-row chain: in execution this is the
+                    // spatial-MV seed handoff, chunk c reads chunk c-1's
+                    // final seed.
                     deps.push(chunk_ids[c - 1]);
                 }
                 if r > 0 {
                     // WPP lag: wait for the chunk one position ahead in
                     // the row above.
                     let above = &rows_chunks[r - 1];
-                    deps.push(above[(c + 1).min(chunks - 1)]);
+                    deps.push(above[(c + 1).min(above.len() - 1)]);
                 }
                 if !primary_thread_model {
                     // x264 frame pipeline: the reference must have
@@ -224,14 +403,9 @@ fn wavefront(trace: &TaskTrace, primary_thread_model: bool) -> TaskGraph {
                     // below the co-located chunk.
                     let ref_row = (r + 2).min(trace.frames[f].sb_rows.len() - 1);
                     if let Some(prev_row) = prev_chunks.get(ref_row) {
-                        deps.push(prev_row[c]);
+                        deps.push(prev_row[c.min(prev_row.len() - 1)]);
                     }
                 }
-                let cost = if c == chunks - 1 {
-                    row_cost - chunk_cost * (chunks as u64 - 1)
-                } else {
-                    chunk_cost
-                };
                 let pinned = primary_thread_model && c == 0;
                 chunk_ids.push(push(&mut g, cost, TaskKind::CodeRow, f, deps, pinned));
             }
@@ -257,13 +431,11 @@ fn tiles(trace: &TaskTrace) -> TaskGraph {
             la_deps.push(d);
         }
         let la = push(&mut g, ft.lookahead, TaskKind::Lookahead, f, la_deps, false);
-        // Tiles: group rows into up to 4 tiles.
-        let rows = &ft.sb_rows;
-        let tile_count = rows.len().clamp(1, 4);
-        let per = rows.len().div_ceil(tile_count);
+        // Tiles: contiguous row groups, the same grouping the encoder's
+        // tile executor uses ([`plan_layout`]).
         let mut tile_ids = Vec::new();
-        for chunk in rows.chunks(per) {
-            let cost = chunk.iter().sum();
+        for rows in tile_rows(ft.sb_rows.len()) {
+            let cost = ft.sb_rows[rows].iter().sum();
             tile_ids.push(push(&mut g, cost, TaskKind::CodeRow, f, vec![la], false));
         }
         let filter = push(&mut g, ft.filter, TaskKind::Filter, f, tile_ids, false);
@@ -297,9 +469,106 @@ mod tests {
                     sb_rows: (0..rows).map(|r| 1000 + (f * r) as u64).collect(),
                     lookahead: 500,
                     filter: 300,
+                    ..Default::default()
                 })
                 .collect(),
         }
+    }
+
+    /// Like `trace`, but with measured plan units: each row's search
+    /// cost split unevenly across the codec's chunk count, summing to
+    /// 70% of the row (the rest standing in for coding work).
+    fn measured_trace(codec: CodecId, frames: usize, rows: usize, cols: usize) -> TaskTrace {
+        let mut t = trace(frames, rows);
+        for ft in &mut t.frames {
+            for (r, &row_cost) in ft.sb_rows.iter().enumerate() {
+                let layout = plan_layout(codec, cols, rows);
+                for chain in &layout.chains {
+                    for u in &chain.units {
+                        if u.row == r {
+                            let share = row_cost * 7 / 10 / (u.chunk as u64 + 2);
+                            ft.plan_units.push(PlanUnit {
+                                tile: u.tile,
+                                row: u.row,
+                                chunk: u.chunk,
+                                cost: share,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn layout_covers_every_superblock_once_in_raster_order() {
+        for codec in CodecId::ALL {
+            for (cols, rows) in [(1, 1), (3, 2), (7, 5), (2, 9)] {
+                let layout = plan_layout(codec, cols, rows);
+                let mut seen = Vec::new();
+                for chain in &layout.chains {
+                    for u in &chain.units {
+                        assert!(!u.cols.is_empty(), "{codec}: empty unit");
+                        for c in u.cols.clone() {
+                            seen.push((u.row, c));
+                        }
+                    }
+                }
+                let raster: Vec<_> =
+                    (0..rows).flat_map(|r| (0..cols).map(move |c| (r, c))).collect();
+                assert_eq!(seen, raster, "{codec} {cols}x{rows}: canonical order is raster");
+            }
+        }
+    }
+
+    #[test]
+    fn layout_chain_shapes_match_the_threading_models() {
+        let svt = plan_layout(CodecId::SvtAv1, 8, 3);
+        assert!(svt.chains.iter().all(|c| c.units.len() == 1), "svt segments are independent");
+        assert_eq!(svt.chains.len(), 3 * 4);
+        let x264 = plan_layout(CodecId::X264, 8, 3);
+        assert_eq!(x264.chains.len(), 3, "one chain per row");
+        assert!(x264.chains.iter().all(|c| c.units.len() == 4));
+        let x265 = plan_layout(CodecId::X265, 8, 3);
+        assert!(x265.chains.iter().all(|c| c.units.len() == 3), "x265 uses coarser chunks");
+        let aom = plan_layout(CodecId::Libaom, 8, 6);
+        assert_eq!(aom.chains.len(), 4, "rows group into up to 4 tiles");
+        assert!(aom.chains.iter().all(|c| c.units.iter().all(|u| u.cols == (0..8))));
+        // Narrow frames degrade gracefully: chunk count is capped by the
+        // superblock columns, never producing an empty unit.
+        let narrow = plan_layout(CodecId::SvtAv1, 2, 2);
+        assert_eq!(narrow.chains.len(), 2 * 2);
+    }
+
+    #[test]
+    fn measured_plan_units_preserve_total_work() {
+        for codec in CodecId::ALL {
+            let t = measured_trace(codec, 3, 5, 9);
+            let g = build_task_graph(codec, &t);
+            assert_eq!(g.total_cost(), t.total_instructions(), "{codec}");
+        }
+    }
+
+    #[test]
+    fn measured_splits_are_uneven_but_topological() {
+        let t = measured_trace(CodecId::SvtAv1, 2, 4, 9);
+        let g = build_task_graph(CodecId::SvtAv1, &t);
+        for task in &g.tasks {
+            for &d in &task.deps {
+                assert!(d < task.id);
+            }
+        }
+        // The measured split must actually shape the tasks: segment
+        // costs within a row differ (chunk 0 got the biggest share).
+        let row_tasks: Vec<u64> = g
+            .tasks
+            .iter()
+            .filter(|t| t.kind == TaskKind::CodeRow && t.frame == 0)
+            .map(|t| t.cost)
+            .take(4)
+            .collect();
+        assert!(row_tasks.windows(2).any(|w| w[0] != w[1]), "{row_tasks:?}");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! vstress-repro --paper            # full profile (slow; used for EXPERIMENTS.md)
 //! vstress-repro --csv out/         # also write each table as CSV into out/
 //! vstress-repro --threads 4        # size of the encode worker pool
+//! vstress-repro --tile-workers 4   # intra-encode tile/wavefront threads
 //! vstress-repro --store cache/     # persist results; repeat runs resume
 //! vstress-repro --time             # per-experiment wall clock on stderr
 //! vstress-repro fig01 fig05        # subset of experiments
@@ -37,6 +38,7 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec::switch("--time", "per-experiment wall clock on stderr"),
     FlagSpec::value("--csv", "DIR", "also write each table as CSV into DIR"),
     FlagSpec::value("--threads", "N", "encode worker pool size (positive)"),
+    FlagSpec::value("--tile-workers", "N", "tile/wavefront threads per encode (positive)"),
     FlagSpec::value("--store", "DIR", "persist results; repeat runs resume"),
     FlagSpec::switch("--no-store", "disable the store (wins over --store)"),
 ];
@@ -204,6 +206,12 @@ fn main() {
         Ok(t) => t,
         Err(e) => usage_error(&e),
     };
+    // Intra-encode parallelism; stdout is byte-identical at any value
+    // (the probe-merge contract), so CI compares runs across settings.
+    let tile_workers: Option<usize> = match parsed.parsed("--tile-workers", cli::positive_usize) {
+        Ok(t) => t,
+        Err(e) => usage_error(&e),
+    };
     // `--no-store` (the default) wins over `--store` if both appear.
     let store_dir: Option<PathBuf> =
         if parsed.switch("--no-store") { None } else { parsed.value("--store").map(PathBuf::from) };
@@ -220,6 +228,9 @@ fn main() {
     let mut cfg = if paper { ExperimentConfig::paper() } else { ExperimentConfig::quick() };
     if let Some(n) = threads {
         cfg = cfg.with_threads(n);
+    }
+    if let Some(n) = tile_workers {
+        cfg = cfg.with_tile_workers(n);
     }
     if let Some(dir) = &store_dir {
         match RunStore::open(dir) {

@@ -14,7 +14,9 @@
 //! policy); wall-clock metrics — throughput, measured p50/p95/p99
 //! latency, queue gauges — go to stderr. SIGINT/SIGTERM (and stdin EOF
 //! with `--stdin`) request a graceful drain: no new jobs are admitted,
-//! queued work finishes, then the summary prints.
+//! queued work finishes, then the summary prints. The first signal also
+//! restores the default disposition, so a second Ctrl-C force-exits
+//! instead of being ignored during a long drain.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -29,6 +31,7 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec::value("--seed", "N", "traffic seed (default 42)"),
     FlagSpec::value("--jobs", "N", "jobs to offer (default 32)"),
     FlagSpec::value("--workers", "N", "encode worker pool size (default: cores)"),
+    FlagSpec::value("--tile-workers", "N", "tile/wavefront threads per encode (default 1)"),
     FlagSpec::value("--queue-cap", "N", "ingress queue capacity (default 16)"),
     FlagSpec::value("--stage-cap", "N", "interior queue capacity (default 16)"),
     FlagSpec::switch("--reject", "shed jobs when ingress is full (default: block)"),
@@ -49,20 +52,35 @@ mod sig {
     use super::SHUTDOWN;
     use std::sync::atomic::Ordering;
 
-    extern "C" fn request_shutdown(_signum: i32) {
-        // Only an atomic store: async-signal-safe.
+    /// `SIG_DFL` — the platform's default disposition (terminate, for
+    /// SIGINT/SIGTERM).
+    const SIG_DFL: usize = 0;
+
+    extern "C" fn request_shutdown(signum: i32) {
+        // Only an atomic store and a signal(2) call: async-signal-safe.
         SHUTDOWN.store(true, Ordering::Release);
+        // Two-stage shutdown: the first signal requests a graceful
+        // drain; restoring the default disposition here means a second
+        // Ctrl-C (or TERM) kills the process immediately instead of
+        // being swallowed while a long drain runs. Without this, an
+        // operator facing a stuck drain had no way out short of
+        // SIGKILL.
+        unsafe {
+            let _ = signal(signum, SIG_DFL);
+        }
     }
 
+    // The handler slot is a `usize` so the same declaration covers both
+    // a function pointer (install) and `SIG_DFL` (restore).
     extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        fn signal(signum: i32, handler: usize) -> usize;
     }
 
     /// Routes SIGINT (2) and SIGTERM (15) into the shutdown flag.
     pub fn install() {
         unsafe {
-            let _ = signal(2, request_shutdown);
-            let _ = signal(15, request_shutdown);
+            let _ = signal(2, request_shutdown as extern "C" fn(i32) as usize);
+            let _ = signal(15, request_shutdown as extern "C" fn(i32) as usize);
         }
     }
 }
@@ -127,6 +145,7 @@ fn main() -> ExitCode {
     let seed = flag!("--seed", |s: &str| s.parse::<u64>(), 42);
     let jobs = flag!("--jobs", cli::positive_usize, 32);
     let workers = flag!("--workers", cli::positive_usize, vstress::exec::default_threads());
+    let tile_workers = flag!("--tile-workers", cli::positive_usize, 1);
     let queue_cap = flag!("--queue-cap", cli::positive_usize, 16);
     let stage_cap = flag!("--stage-cap", cli::positive_usize, 16);
     let pace = flag!("--pace", pace_value, 0.0);
@@ -164,6 +183,7 @@ fn main() -> ExitCode {
         },
         pace,
         cache,
+        tile_workers,
     };
 
     sig::install();
@@ -173,11 +193,12 @@ fn main() -> ExitCode {
 
     let schedule = generate(&traffic);
     eprintln!(
-        "vstress-serve: profile={} seed={} jobs={} workers={} ingress={} cap={} stage-cap={} pace={}",
+        "vstress-serve: profile={} seed={} jobs={} workers={} tile-workers={} ingress={} cap={} stage-cap={} pace={}",
         if standard { "standard" } else { "quick" },
         seed,
         schedule.len(),
         cfg.workers,
+        cfg.tile_workers,
         if cfg.ingress == IngressPolicy::Reject { "reject" } else { "block" },
         cfg.ingress_capacity,
         cfg.stage_capacity,

@@ -136,11 +136,17 @@ impl Parsed {
 
 /// Parses `args` (without the program name) against `flags`.
 ///
+/// Value flags accept both spellings: `--threads 4` and `--threads=4`.
+/// Only the *first* `=` splits, so values containing `=` survive
+/// (`--csv out=dir` ≡ `--csv=out=dir`).
+///
 /// # Errors
 ///
 /// Returns [`CliError::Unknown`] for any `--`-prefixed argument not in
-/// `flags`, and [`CliError::MissingValue`] for a value flag whose next
-/// argument is absent or itself `--`-prefixed.
+/// `flags`, [`CliError::MissingValue`] for a value flag whose next
+/// argument is absent or itself `--`-prefixed (an empty inline value,
+/// `--threads=`, counts as missing), and [`CliError::BadValue`] for an
+/// inline value on a switch (`--quick=1`).
 pub fn parse(args: &[String], flags: &[FlagSpec]) -> Result<Parsed, CliError> {
     let mut out = Parsed::default();
     let mut it = args.iter();
@@ -149,19 +155,42 @@ pub fn parse(args: &[String], flags: &[FlagSpec]) -> Result<Parsed, CliError> {
             out.positionals.push(arg.clone());
             continue;
         }
-        let spec = flags.iter().find(|f| f.name == arg).ok_or_else(|| CliError::Unknown {
+        // `--flag=value` splits on the FIRST `=`; the flag table is
+        // keyed by the part before it. The pre-split lookup used to
+        // reject the whole token as unknown, so `--threads=4` exited 2
+        // with a misleading "unknown flag" message.
+        let (name, inline) = match arg.split_once('=') {
+            Some((name, inline)) => (name, Some(inline)),
+            None => (arg.as_str(), None),
+        };
+        let spec = flags.iter().find(|f| f.name == name).ok_or_else(|| CliError::Unknown {
             flag: arg.clone(),
             valid: flags.iter().map(|f| f.name).collect::<Vec<_>>().join(" "),
         })?;
         if !spec.takes_value() {
+            if inline.is_some() {
+                return Err(CliError::BadValue {
+                    flag: spec.name.to_owned(),
+                    detail: "switch takes no value".to_owned(),
+                });
+            }
             out.switches.push(spec.name);
             continue;
         }
-        match it.next() {
-            Some(v) if !v.starts_with("--") => out.values.push((spec.name, v.clone())),
-            _ => {
-                return Err(CliError::MissingValue { flag: arg.clone(), value: spec.value });
+        match inline {
+            Some("") => {
+                return Err(CliError::MissingValue {
+                    flag: spec.name.to_owned(),
+                    value: spec.value,
+                })
             }
+            Some(v) => out.values.push((spec.name, v.to_owned())),
+            None => match it.next() {
+                Some(v) if !v.starts_with("--") => out.values.push((spec.name, v.clone())),
+                _ => {
+                    return Err(CliError::MissingValue { flag: arg.clone(), value: spec.value });
+                }
+            },
         }
     }
     Ok(out)
@@ -233,6 +262,39 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("unknown flag: --thread"), "{msg}");
         assert!(msg.contains("--threads"), "{msg}");
+    }
+
+    #[test]
+    fn equals_spelling_is_equivalent() {
+        let p = parse(&args(&["--threads=4", "--csv=out", "fig01"]), FLAGS).unwrap();
+        assert_eq!(p.value("--threads"), Some("4"));
+        assert_eq!(p.value("--csv"), Some("out"));
+        assert_eq!(p.positionals, vec!["fig01"]);
+        // Only the first `=` splits; the rest belongs to the value.
+        let p = parse(&args(&["--csv=a=b"]), FLAGS).unwrap();
+        assert_eq!(p.value("--csv"), Some("a=b"));
+        // An inline value may itself start with `--` (explicitly
+        // attached, unlike the separate-token case).
+        let p = parse(&args(&["--csv=--weird"]), FLAGS).unwrap();
+        assert_eq!(p.value("--csv"), Some("--weird"));
+    }
+
+    #[test]
+    fn empty_inline_value_is_missing() {
+        let e = parse(&args(&["--threads="]), FLAGS).unwrap_err();
+        assert_eq!(e, CliError::MissingValue { flag: "--threads".into(), value: "N" });
+    }
+
+    #[test]
+    fn inline_value_on_a_switch_is_rejected() {
+        let e = parse(&args(&["--quick=1"]), FLAGS).unwrap_err();
+        assert!(matches!(e, CliError::BadValue { ref flag, .. } if flag == "--quick"), "{e:?}");
+    }
+
+    #[test]
+    fn unknown_flag_with_equals_reports_the_full_token() {
+        let e = parse(&args(&["--thread=4"]), FLAGS).unwrap_err();
+        assert!(e.to_string().contains("unknown flag: --thread=4"), "{e}");
     }
 
     #[test]

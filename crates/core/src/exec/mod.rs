@@ -58,6 +58,10 @@ fn fidelity_key(f: &FidelityConfig) -> FidelityKey {
 }
 
 /// Everything that determines a [`CharacterizationRun`].
+///
+/// `RunSpec::tile_workers` is deliberately absent: the tile/wavefront
+/// decomposition is worker-count invariant (the probe-merge contract),
+/// so a run computed at any worker count serves every other.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct RunKey {
     clip: &'static str,

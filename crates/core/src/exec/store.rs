@@ -45,7 +45,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// (serde shim format, `CharacterizationRun` fields, key text, …).
 /// Old entries become invisible (different directory) and unreadable
 /// (in-file version check).
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `FrameTaskTrace` gained `plan_units` (measured tile/wavefront
+/// unit costs), changing the `CharacterizationRun` wire format.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Store layer for characterization runs.
 pub(crate) const KIND_RUN: &str = "run";

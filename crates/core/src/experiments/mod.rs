@@ -67,6 +67,11 @@ pub struct ExperimentConfig {
     /// Branch-trace window length (instructions) for the CBP study; the
     /// paper uses 1 B on native runs.
     pub cbp_window: u64,
+    /// Tile workers per encode (`RunSpec::tile_workers`): the
+    /// intra-encode tile/wavefront decomposition. Results are
+    /// byte-identical at any value (the probe-merge contract), so this
+    /// is purely a wall-clock knob.
+    pub tile_workers: usize,
 }
 
 impl ExperimentConfig {
@@ -85,6 +90,7 @@ impl ExperimentConfig {
             preset_points: vec![0, 2, 4, 6, 8],
             max_threads: 8,
             cbp_window: 400_000,
+            tile_workers: 1,
         }
     }
 
@@ -102,6 +108,7 @@ impl ExperimentConfig {
             preset_points: vec![0, 1, 2, 3, 4, 5, 6, 7, 8],
             max_threads: 8,
             cbp_window: 4_000_000,
+            tile_workers: 1,
         }
     }
 
@@ -110,6 +117,15 @@ impl ExperimentConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker thread");
         self.threads = threads;
+        self
+    }
+
+    /// Sets the per-encode tile-worker count (builder style). See
+    /// [`ExperimentConfig::tile_workers`].
+    #[must_use]
+    pub fn with_tile_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one tile worker");
+        self.tile_workers = workers;
         self
     }
 
@@ -167,6 +183,7 @@ impl ExperimentConfig {
             fidelity: self.fidelity.clone(),
             cache_divisor: self.cache_divisor,
             model_pipeline: true,
+            tile_workers: self.tile_workers,
         }
     }
 }

@@ -1,9 +1,17 @@
 //! Figs. 12–16 — the thread-scalability study.
 //!
-//! Single-threaded instrumented encodes produce per-stage task costs
-//! ([`vstress_codecs::taskgraph::TaskTrace`]); each codec's threading
-//! structure turns them into a dependency graph; `vstress-sched`
-//! schedules the graph on 1..=N cores. Fig. 16 applies the shared-LLC
+//! Instrumented encodes produce per-stage task costs
+//! ([`vstress_codecs::taskgraph::TaskTrace`]), including the *measured*
+//! per-unit costs of the tile/wavefront plan tasks the encoder actually
+//! executed (`FrameTaskTrace::plan_units`, recorded by
+//! `Encoder::encode_with` whether the run used one tile worker or
+//! many); each codec's threading structure
+//! ([`vstress_codecs::taskgraph::plan_layout`] plus the per-codec graph
+//! builders) turns them into a dependency graph; `vstress-sched`
+//! schedules the graph on 1..=N cores. The divergent curves — SVT-AV1
+//! approaching ~6x at 8 threads while x265 stalls near ~1.3x — thus
+//! fall out of real recorded task-graph contention, not a per-codec
+//! lookup table. Fig. 16 applies the shared-LLC
 //! [`vstress_sched::ContentionModel`] to the
 //! single-thread top-down to obtain per-thread-count slot fractions.
 

@@ -85,6 +85,12 @@ pub struct ServeConfig {
     /// Shared run cache (attach a store via
     /// [`RunCache::with_store`] for cross-process reuse).
     pub cache: Arc<RunCache>,
+    /// Tile workers per encode ([`RunSpec::tile_workers`]): how many
+    /// threads each encode worker spends on the intra-encode
+    /// tile/wavefront decomposition. Results are byte-identical at any
+    /// value (the probe-merge contract), so this only shifts wall-clock
+    /// parallelism from across-job to within-job.
+    pub tile_workers: usize,
 }
 
 impl Default for ServeConfig {
@@ -96,6 +102,7 @@ impl Default for ServeConfig {
             ingress: IngressPolicy::Block,
             pace: 0.0,
             cache: Arc::new(RunCache::new()),
+            tile_workers: 1,
         }
     }
 }
@@ -263,7 +270,10 @@ pub fn unique_specs(jobs: &[JobSpec]) -> Vec<RunSpec> {
 ///
 /// Propagates the first-by-index [`WorkbenchError`].
 pub fn prewarm(cfg: &ServeConfig, jobs: &[JobSpec]) -> Result<usize, WorkbenchError> {
-    let specs = unique_specs(jobs);
+    let mut specs = unique_specs(jobs);
+    for spec in &mut specs {
+        spec.tile_workers = cfg.tile_workers.max(1);
+    }
     run_all(&cfg.cache, cfg.workers, &specs)?;
     Ok(specs.len())
 }
@@ -389,7 +399,9 @@ pub fn serve(cfg: &ServeConfig, jobs: &[JobSpec], shutdown: &AtomicBool) -> Serv
             s.spawn(|| {
                 let _exit = WorkerExit { live: &live_workers, downstream: &characterized };
                 while let Some(ticket) = ingress.pop() {
-                    let result = cfg.cache.run(&ticket.job.run_spec()).map_err(|e| e.to_string());
+                    let mut spec = ticket.job.run_spec();
+                    spec.tile_workers = cfg.tile_workers.max(1);
+                    let result = cfg.cache.run(&spec).map_err(|e| e.to_string());
                     if characterized.push(Encoded { ticket, result }).is_err() {
                         break; // downstream shut first; nothing to do
                     }
@@ -500,6 +512,14 @@ mod tests {
             &AtomicBool::new(false),
         );
         assert_eq!(one.job_summary(), four.job_summary());
+        // Splitting each encode across tile workers must not change a
+        // byte either — the probe-merge contract, end to end.
+        let tiled = serve(
+            &ServeConfig { workers: 2, tile_workers: 3, ..ServeConfig::default() },
+            &jobs,
+            &AtomicBool::new(false),
+        );
+        assert_eq!(one.job_summary(), tiled.job_summary());
     }
 
     #[test]

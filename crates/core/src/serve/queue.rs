@@ -14,6 +14,15 @@
 //! producers get their item back and consumers drain what remains, so
 //! a stage can shut its successor down simply by closing the queue
 //! between them once its own input is exhausted.
+//!
+//! Lock poisoning is deliberately shrugged off: a stage thread that
+//! panics while holding the mutex poisons it, but the queue state it
+//! guards (a `VecDeque` plus counters) is valid after any partial
+//! update, and the serve pipeline's drain cascade *relies* on the
+//! surviving stages still being able to push/pop/close during unwind.
+//! Every lock/wait therefore recovers the guard with
+//! `unwrap_or_else(|e| e.into_inner())` instead of propagating the
+//! poison panic into otherwise-healthy threads.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -99,7 +108,7 @@ impl<T> Bounded<T> {
     /// Blocking push: waits for space (backpressure), returning the
     /// item as `Err` only if the queue is (or becomes) closed.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if state.closed {
                 return Err(item);
@@ -108,7 +117,7 @@ impl<T> Bounded<T> {
                 self.enqueue_locked(&mut state, item);
                 return Ok(());
             }
-            state = self.not_full.wait(state).unwrap();
+            state = self.not_full.wait(state).unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -116,7 +125,7 @@ impl<T> Bounded<T> {
     /// the item back as [`PushError::Full`] (counted as a rejection) or
     /// [`PushError::Closed`].
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -132,7 +141,7 @@ impl<T> Bounded<T> {
     /// queue is closed *and* fully drained — consumers never lose
     /// queued work to a shutdown.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(item) = state.items.pop_front() {
                 state.popped += 1;
@@ -142,14 +151,14 @@ impl<T> Bounded<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).unwrap();
+            state = self.not_empty.wait(state).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Closes the queue: future pushes fail, and consumers see `None`
     /// once the remaining items are drained. Idempotent.
     pub fn close(&self) {
-        let mut state = self.state.lock().unwrap();
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         state.closed = true;
         // Wake everyone: blocked producers must give up, blocked
         // consumers must drain-and-exit.
@@ -159,12 +168,12 @@ impl<T> Bounded<T> {
 
     /// Items currently enqueued.
     pub fn depth(&self) -> usize {
-        self.state.lock().unwrap().items.len()
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).items.len()
     }
 
     /// Occupancy snapshot for the per-stage gauges.
     pub fn stats(&self) -> QueueStats {
-        let state = self.state.lock().unwrap();
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         QueueStats {
             capacity: self.capacity,
             depth: state.items.len(),
@@ -259,5 +268,34 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = Bounded::<u8>::new(0);
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_kill_the_pipeline() {
+        // Regression: a worker panicking while holding the queue mutex
+        // (any panic between lock and unlock — an assert in the encode
+        // path, an OOM abort hook, a bug) used to poison it, and every
+        // subsequent `.lock().unwrap()` in the healthy stages turned
+        // one crashed thread into a wedged-then-panicking pipeline.
+        // The queue must keep draining after a poisoning panic.
+        let q = Bounded::new(4);
+        q.push(1u32).unwrap();
+        std::thread::scope(|s| {
+            let holder = s.spawn(|| {
+                let _guard = q.state.lock().unwrap();
+                panic!("holder dies with the lock");
+            });
+            assert!(holder.join().is_err(), "holder must have panicked");
+        });
+        // Every entry point still works on the poisoned mutex.
+        q.push(2).unwrap();
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.stats().pushed, 3);
+        assert_eq!(q.pop(), Some(1));
+        q.close();
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), None, "drain completes after poisoning");
     }
 }

@@ -148,6 +148,7 @@ impl JobSpec {
             },
             cache_divisor: self.divisor,
             model_pipeline: true,
+            tile_workers: 1,
         }
     }
 

@@ -24,6 +24,12 @@ pub struct RunSpec {
     /// Whether to run the pipeline model (cycles, top-down, MPKI). When
     /// `false`, only the instruction mix is gathered — roughly 3x faster.
     pub model_pipeline: bool,
+    /// Worker threads for the intra-encode tile/wavefront decomposition
+    /// (`Encoder::encode_with`). The result is worker-count invariant —
+    /// bitstream, measurements, and probe stream are byte-identical at
+    /// any value — so this field is deliberately **excluded** from the
+    /// run cache key and the store key.
+    pub tile_workers: usize,
 }
 
 impl RunSpec {
@@ -36,6 +42,7 @@ impl RunSpec {
             fidelity: FidelityConfig::smoke(),
             cache_divisor: 16,
             model_pipeline: true,
+            tile_workers: 1,
         }
     }
 
@@ -48,6 +55,7 @@ impl RunSpec {
             fidelity: FidelityConfig::default(),
             cache_divisor: 8,
             model_pipeline: true,
+            tile_workers: 1,
         }
     }
 
@@ -55,6 +63,13 @@ impl RunSpec {
     #[must_use]
     pub fn counting_only(mut self) -> Self {
         self.model_pipeline = false;
+        self
+    }
+
+    /// Sets the tile-worker count (see [`RunSpec::tile_workers`]).
+    #[must_use]
+    pub fn with_tile_workers(mut self, workers: usize) -> Self {
+        self.tile_workers = workers.max(1);
         self
     }
 }
@@ -146,10 +161,11 @@ pub fn characterize_clip(
     clip: &Clip,
 ) -> Result<CharacterizationRun, WorkbenchError> {
     let encoder = Encoder::new(spec.codec, spec.params)?;
+    let tile_workers = spec.tile_workers.max(1);
     if spec.model_pipeline {
         let mut probe =
             TeeProbe::new(CountingProbe::new(), CoreModel::broadwell_scaled(spec.cache_divisor));
-        let out = encoder.encode(clip, &mut probe)?;
+        let out = encoder.encode_with(clip, &mut probe, tile_workers)?;
         let (counting, core) = probe.into_parts();
         let report = core.into_report();
         Ok(CharacterizationRun {
@@ -167,7 +183,7 @@ pub fn characterize_clip(
         })
     } else {
         let mut probe = CountingProbe::new();
-        let out = encoder.encode(clip, &mut probe)?;
+        let out = encoder.encode_with(clip, &mut probe, tile_workers)?;
         // A zeroed report keeps the type simple for counting-only runs.
         let report = CoreModel::broadwell_scaled(spec.cache_divisor).into_report();
         Ok(CharacterizationRun {
@@ -237,6 +253,17 @@ mod tests {
         assert!(run.mix.total() > 0);
         assert_eq!(run.seconds, 0.0);
         assert_eq!(run.core.instructions, 0);
+    }
+
+    #[test]
+    fn characterization_is_tile_worker_invariant() {
+        // The full measurement set — mix, profile, core report, task
+        // trace — must not depend on how many workers ran the partition
+        // search (the probe-merge contract).
+        let spec = RunSpec::quick("desktop", CodecId::X265, EncoderParams::new(30, 5));
+        let serial = characterize(&spec).unwrap();
+        let parallel = characterize(&spec.with_tile_workers(3)).unwrap();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

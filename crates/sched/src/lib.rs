@@ -22,6 +22,7 @@
 //!             sb_rows: vec![10_000; 8],
 //!             lookahead: 2_000,
 //!             filter: 1_000,
+//!             ..FrameTaskTrace::default()
 //!         })
 //!         .collect(),
 //! };
@@ -307,6 +308,7 @@ mod tests {
                     sb_rows: vec![row_cost; rows],
                     lookahead: row_cost / 2,
                     filter: row_cost / 4,
+                    ..FrameTaskTrace::default()
                 })
                 .collect(),
         }
@@ -466,6 +468,7 @@ mod shape_checks {
                     sb_rows: vec![10_000; 8],
                     lookahead: 5_000,
                     filter: 2_500,
+                    ..FrameTaskTrace::default()
                 })
                 .collect(),
         };

@@ -112,6 +112,7 @@ proptest! {
                     sb_rows: vec![cost; rows],
                     lookahead: cost / 2,
                     filter: cost / 3,
+                    ..FrameTaskTrace::default()
                 })
                 .collect(),
         };

@@ -80,6 +80,27 @@ impl EventBatch {
         &self.events
     }
 
+    /// Moves `other`'s events to the end of this batch, leaving `other`
+    /// empty — the canonical-merge building block: per-unit batches
+    /// recorded on worker threads are concatenated in canonical
+    /// (tile-major, row-major within tile) order to reconstruct the
+    /// serial probe stream.
+    pub fn append(&mut self, other: &mut EventBatch) {
+        self.events.append(&mut other.events);
+    }
+
+    /// Concatenates `batches` in the given (canonical) order into one
+    /// stream. `concat` of per-unit recordings equals one recording of
+    /// the units run back-to-back — the merge contract the tile
+    /// equivalence oracle pins.
+    pub fn concat<'a, I: IntoIterator<Item = &'a EventBatch>>(batches: I) -> EventBatch {
+        let mut out = EventBatch::new();
+        for b in batches {
+            out.events.extend_from_slice(&b.events);
+        }
+        out
+    }
+
     /// Re-emits every recorded event, in order, into `probe`.
     ///
     /// Delegates to [`Probe::drain_batch`], so probes with a specialized
@@ -267,6 +288,30 @@ mod tests {
         let mut reference = CountingProbe::new();
         drive(&mut reference);
         assert_eq!(inner, reference, "batched drain must forward the full stream");
+    }
+
+    #[test]
+    fn concat_of_split_recordings_equals_one_recording() {
+        // Record the same work twice: once as a single stream, once as
+        // two per-"unit" batches merged in order.
+        let mut null = NullProbe;
+        let mut whole = RecordingProbe::new(&mut null);
+        drive(&mut whole);
+        drive(&mut whole);
+        let whole = whole.into_batch();
+
+        let mut a = RecordingProbe::new(&mut null);
+        drive(&mut a);
+        let a = a.into_batch();
+        let mut b = RecordingProbe::new(&mut null);
+        drive(&mut b);
+        let mut b = b.into_batch();
+
+        assert_eq!(EventBatch::concat([&a, &b]), whole);
+        let mut merged = a;
+        merged.append(&mut b);
+        assert_eq!(merged, whole);
+        assert!(b.is_empty(), "append drains the source batch");
     }
 
     #[test]

@@ -85,6 +85,34 @@ fn repro_unknown_experiment_still_rejected() {
 }
 
 #[test]
+fn repro_equals_spelling_works() {
+    // Regression: `--threads=4` used to be rejected as `unknown flag:
+    // --threads=4` because the lookup matched the whole token. table1
+    // is catalogue-only, so the accepted spelling also runs cheaply.
+    let (out, dir) = run_in_tempdir(REPRO, &["table1", "--threads=4"]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr_of(&out));
+    assert!(!out.stdout.is_empty());
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn repro_empty_equals_value_is_rejected() {
+    let (out, dir) = run_in_tempdir(REPRO, &["table1", "--threads="]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("--threads needs a N"), "stderr: {}", stderr_of(&out));
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn repro_inline_value_on_switch_is_rejected() {
+    let (out, dir) = run_in_tempdir(REPRO, &["table1", "--quick=1"]);
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("--quick") && err.contains("switch takes no value"), "{err}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn repro_happy_path_table1() {
     // table1 is pure catalogue output — cheap enough for a CLI test.
     let (out, dir) = run_in_tempdir(REPRO, &["table1"]);
