@@ -1,0 +1,237 @@
+//! The bench regression gate: compare a fresh `vstress-bench` JSON
+//! report against a committed `BENCH_*.json` trajectory file and fail
+//! on any metric that got more than [`DEFAULT_THRESHOLD`] slower.
+//!
+//! The comparison logic lives here (not in `main.rs`) so the negative
+//! test — inject a 20% regression, assert the gate trips — runs as an
+//! ordinary unit test instead of a subprocess round-trip. The JSON
+//! "parser" is a deliberate non-parser: `vstress-bench` emits one
+//! metric object per line with a fixed key order, and the gate only
+//! needs `(name, ns_per_op)` pairs, so a line scan is exact for the
+//! reports we write and degrades to "metric missing" (a warning, not a
+//! false pass) for anything else.
+
+/// Relative slowdown at which the gate fails: fresh > base × 1.10.
+pub const DEFAULT_THRESHOLD: f64 = 0.10;
+
+/// One named metric extracted from a bench report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// The sample name (e.g. `sad_plane_plane_interior`).
+    pub name: String,
+    /// Nanoseconds per operation — the gated quantity.
+    pub ns_per_op: f64,
+}
+
+/// One metric that regressed past the threshold.
+#[derive(Debug, Clone)]
+pub struct Regression {
+    /// The metric name.
+    pub name: String,
+    /// Baseline ns/op.
+    pub base: f64,
+    /// Fresh ns/op.
+    pub fresh: f64,
+}
+
+impl Regression {
+    /// Relative slowdown, e.g. `0.25` for 25% slower.
+    pub fn slowdown(&self) -> f64 {
+        self.fresh / self.base - 1.0
+    }
+}
+
+/// The outcome of one gate comparison.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Human-readable one-per-metric comparison lines.
+    pub lines: Vec<String>,
+    /// Metrics past the threshold (empty means the gate passes).
+    pub regressions: Vec<Regression>,
+    /// Baseline metrics with no fresh counterpart (skipped, warned).
+    pub missing: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the gate passes (no regressions).
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Extracts `(name, ns_per_op)` pairs from a `vstress-bench` JSON
+/// report. Tolerates (ignores) lines that don't carry both keys.
+pub fn parse_metrics(json: &str) -> Vec<Metric> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let Some(name) = scan_str(line, "\"name\": \"") else { continue };
+        let Some(ns) = scan_f64(line, "\"ns_per_op\": ") else { continue };
+        out.push(Metric { name: name.to_owned(), ns_per_op: ns });
+    }
+    out
+}
+
+fn scan_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = &line[line.find(key)? + key.len()..];
+    Some(&rest[..rest.find('"')?])
+}
+
+fn scan_f64(line: &str, key: &str) -> Option<f64> {
+    let rest = &line[line.find(key)? + key.len()..];
+    let end =
+        rest.find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Compares `fresh` against `base`, gating every baseline metric whose
+/// name contains `filter` (all of them when `filter` is `None`).
+///
+/// Improvements and regressions inside the threshold both pass; a
+/// baseline metric absent from the fresh report is recorded in
+/// `missing` but does not fail the gate (the trajectory may gain
+/// metrics the previous baseline lacks — the *fresh* report having
+/// extras is likewise fine).
+pub fn compare(
+    base: &[Metric],
+    fresh: &[Metric],
+    threshold: f64,
+    filter: Option<&str>,
+) -> GateReport {
+    let mut report = GateReport { lines: Vec::new(), regressions: Vec::new(), missing: Vec::new() };
+    for b in base {
+        if let Some(f) = filter {
+            if !b.name.contains(f) {
+                continue;
+            }
+        }
+        let Some(fr) = fresh.iter().find(|m| m.name == b.name) else {
+            report.missing.push(b.name.clone());
+            report
+                .lines
+                .push(format!("{:<34} {:>10.1} ns/op -> (missing)  SKIP", b.name, b.ns_per_op));
+            continue;
+        };
+        let delta = fr.ns_per_op / b.ns_per_op - 1.0;
+        let verdict = if delta > threshold { "FAIL" } else { "ok" };
+        report.lines.push(format!(
+            "{:<34} {:>10.1} -> {:>10.1} ns/op  {:>+7.1}%  {}",
+            b.name,
+            b.ns_per_op,
+            fr.ns_per_op,
+            delta * 100.0,
+            verdict
+        ));
+        if delta > threshold {
+            report.regressions.push(Regression {
+                name: b.name.clone(),
+                base: b.ns_per_op,
+                fresh: fr.ns_per_op,
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(name: &str, ns: f64) -> Metric {
+        Metric { name: name.to_owned(), ns_per_op: ns }
+    }
+
+    #[test]
+    fn parses_bench_report_lines() {
+        let json = r#"{
+  "schema": 2,
+  "kernels": [
+    {"name": "sad_plane_plane_interior", "iters": 10, "ns_per_op": 176.85, "pixels_per_op": 1024, "mpixels_per_s": 5790.0},
+    {"name": "sim_tage8_predict_update", "iters": 20, "ns_per_op": 79.90, "pixels_per_op": 0, "mpixels_per_s": 0.0}
+  ]
+}"#;
+        let metrics = parse_metrics(json);
+        assert_eq!(
+            metrics,
+            vec![m("sad_plane_plane_interior", 176.85), m("sim_tage8_predict_update", 79.90)]
+        );
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = vec![m("a", 100.0), m("b", 50.0)];
+        let report = compare(&base, &base, DEFAULT_THRESHOLD, None);
+        assert!(report.passed(), "{:?}", report.regressions);
+        assert_eq!(report.lines.len(), 2);
+    }
+
+    #[test]
+    fn injected_20_percent_regression_fails() {
+        let base = vec![m("sad_plane_plane_interior", 100.0), m("mc_halfpel_32x32", 200.0)];
+        let fresh = vec![m("sad_plane_plane_interior", 120.0), m("mc_halfpel_32x32", 200.0)];
+        let report = compare(&base, &fresh, DEFAULT_THRESHOLD, None);
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].name, "sad_plane_plane_interior");
+        assert!((report.regressions[0].slowdown() - 0.20).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_inside_threshold_passes() {
+        let base = vec![m("a", 100.0)];
+        let fresh = vec![m("a", 109.0)];
+        assert!(compare(&base, &fresh, DEFAULT_THRESHOLD, None).passed());
+    }
+
+    #[test]
+    fn improvement_passes() {
+        let base = vec![m("a", 100.0)];
+        let fresh = vec![m("a", 40.0)];
+        assert!(compare(&base, &fresh, DEFAULT_THRESHOLD, None).passed());
+    }
+
+    #[test]
+    fn filter_restricts_gated_metrics() {
+        let base = vec![m("sad_interior", 100.0), m("encode_tiles", 100.0)];
+        let fresh = vec![m("sad_interior", 100.0), m("encode_tiles", 500.0)];
+        // The encode metric regressed 5x, but the filter excludes it.
+        assert!(compare(&base, &fresh, DEFAULT_THRESHOLD, Some("sad")).passed());
+        assert!(!compare(&base, &fresh, DEFAULT_THRESHOLD, None).passed());
+    }
+
+    #[test]
+    fn missing_metric_skips_with_warning() {
+        let base = vec![m("gone", 100.0), m("kept", 100.0)];
+        let fresh = vec![m("kept", 100.0)];
+        let report = compare(&base, &fresh, DEFAULT_THRESHOLD, None);
+        assert!(report.passed());
+        assert_eq!(report.missing, vec!["gone".to_owned()]);
+    }
+
+    // The committed trajectory must gate cleanly against itself — this
+    // is the "passes on the committed trajectory" acceptance check, run
+    // against the real artifact in the repo root.
+    #[test]
+    fn committed_trajectory_passes_against_itself() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_0005.json");
+        let json = std::fs::read_to_string(path).expect("BENCH_0005.json committed at repo root");
+        let metrics = parse_metrics(&json);
+        assert!(metrics.len() >= 15, "expected a full report, got {}", metrics.len());
+        let report = compare(&metrics, &metrics, DEFAULT_THRESHOLD, None);
+        assert!(report.passed());
+        assert!(report.missing.is_empty());
+    }
+
+    // And a synthetic 20% slowdown of every metric in the committed
+    // trajectory must trip the gate — the injected-regression negative
+    // test against the real baseline.
+    #[test]
+    fn committed_trajectory_fails_on_injected_regression() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_0005.json");
+        let json = std::fs::read_to_string(path).expect("BENCH_0005.json committed at repo root");
+        let base = parse_metrics(&json);
+        let fresh: Vec<Metric> = base.iter().map(|b| m(&b.name, b.ns_per_op * 1.20)).collect();
+        let report = compare(&base, &fresh, DEFAULT_THRESHOLD, None);
+        assert!(!report.passed());
+        assert_eq!(report.regressions.len(), base.len());
+    }
+}

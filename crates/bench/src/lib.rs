@@ -10,6 +10,12 @@
 //! * `ablations` — the design-choice sweeps listed in DESIGN.md §6
 //!   (predictor families at equal budget, TAGE geometry, replacement
 //!   policies, prefetch, MLP modelling).
+//!
+//! [`gate`] holds the `vstress-bench gate` comparison logic — the
+//! perf-trajectory regression gate run by CI against the committed
+//! `BENCH_*.json` baselines.
+
+pub mod gate;
 
 use vstress::experiments::ExperimentConfig;
 

@@ -1,9 +1,14 @@
 //! `vstress-bench` — the machine-readable perf-trajectory harness.
 //!
 //! ```text
-//! vstress-bench                      # full run, writes BENCH_0004.json
-//! vstress-bench --quick              # CI mode: shorter sampling windows
-//! vstress-bench --out path.json      # write the report elsewhere
+//! vstress-bench                        # full run, writes BENCH_0005.json
+//! vstress-bench --quick                # CI mode: shorter sampling windows
+//! vstress-bench --filter tage          # only metrics whose name matches
+//! vstress-bench --out path.json        # write the report elsewhere
+//! vstress-bench gate --baseline BENCH_0005.json --quick --filter sad
+//!                                      # rerun, fail on >10% regression
+//! vstress-bench gate --baseline a.json --fresh b.json
+//!                                      # compare two existing reports
 //! ```
 //!
 //! Times the leaf pixel kernels (interior and border paths separately),
@@ -11,15 +16,18 @@
 //! stream, core-model event drain, branch predictors, CBP window
 //! replay — each next to its pre-optimization reference so the speedup
 //! is visible inside one report), and a full quick-profile encode, then
-//! emits one JSON report (`ns/op`, `pixels/s`, wall time, git revision)
-//! so every PR can be compared against the committed trajectory.
-//! Human-readable lines go to stderr; the JSON artifact is the contract.
+//! emits one JSON report (`ns/op`, `pixels/s`, wall time, git revision,
+//! build metadata) so every PR can be compared against the committed
+//! trajectory. Human-readable lines go to stderr; the JSON artifact is
+//! the contract. `gate` mode turns the comparison into an exit code for
+//! CI (see [`vstress_bench::gate`]).
 
 use std::hint::black_box;
 use std::time::Instant;
-use vstress::bpred::{harness, BranchPredictor, Gshare, ReferenceGshare, Tage};
+use vstress::bpred::{harness, BranchPredictor, Gshare, ReferenceGshare, ReferenceTage, Tage};
 use vstress::cache::config::PrefetchKind;
 use vstress::cache::{Hierarchy, HierarchyConfig, ReferenceHierarchy};
+use vstress::cli::{self, FlagSpec};
 use vstress::codecs::blocks::BlockRect;
 use vstress::codecs::kernels;
 use vstress::codecs::mc::{motion_compensate, MotionVector};
@@ -30,10 +38,41 @@ use vstress::pipeline::CoreModel;
 use vstress::trace::record::BranchRecord;
 use vstress::trace::{Kernel, NullProbe, Probe, ProbeEvent};
 use vstress::video::Plane;
+use vstress_bench::gate;
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec::switch("--quick", "short sampling windows (CI mode)"),
+    FlagSpec::value("--out", "FILE", "report path (default BENCH_0005.json)"),
+    FlagSpec::value("--filter", "SUBSTR", "only run/gate metrics whose name contains SUBSTR"),
+    FlagSpec::value(
+        "--tile-workers",
+        "N",
+        "workers for the tile-parallel encode sample (default 4)",
+    ),
+    FlagSpec::value("--baseline", "FILE", "gate: committed trajectory to compare against"),
+    FlagSpec::value("--fresh", "FILE", "gate: compare this report instead of rerunning"),
+    FlagSpec::value("--threshold", "FRAC", "gate: allowed slowdown fraction (default 0.10)"),
+];
+
+/// Parses the gate threshold: a fraction like `0.10` (10% slowdown) or
+/// `1.0` (2x). CI runners with unknown hardware use a loose value; local
+/// runs keep the strict default.
+fn threshold_frac(raw: &str) -> Result<f64, String> {
+    match raw.parse::<f64>() {
+        Ok(v) if v.is_finite() && v > 0.0 => Ok(v),
+        _ => Err("expected a positive fraction like 0.10".to_owned()),
+    }
+}
+
+fn usage_error(e: &cli::CliError) -> ! {
+    eprintln!("vstress-bench: {e}");
+    eprint!("{}", cli::usage("vstress-bench", "[gate] [flags]", FLAGS));
+    std::process::exit(cli::USAGE_EXIT.into());
+}
 
 /// One timed microbenchmark.
 struct Sample {
-    name: &'static str,
+    name: String,
     iters: u64,
     ns_per_op: f64,
     /// Pixels processed per op (0 when the metric is not pixel-shaped).
@@ -50,31 +89,49 @@ impl Sample {
     }
 }
 
-/// Runs `f` repeatedly for roughly `target_ms`, returning the sample.
-fn time_it(name: &'static str, pixels_per_op: u64, target_ms: u64, mut f: impl FnMut()) -> Sample {
-    // Warm up and calibrate the batch size on a short probe run.
-    let probe_start = Instant::now();
-    let mut probe_iters = 0u64;
-    while probe_start.elapsed().as_millis() < 10 || probe_iters < 3 {
-        f();
-        probe_iters += 1;
+/// Collects samples, honoring the `--filter` substring: setup always
+/// runs (it is cheap and shared), timing loops only for matching names.
+struct Suite {
+    filter: Option<String>,
+    target_ms: u64,
+    samples: Vec<Sample>,
+}
+
+impl Suite {
+    fn wants(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
     }
-    let ns_estimate = (probe_start.elapsed().as_nanos() as f64 / probe_iters as f64).max(1.0);
-    let iters = ((target_ms as f64 * 1e6) / ns_estimate).ceil().max(1.0) as u64;
-    let start = Instant::now();
-    for _ in 0..iters {
-        f();
+
+    /// Runs `f` repeatedly for roughly `target_ms` and records the sample
+    /// (skipped entirely when the name fails the filter).
+    fn time_it(&mut self, name: &str, pixels_per_op: u64, mut f: impl FnMut()) {
+        if !self.wants(name) {
+            return;
+        }
+        // Warm up and calibrate the batch size on a short probe run.
+        let probe_start = Instant::now();
+        let mut probe_iters = 0u64;
+        while probe_start.elapsed().as_millis() < 10 || probe_iters < 3 {
+            f();
+            probe_iters += 1;
+        }
+        let ns_estimate = (probe_start.elapsed().as_nanos() as f64 / probe_iters as f64).max(1.0);
+        let iters = ((self.target_ms as f64 * 1e6) / ns_estimate).ceil().max(1.0) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ns_per_op = start.elapsed().as_nanos() as f64 / iters as f64;
+        let s = Sample { name: name.to_owned(), iters, ns_per_op, pixels_per_op };
+        eprintln!(
+            "vstress-bench: {:<34} {:>12.1} ns/op {:>10.1} Mpx/s  ({} iters)",
+            s.name,
+            s.ns_per_op,
+            s.mpixels_per_s(),
+            s.iters
+        );
+        self.samples.push(s);
     }
-    let ns_per_op = start.elapsed().as_nanos() as f64 / iters as f64;
-    let s = Sample { name, iters, ns_per_op, pixels_per_op };
-    eprintln!(
-        "vstress-bench: {:<28} {:>12.1} ns/op {:>10.1} Mpx/s  ({} iters)",
-        s.name,
-        s.ns_per_op,
-        s.mpixels_per_s(),
-        s.iters
-    );
-    s
 }
 
 /// A deterministic textured plane (same terrain as the mesearch tests).
@@ -116,21 +173,67 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_0004.json".to_owned());
-    let target_ms: u64 = if quick { 40 } else { 250 };
+/// Everything the comparison needs to be apples-to-apples: the
+/// trajectory is only meaningful between runs with the same shape.
+struct BuildMeta {
+    mode: &'static str,
+    tile_workers: usize,
+    threads: usize,
+    profile: &'static str,
+}
 
-    eprintln!("vstress-bench: mode = {}", if quick { "quick" } else { "full" });
+fn render_report(
+    samples: &[Sample],
+    meta: &BuildMeta,
+    encode_wall_ms: Option<f64>,
+    char_wall_ms: Option<f64>,
+) -> String {
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": 2,\n");
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", json_escape(&git_rev())));
+    json.push_str(&format!("  \"mode\": \"{}\",\n", meta.mode));
+    json.push_str(&format!(
+        "  \"meta\": {{\"tile_workers\": {}, \"threads\": {}, \"profile\": \"{}\"}},\n",
+        meta.tile_workers, meta.threads, meta.profile
+    ));
+    json.push_str("  \"kernels\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_op\": {:.2}, \
+             \"pixels_per_op\": {}, \"mpixels_per_s\": {:.2}}}{}\n",
+            s.name,
+            s.iters,
+            s.ns_per_op,
+            s.pixels_per_op,
+            s.mpixels_per_s(),
+            if i + 1 == samples.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]");
+    if let Some(ms) = encode_wall_ms {
+        json.push_str(&format!(
+            ",\n  \"encode\": {{\"name\": \"quick_profile\", \"wall_ms\": {ms:.1}}}"
+        ));
+    }
+    if let Some(ms) = char_wall_ms {
+        json.push_str(&format!(
+            ",\n  \"characterization\": {{\"name\": \"quick_profile_pipeline\", \"wall_ms\": {ms:.1}}}"
+        ));
+    }
+    json.push_str("\n}\n");
+    json
+}
 
+/// Runs the whole microbenchmark suite (filtered), returning the samples
+/// plus the wall clocks of the two end-to-end phases when they ran.
+fn run_suite(suite: &mut Suite, tile_workers: usize) -> (Option<f64>, Option<f64>) {
     let cur = textured(64, 64, 4);
-    let refp = textured(64, 64, 0);
+    // The reference plane carries the edge-padded shadow, as the encoder's
+    // reconstruction planes do — border SAD and off-frame MC go through
+    // the contiguous padded rows instead of per-pixel clamping.
+    let mut refp = textured(64, 64, 0);
+    refp.pad_borders();
     let rect32 = BlockRect::new(16, 16, 32, 32);
     let rect16 = BlockRect::new(16, 16, 16, 16);
     let pred16: Vec<u8> = (0..256).map(|i| (i * 7 % 251) as u8).collect();
@@ -139,10 +242,8 @@ fn main() {
     let mut out_plane = Plane::new(64, 64, 0).unwrap();
     let mut mc_dst = vec![0u8; 32 * 32];
 
-    let mut samples: Vec<Sample> = Vec::new();
-
     // Interior SAD/SSE: the displaced block stays fully inside the frame.
-    samples.push(time_it("sad_plane_plane_interior", 32 * 32, target_ms, || {
+    suite.time_it("sad_plane_plane_interior", 32 * 32, || {
         black_box(kernels::sad_plane_plane(
             &mut NullProbe,
             black_box(&cur),
@@ -151,9 +252,9 @@ fn main() {
             2,
             1,
         ));
-    }));
+    });
     // Border SAD: the motion vector pushes the reference off-frame.
-    samples.push(time_it("sad_plane_plane_border", 32 * 32, target_ms, || {
+    suite.time_it("sad_plane_plane_border", 32 * 32, || {
         black_box(kernels::sad_plane_plane(
             &mut NullProbe,
             black_box(&cur),
@@ -162,33 +263,33 @@ fn main() {
             -40,
             -40,
         ));
-    }));
-    samples.push(time_it("sad_plane_pred_16x16", 16 * 16, target_ms, || {
+    });
+    suite.time_it("sad_plane_pred_16x16", 16 * 16, || {
         black_box(kernels::sad_plane_pred(
             &mut NullProbe,
             black_box(&cur),
             rect16,
             black_box(&pred16),
         ));
-    }));
-    samples.push(time_it("sse_plane_pred_16x16", 16 * 16, target_ms, || {
+    });
+    suite.time_it("sse_plane_pred_16x16", 16 * 16, || {
         black_box(kernels::sse_plane_pred(
             &mut NullProbe,
             black_box(&cur),
             rect16,
             black_box(&pred16),
         ));
-    }));
-    samples.push(time_it("residual_16x16", 16 * 16, target_ms, || {
+    });
+    suite.time_it("residual_16x16", 16 * 16, || {
         kernels::residual(&mut NullProbe, black_box(&cur), rect16, &pred16, &mut res16);
-    }));
-    samples.push(time_it("reconstruct_16x16", 16 * 16, target_ms, || {
+    });
+    suite.time_it("reconstruct_16x16", 16 * 16, || {
         kernels::reconstruct(&mut NullProbe, &mut out_plane, rect16, &pred16, &res16);
-    }));
-    samples.push(time_it("write_pred_16x16", 16 * 16, target_ms, || {
+    });
+    suite.time_it("write_pred_16x16", 16 * 16, || {
         kernels::write_pred(&mut NullProbe, &mut out_plane, rect16, &pred16);
-    }));
-    samples.push(time_it("mc_fullpel_32x32", 32 * 32, target_ms, || {
+    });
+    suite.time_it("mc_fullpel_32x32", 32 * 32, || {
         motion_compensate(
             &mut NullProbe,
             black_box(&refp),
@@ -196,8 +297,8 @@ fn main() {
             MotionVector::from_fullpel(2, 1),
             &mut mc_dst,
         );
-    }));
-    samples.push(time_it("mc_halfpel_32x32", 32 * 32, target_ms, || {
+    });
+    suite.time_it("mc_halfpel_32x32", 32 * 32, || {
         motion_compensate(
             &mut NullProbe,
             black_box(&refp),
@@ -205,11 +306,11 @@ fn main() {
             MotionVector { x: 5, y: 3 },
             &mut mc_dst,
         );
-    }));
+    });
 
     let me = MeSettings { range: 12, exhaustive_radius: 0, refine_steps: 16, subpel: true };
     let mut scratch = MeScratch::new();
-    samples.push(time_it("motion_search_16x16", 0, target_ms, || {
+    suite.time_it("motion_search_16x16", 0, || {
         black_box(motion_search(
             &mut NullProbe,
             black_box(&cur),
@@ -220,11 +321,11 @@ fn main() {
             2,
             &mut scratch,
         ));
-    }));
+    });
 
     // ---- Simulation-side microbenchmarks. Each optimized path is timed
     // next to the kept pre-optimization reference (`*_ref` /
-    // `*_per_event` / `*_per_record` names), so the speedup of this PR's
+    // `*_per_event` / `*_per_record` names), so the speedup of the
     // rewrites stays visible inside a single report.
 
     // Cache hierarchy, streaming load/store sweep: sequential 8-byte
@@ -236,17 +337,17 @@ fn main() {
     hier_cfg.l2_prefetch = PrefetchKind::Stride;
     let addrs: Vec<u64> = (0..4096u64).map(|i| (i * 8) % (512 << 10)).collect();
     let mut live_hier = Hierarchy::new(hier_cfg);
-    samples.push(time_it("sim_hier_load_stream_4k", 0, target_ms, || {
+    suite.time_it("sim_hier_load_stream_4k", 0, || {
         for &a in &addrs {
             black_box(live_hier.load(black_box(a), 8));
         }
-    }));
+    });
     let mut ref_hier = ReferenceHierarchy::new(hier_cfg);
-    samples.push(time_it("sim_hier_load_stream_4k_ref", 0, target_ms, || {
+    suite.time_it("sim_hier_load_stream_4k_ref", 0, || {
         for &a in &addrs {
             black_box(ref_hier.load(black_box(a), 8));
         }
-    }));
+    });
 
     // Core-model event drain: one batched `drain_batch` call versus the
     // old per-event dispatch loop, over an encoder-shaped event mix.
@@ -269,11 +370,11 @@ fn main() {
         })
         .collect();
     let mut batched_model = CoreModel::broadwell();
-    samples.push(time_it("sim_core_drain_16k", 0, target_ms, || {
+    suite.time_it("sim_core_drain_16k", 0, || {
         batched_model.drain_batch(black_box(&events));
-    }));
+    });
     let mut per_event_model = CoreModel::broadwell();
-    samples.push(time_it("sim_core_drain_16k_per_event", 0, target_ms, || {
+    suite.time_it("sim_core_drain_16k_per_event", 0, || {
         // The pre-batching interface: every event crosses the probe
         // boundary as its own method call.
         for &e in black_box(&events) {
@@ -287,36 +388,45 @@ fn main() {
                 ProbeEvent::Branch { pc, taken } => per_event_model.branch(pc, taken),
             }
         }
-    }));
+    });
 
-    // Branch predictors: single predict+update round-trips.
+    // Branch predictors: single predict+update round-trips, the live
+    // rewrites next to their kept references.
     let mut g32 = Gshare::with_budget_bytes(32 << 10);
     let mut bi = 0u64;
-    samples.push(time_it("sim_gshare32_predict_update", 0, target_ms, || {
+    suite.time_it("sim_gshare32_predict_update", 0, || {
         bi = bi.wrapping_add(0x9e37_79b9);
         let pc = 0x1000 + (bi % 64) * 8;
         let taken = bi & 3 != 0;
         let guess = g32.predict(pc);
         g32.update(pc, taken, guess);
         black_box(guess);
-    }));
+    });
     let mut t8 = Tage::seznec_8kb();
-    samples.push(time_it("sim_tage8_predict_update", 0, target_ms, || {
+    suite.time_it("sim_tage8_predict_update", 0, || {
         bi = bi.wrapping_add(0x9e37_79b9);
         let pc = 0x1000 + (bi % 64) * 8;
         let taken = bi & 3 != 0;
         let guess = t8.predict(pc);
         t8.update(pc, taken, guess);
         black_box(guess);
-    }));
+    });
+    let mut rt8 = ReferenceTage::seznec_8kb();
+    suite.time_it("sim_tage8_predict_update_ref", 0, || {
+        bi = bi.wrapping_add(0x9e37_79b9);
+        let pc = 0x1000 + (bi % 64) * 8;
+        let taken = bi & 3 != 0;
+        let guess = rt8.predict(pc);
+        rt8.update(pc, taken, guess);
+        black_box(guess);
+    });
 
     // CBP window replay, through type erasure as the study runs it: the
     // whole-trace `replay` entry point (one virtual call per trace, with
-    // predict/update statically dispatched inside and the gshare history
-    // in a register) versus the pre-rewrite path — `ReferenceGshare`'s
-    // bit-by-bit history reads driven by the old per-record loop (two
-    // virtual calls per branch). Fresh predictor per iteration so both
-    // sides always replay from untrained tables.
+    // predict/update statically dispatched inside) versus the pre-rewrite
+    // path — the kept reference implementations driven by the old
+    // per-record loop (two virtual calls per branch). Fresh predictor per
+    // iteration so both sides always replay from untrained tables.
     let trace: Vec<BranchRecord> = (0..100_000u64)
         .map(|i| {
             x ^= x << 13;
@@ -329,25 +439,29 @@ fn main() {
             }
         })
         .collect();
-    samples.push(time_it("sim_cbp_replay_gshare2_100k", 0, target_ms, || {
+    suite.time_it("sim_cbp_replay_gshare2_100k", 0, || {
         let mut p: Box<dyn BranchPredictor> = Box::new(Gshare::with_budget_bytes(2 << 10));
         black_box(harness::run_with_window(&mut p, black_box(&trace), 1_000_000));
-    }));
-    samples.push(time_it("sim_cbp_replay_gshare2_100k_ref", 0, target_ms, || {
+    });
+    suite.time_it("sim_cbp_replay_gshare2_100k_ref", 0, || {
         let mut p: Box<dyn BranchPredictor> = Box::new(ReferenceGshare::with_budget_bytes(2 << 10));
         black_box(harness::run_per_record(p.as_mut(), black_box(&trace), 1_000_000));
-    }));
-    samples.push(time_it("sim_cbp_replay_tage8_100k", 0, target_ms, || {
+    });
+    suite.time_it("sim_cbp_replay_tage8_100k", 0, || {
         let mut p: Box<dyn BranchPredictor> = Box::new(Tage::seznec_8kb());
         black_box(harness::run_with_window(&mut p, black_box(&trace), 1_000_000));
-    }));
-    samples.push(time_it("sim_cbp_replay_tage8_100k_per_record", 0, target_ms, || {
+    });
+    suite.time_it("sim_cbp_replay_tage8_100k_per_record", 0, || {
         let mut p: Box<dyn BranchPredictor> = Box::new(Tage::seznec_8kb());
         black_box(harness::run_per_record(p.as_mut(), black_box(&trace), 1_000_000));
-    }));
+    });
+    suite.time_it("sim_cbp_replay_tage8_100k_ref", 0, || {
+        let mut p: Box<dyn BranchPredictor> = Box::new(ReferenceTage::seznec_8kb());
+        black_box(harness::run_per_record(p.as_mut(), black_box(&trace), 1_000_000));
+    });
 
     // Intra-encode tile parallelism: one dead-probe SVT-AV1 encode at 1
-    // vs 4 tile workers. The artifacts are identical by the probe-merge
+    // vs N tile workers. The artifacts are identical by the probe-merge
     // contract; only the partition-planning wall clock may differ, and
     // this pair makes the phase-A speedup (or single-core overhead)
     // visible in the trajectory.
@@ -364,69 +478,165 @@ fn main() {
     .expect("even dimensions synthesize");
     let tile_encoder = vstress::codecs::Encoder::new(CodecId::SvtAv1, EncoderParams::new(35, 6))
         .expect("valid params");
-    samples.push(time_it("encode_tile_workers_1", 0, target_ms, || {
+    suite.time_it("encode_tile_workers_1", 0, || {
         let mut probe = NullProbe;
         black_box(tile_encoder.encode_with(&tile_clip, &mut probe, 1).expect("encode"));
-    }));
-    samples.push(time_it("encode_tile_workers_4", 0, target_ms, || {
+    });
+    suite.time_it(&format!("encode_tile_workers_{tile_workers}"), 0, || {
         let mut probe = NullProbe;
-        black_box(tile_encoder.encode_with(&tile_clip, &mut probe, 4).expect("encode"));
-    }));
+        black_box(tile_encoder.encode_with(&tile_clip, &mut probe, tile_workers).expect("encode"));
+    });
 
     // Full quick-profile encode: the hot-kernel profile experiment over the
     // quick configuration, exactly what `vstress-repro profile` runs. This
     // is a counting-only pass (no simulators attached), so it tracks the
     // encoder kernels, not the simulation path.
-    let encode_start = Instant::now();
-    let cfg = ExperimentConfig::quick();
-    profile::table_hot_kernels(&cfg).expect("quick profile");
-    let encode_wall_ms = encode_start.elapsed().as_secs_f64() * 1e3;
-    eprintln!("vstress-bench: quick_profile_encode      {encode_wall_ms:>12.1} ms wall");
+    let encode_wall_ms = if suite.wants("quick_profile_encode") {
+        let encode_start = Instant::now();
+        let cfg = ExperimentConfig::quick();
+        profile::table_hot_kernels(&cfg).expect("quick profile");
+        let ms = encode_start.elapsed().as_secs_f64() * 1e3;
+        eprintln!("vstress-bench: quick_profile_encode      {ms:>12.1} ms wall");
+        Some(ms)
+    } else {
+        None
+    };
 
     // Full quick-profile characterization: the same five clips and encoder
     // parameters, but with the pipeline model attached (cache hierarchy,
     // top-down slots, fetch stream) — the configuration every figure
     // experiment actually runs, and the wall clock the simulation-path
     // optimizations are accountable to.
-    let char_start = Instant::now();
-    let char_cfg = ExperimentConfig::quick();
-    let char_specs: Vec<_> = char_cfg
-        .clips
-        .iter()
-        .map(|&clip| char_cfg.spec(clip, CodecId::SvtAv1, EncoderParams::new(35, 4)))
-        .collect();
-    char_cfg.run_specs(&char_specs).expect("quick characterization");
-    let char_wall_ms = char_start.elapsed().as_secs_f64() * 1e3;
-    eprintln!("vstress-bench: quick_profile_characterization {char_wall_ms:>7.1} ms wall");
+    let char_wall_ms = if suite.wants("quick_profile_characterization") {
+        let char_start = Instant::now();
+        let char_cfg = ExperimentConfig::quick();
+        let char_specs: Vec<_> = char_cfg
+            .clips
+            .iter()
+            .map(|&clip| char_cfg.spec(clip, CodecId::SvtAv1, EncoderParams::new(35, 4)))
+            .collect();
+        char_cfg.run_specs(&char_specs).expect("quick characterization");
+        let ms = char_start.elapsed().as_secs_f64() * 1e3;
+        eprintln!("vstress-bench: quick_profile_characterization {ms:>7.1} ms wall");
+        Some(ms)
+    } else {
+        None
+    };
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"schema\": 1,\n");
-    json.push_str(&format!("  \"git_rev\": \"{}\",\n", json_escape(&git_rev())));
-    json.push_str(&format!("  \"mode\": \"{}\",\n", if quick { "quick" } else { "full" }));
-    json.push_str("  \"kernels\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"iters\": {}, \"ns_per_op\": {:.2}, \
-             \"pixels_per_op\": {}, \"mpixels_per_s\": {:.2}}}{}\n",
-            s.name,
-            s.iters,
-            s.ns_per_op,
-            s.pixels_per_op,
-            s.mpixels_per_s(),
-            if i + 1 == samples.len() { "" } else { "," }
-        ));
+    (encode_wall_ms, char_wall_ms)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match cli::parse(&args, FLAGS) {
+        Ok(p) => p,
+        Err(e) => usage_error(&e),
+    };
+    for p in &parsed.positionals {
+        if p != "gate" {
+            usage_error(&cli::CliError::Unknown { flag: p.clone(), valid: "gate".to_owned() });
+        }
     }
-    json.push_str("  ],\n");
-    json.push_str(&format!(
-        "  \"encode\": {{\"name\": \"quick_profile\", \"wall_ms\": {encode_wall_ms:.1}}},\n"
-    ));
-    json.push_str(&format!(
-        "  \"characterization\": {{\"name\": \"quick_profile_pipeline\", \
-         \"wall_ms\": {char_wall_ms:.1}}}\n"
-    ));
-    json.push_str("}\n");
+    let gate_mode = parsed.positionals.iter().any(|p| p == "gate");
+    let quick = parsed.switch("--quick");
+    let filter = parsed.value("--filter").map(str::to_owned);
+    let tile_workers = match parsed.parsed("--tile-workers", cli::positive_usize) {
+        Ok(v) => v.unwrap_or(4),
+        Err(e) => usage_error(&e),
+    };
+    let out_path = parsed.value("--out").unwrap_or("BENCH_0005.json").to_owned();
 
+    let meta = BuildMeta {
+        mode: if quick { "quick" } else { "full" },
+        tile_workers,
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        profile: if cfg!(debug_assertions) { "debug" } else { "release" },
+    };
+
+    if gate_mode {
+        let threshold = match parsed.parsed("--threshold", threshold_frac) {
+            Ok(v) => v.unwrap_or(gate::DEFAULT_THRESHOLD),
+            Err(e) => usage_error(&e),
+        };
+        let Some(baseline_path) = parsed.value("--baseline") else {
+            eprintln!("vstress-bench: gate needs --baseline FILE (the committed trajectory)");
+            std::process::exit(cli::USAGE_EXIT.into());
+        };
+        let baseline_json = match std::fs::read_to_string(baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("vstress-bench: cannot read baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let base = gate::parse_metrics(&baseline_json);
+        if base.is_empty() {
+            eprintln!("vstress-bench: no metrics in baseline {baseline_path}");
+            std::process::exit(1);
+        }
+        let fresh = match parsed.value("--fresh") {
+            Some(fresh_path) => {
+                let json = match std::fs::read_to_string(fresh_path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("vstress-bench: cannot read fresh report {fresh_path}: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                gate::parse_metrics(&json)
+            }
+            None => {
+                eprintln!("vstress-bench: gate mode = {} (baseline {baseline_path})", meta.mode);
+                let mut suite = Suite {
+                    filter: filter.clone(),
+                    target_ms: if quick { 40 } else { 250 },
+                    samples: Vec::new(),
+                };
+                let (encode_ms, char_ms) = run_suite(&mut suite, tile_workers);
+                let json = render_report(&suite.samples, &meta, encode_ms, char_ms);
+                // Persist the fresh report only when asked: CI uploads it
+                // as the run artifact.
+                if parsed.value("--out").is_some() {
+                    if let Err(e) = std::fs::write(&out_path, &json) {
+                        eprintln!("vstress-bench: cannot write {out_path}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("vstress-bench: wrote {out_path}");
+                }
+                suite
+                    .samples
+                    .iter()
+                    .map(|s| gate::Metric { name: s.name.clone(), ns_per_op: s.ns_per_op })
+                    .collect()
+            }
+        };
+        let report = gate::compare(&base, &fresh, threshold, filter.as_deref());
+        for line in &report.lines {
+            eprintln!("vstress-bench: gate: {line}");
+        }
+        if !report.missing.is_empty() {
+            eprintln!(
+                "vstress-bench: gate: {} baseline metric(s) missing from fresh report",
+                report.missing.len()
+            );
+        }
+        if report.passed() {
+            eprintln!("vstress-bench: gate: PASS ({} metrics compared)", report.lines.len());
+        } else {
+            eprintln!(
+                "vstress-bench: gate: FAIL — {} metric(s) regressed more than {:.0}%",
+                report.regressions.len(),
+                threshold * 100.0
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    eprintln!("vstress-bench: mode = {}", meta.mode);
+    let mut suite = Suite { filter, target_ms: if quick { 40 } else { 250 }, samples: Vec::new() };
+    let (encode_ms, char_ms) = run_suite(&mut suite, tile_workers);
+    let json = render_report(&suite.samples, &meta, encode_ms, char_ms);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("vstress-bench: cannot write {out_path}: {e}");
         std::process::exit(1);

@@ -44,7 +44,7 @@ pub use harness::{run, BpredStats};
 pub use local::TwoLevelLocal;
 pub use looppred::{LoopPredictor, TageWithLoop};
 pub use perceptron::Perceptron;
-pub use reference::ReferenceGshare;
+pub use reference::{ReferenceGshare, ReferenceTage};
 pub use tage::{Tage, TageConfig};
 pub use tournament::Tournament;
 

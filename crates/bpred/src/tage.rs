@@ -8,10 +8,32 @@
 //! 2-bit usefulness counters; mispredictions allocate into longer tables,
 //! and usefulness is periodically aged, exactly as in the CBP reference
 //! implementations.
+//!
+//! # Hot-path layout
+//!
+//! This is the rewritten fast implementation; the original lives on as
+//! [`crate::reference::ReferenceTage`], and property tests pin the two
+//! to identical per-branch predictions. Three structural changes:
+//!
+//! * **Flat tables.** All tagged tables share one contiguous `Vec`
+//!   (table `t` at `t << log_entries`), removing a pointer chase per
+//!   table per lookup.
+//! * **Inline folded histories.** The per-table folded index/tag
+//!   registers live in fixed struct-of-arrays fields updated by one
+//!   tight loop per retire — same incremental O(1)-per-fold maths as
+//!   [`crate::history::FoldedHistory`], without the heap `Vec` walk —
+//!   and the one ejected history bit each table needs is read once and
+//!   shared by its three folds.
+//! * **No scratch copies.** The prediction scratch is computed into a
+//!   caller-provided buffer; `predict`/`update` keep the original
+//!   store-to-`last` contract, while the whole-trace [`Tage::replay`]
+//!   override keeps the scratch in a stack local and writes `last` once
+//!   at the end, leaving identical state to the per-record loop.
 
 use crate::counter::SatCounter;
-use crate::history::HistoryBundle;
+use crate::history::GlobalHistory;
 use crate::BranchPredictor;
+use vstress_trace::record::BranchRecord;
 
 /// Geometry and budget of a [`Tage`] predictor.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -70,6 +92,9 @@ impl TageConfig {
     }
 }
 
+/// Most tables a [`Tage`] supports (the inline scratch and fold arrays
+/// are sized for it).
+const MAX_TABLES: usize = 16;
 #[derive(Debug, Clone, Copy, Default)]
 struct TageEntry {
     /// 3-bit counter; >= 4 predicts taken.
@@ -103,34 +128,68 @@ impl TageEntry {
 }
 
 /// The TAGE predictor. See the module docs for structure.
+///
+/// The tables/history state lives in [`TageCore`], a separate field
+/// from the `last` prediction scratch, so `update` can train (`&mut
+/// core`) while reading the scratch (`&last`) without copying the
+/// ~100-byte scratch struct on every branch.
 #[derive(Debug, Clone)]
 pub struct Tage {
+    core: TageCore,
+    /// Scratch from the last prediction, consumed by `update`.
+    last: Prediction,
+}
+
+/// All predictor state except the prediction scratch.
+#[derive(Debug, Clone)]
+struct TageCore {
     config: TageConfig,
     bimodal: Vec<SatCounter<2>>,
-    tables: Vec<Vec<TageEntry>>,
-    history: HistoryBundle,
+    /// All tagged tables, flat: table `t` spans
+    /// `t << log_entries .. (t + 1) << log_entries`.
+    table: Vec<TageEntry>,
+    /// Raw outcome history, read only for the bits ejected from folds.
+    global: GlobalHistory,
+    /// All three folded registers of table `t`, packed into one `u64`
+    /// lane: the index fold at bit 0, tag fold 1 at [`TageCore::o1`],
+    /// tag fold 2 at [`TageCore::o2`]. Sub-lane offsets leave `2w` bits
+    /// of room per fold (`Tage::new` asserts the geometry fits), so the
+    /// shift-fold-back of each register never collides with its
+    /// neighbour and one masked sweep updates all three at once — every
+    /// shift amount uniform across tables, no per-lane variable shifts
+    /// at all.
+    fold_packed: [u64; MAX_TABLES],
+    /// Per-table ejected-bit injection points: bit `o_k + (len % w_k)`
+    /// set for each of the three sub-lanes.
+    eject_mask: [u64; MAX_TABLES],
+    /// Sub-lane bit offsets of tag fold 1 / tag fold 2.
+    o1: u32,
+    o2: u32,
+    /// Geometric history length per table.
+    hist_len: [u16; MAX_TABLES],
     /// 4-bit USE_ALT_ON_NA: trust the alternate when the provider is new.
     use_alt_on_na: u8,
-    updates: u64,
+    /// Branches remaining until the next usefulness-aging sweep; a
+    /// countdown instead of a modulo so the steady-state update path
+    /// carries no integer division.
+    until_reset: u64,
     /// Which half of the usefulness bits the next aging event clears.
     age_phase: bool,
     /// Deterministic xorshift state for allocation randomization.
     rng: u64,
-    /// Scratch from the last prediction, consumed by `update`.
-    last: Prediction,
 }
 
 #[derive(Debug, Clone, Copy, Default)]
 struct Prediction {
     pc: u64,
-    provider: Option<usize>,
-    provider_index: usize,
+    provider: Option<u8>,
+    provider_index: u32,
     alt_pred: bool,
     provider_pred: bool,
     final_pred: bool,
     provider_is_new: bool,
-    table_indices: [usize; 16],
-    table_tags: [u16; 16],
+    table_indices: [u32; MAX_TABLES],
+    table_tags: [u16; MAX_TABLES],
 }
 
 impl Tage {
@@ -142,29 +201,44 @@ impl Tage {
     /// tables, zero tag bits, or a non-increasing history range).
     pub fn new(config: TageConfig) -> Self {
         assert!(
-            (1..=16).contains(&config.num_tables),
+            (1..=MAX_TABLES).contains(&config.num_tables),
             "num_tables must be 1..=16 (Prediction scratch is fixed-size)"
         );
         assert!(config.tag_bits >= 4 && config.tag_bits <= 16, "tag_bits must be 4..=16");
         assert!(config.min_history >= 1 && config.max_history > config.min_history);
         assert!(config.log_entries >= 4 && config.log_bimodal >= 4);
-        let mut specs = Vec::new();
-        for i in 0..config.num_tables {
-            let l = config.history_length(i);
-            specs.push((l, config.log_entries as usize)); // index fold
-            specs.push((l, config.tag_bits as usize)); // tag fold 1
-            specs.push((l, (config.tag_bits - 1) as usize)); // tag fold 2
+        let widths = [config.log_entries, config.tag_bits, config.tag_bits - 1];
+        let offsets = [0, 2 * widths[0], 2 * widths[0] + 2 * widths[1]];
+        assert!(
+            offsets[2] + widths[2] < 64,
+            "fold lanes must fit one u64: need 2*log_entries + 3*tag_bits <= 64"
+        );
+        let mut eject_mask = [0u64; MAX_TABLES];
+        let mut hist_len = [0u16; MAX_TABLES];
+        for t in 0..config.num_tables {
+            let l = config.history_length(t);
+            hist_len[t] = l as u16;
+            for (&o, &w) in offsets.iter().zip(&widths) {
+                eject_mask[t] |= 1u64 << (o + (l as u32 % w));
+            }
         }
         Tage {
-            bimodal: vec![SatCounter::weakly_not_taken(); 1 << config.log_bimodal],
-            tables: vec![vec![TageEntry::default(); 1 << config.log_entries]; config.num_tables],
-            history: HistoryBundle::new(&specs),
-            use_alt_on_na: 8,
-            updates: 0,
-            age_phase: false,
-            rng: 0x2545_f491_4f6c_dd1d,
+            core: TageCore {
+                bimodal: vec![SatCounter::weakly_not_taken(); 1 << config.log_bimodal],
+                table: vec![TageEntry::default(); config.num_tables << config.log_entries],
+                global: GlobalHistory::new(),
+                fold_packed: [0; MAX_TABLES],
+                eject_mask,
+                o1: offsets[1],
+                o2: offsets[2],
+                hist_len,
+                use_alt_on_na: 8,
+                until_reset: config.u_reset_period,
+                age_phase: false,
+                rng: 0x2545_f491_4f6c_dd1d,
+                config,
+            },
             last: Prediction::default(),
-            config,
         }
     }
 
@@ -180,28 +254,37 @@ impl Tage {
 
     /// The configuration this predictor was built with.
     pub fn config(&self) -> &TageConfig {
-        &self.config
+        &self.core.config
     }
+}
 
+impl TageCore {
     #[inline]
     fn bimodal_index(&self, pc: u64) -> usize {
         ((pc >> 2) & ((1 << self.config.log_bimodal) - 1)) as usize
     }
 
     #[inline]
-    fn table_index(&self, pc: u64, table: usize) -> usize {
-        let fold = self.history.fold(table * 3);
+    fn table_index(&self, pc: u64, table: usize) -> u32 {
+        let fold = self.fold_packed[table]; // sub-lane 0; masked below
         let mask = (1u64 << self.config.log_entries) - 1;
         let pcx = (pc >> 2) ^ (pc >> (2 + self.config.log_entries as u64 + table as u64));
-        ((pcx ^ fold) & mask) as usize
+        ((pcx ^ fold) & mask) as u32
     }
 
     #[inline]
     fn table_tag(&self, pc: u64, table: usize) -> u16 {
-        let f1 = self.history.fold(table * 3 + 1);
-        let f2 = self.history.fold(table * 3 + 2);
+        let packed = self.fold_packed[table];
+        let f1 = packed >> self.o1;
+        let f2 = packed >> self.o2;
         let mask = (1u64 << self.config.tag_bits) - 1;
         (((pc >> 2) ^ f1 ^ (f2 << 1)) & mask) as u16
+    }
+
+    /// Flat-table slot of entry `idx` in table `t`.
+    #[inline]
+    fn slot(&self, t: usize, idx: u32) -> usize {
+        (t << self.config.log_entries) | idx as usize
     }
 
     #[inline]
@@ -212,33 +295,56 @@ impl Tage {
         self.rng
     }
 
-    fn compute_prediction(&mut self, pc: u64) -> Prediction {
-        let mut p = Prediction { pc, ..Prediction::default() };
-        for t in 0..self.config.num_tables {
-            p.table_indices[t] = self.table_index(pc, t);
-            p.table_tags[t] = self.table_tag(pc, t);
+    /// Computes the full prediction state for `pc` into `p` — the same
+    /// values the reference's `compute_prediction` returns, without
+    /// materializing (and then copying) a fresh scratch struct.
+    ///
+    /// Dispatches on the two shipped geometries so the lane loops see a
+    /// compile-time trip count (the `_inner` body inlines per arm).
+    fn compute_into(&self, pc: u64, p: &mut Prediction) {
+        match self.config.num_tables {
+            6 => self.compute_into_inner(pc, p, 6),
+            12 => self.compute_into_inner(pc, p, 12),
+            n => self.compute_into_inner(pc, p, n),
+        }
+    }
+
+    #[inline(always)]
+    fn compute_into_inner(&self, pc: u64, p: &mut Prediction, n: usize) {
+        p.pc = pc;
+        p.provider = None;
+        p.provider_index = 0;
+        p.provider_is_new = false;
+        for (t, (idx, tag)) in
+            p.table_indices[..n].iter_mut().zip(&mut p.table_tags[..n]).enumerate()
+        {
+            *idx = self.table_index(pc, t);
+            *tag = self.table_tag(pc, t);
         }
         let bim = self.bimodal[self.bimodal_index(pc)].is_taken();
         p.alt_pred = bim;
         p.provider_pred = bim;
         p.final_pred = bim;
-        // Scan from longest history (last table) down.
+        // Scan from longest history (last table) down, keeping a copy of
+        // the provider entry so the hit is loaded exactly once.
         let mut provider = None;
+        let mut pe = TageEntry::default();
         let mut alt: Option<bool> = None;
-        for t in (0..self.config.num_tables).rev() {
-            let e = &self.tables[t][p.table_indices[t]];
+        for t in (0..n).rev() {
+            let e = self.table[self.slot(t, p.table_indices[t])];
             if e.tag == p.table_tags[t] {
                 if provider.is_none() {
                     provider = Some(t);
-                } else if alt.is_none() {
+                    pe = e;
+                } else {
                     alt = Some(e.predicts_taken());
                     break;
                 }
             }
         }
         if let Some(t) = provider {
-            let e = &self.tables[t][p.table_indices[t]];
-            p.provider = Some(t);
+            let e = pe;
+            p.provider = Some(t as u8);
             p.provider_index = p.table_indices[t];
             p.provider_pred = e.predicts_taken();
             p.alt_pred = alt.unwrap_or(bim);
@@ -249,71 +355,12 @@ impl Tage {
                 p.provider_pred
             };
         }
-        p
     }
 
-    fn allocate(&mut self, p: &Prediction, taken: bool) {
-        let start = match p.provider {
-            Some(t) => t + 1,
-            None => 0,
-        };
-        if start >= self.config.num_tables {
-            return;
-        }
-        // Seznec randomizes the first candidate table to avoid ping-ponging.
-        let span = self.config.num_tables - start;
-        let skip = if span > 1 { (self.next_rand() % 2) as usize } else { 0 };
-        let mut allocated = false;
-        for t in (start + skip)..self.config.num_tables {
-            let idx = p.table_indices[t];
-            if self.tables[t][idx].useful == 0 {
-                self.tables[t][idx] =
-                    TageEntry { ctr: if taken { 4 } else { 3 }, tag: p.table_tags[t], useful: 0 };
-                allocated = true;
-                break;
-            }
-        }
-        if !allocated {
-            // All candidates useful: age them so a later allocation succeeds.
-            for t in start..self.config.num_tables {
-                let idx = p.table_indices[t];
-                let e = &mut self.tables[t][idx];
-                if e.useful > 0 {
-                    e.useful -= 1;
-                }
-            }
-        }
-    }
-
-    fn age_usefulness(&mut self) {
-        // Alternately clear the high / low usefulness bit (Seznec's
-        // graceful aging) so entries lose protection over two periods.
-        let mask = if self.age_phase { 0b01 } else { 0b10 };
-        self.age_phase = !self.age_phase;
-        for table in &mut self.tables {
-            for e in table.iter_mut() {
-                e.useful &= mask;
-            }
-        }
-    }
-}
-
-impl BranchPredictor for Tage {
-    fn predict(&mut self, pc: u64) -> bool {
-        let p = self.compute_prediction(pc);
-        let pred = p.final_pred;
-        self.last = p;
-        pred
-    }
-
-    fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
-        // Recompute if the caller skipped predict() or interleaved PCs.
-        if self.last.pc != pc {
-            let p = self.compute_prediction(pc);
-            self.last = p;
-        }
-        let p = self.last;
-        let _ = predicted;
+    /// The full training step for a resolved branch whose prediction
+    /// state is `p` — the body of the reference's `update` after the
+    /// recompute guard. `p` is caller-owned (never aliases `self`).
+    fn train_with(&mut self, p: &Prediction, taken: bool) {
         let mispredicted = p.final_pred != taken;
 
         if let Some(t) = p.provider {
@@ -328,7 +375,8 @@ impl BranchPredictor for Tage {
                     self.use_alt_on_na += 1;
                 }
             }
-            let e = &mut self.tables[t][p.provider_index];
+            let slot = self.slot(t as usize, p.provider_index);
+            let e = &mut self.table[slot];
             // Usefulness tracks "provider beat the alternate".
             if p.provider_pred != p.alt_pred {
                 if p.provider_pred == taken {
@@ -341,36 +389,164 @@ impl BranchPredictor for Tage {
             }
             e.train(taken);
             // Keep the bimodal warm when it served as the alternate.
-            if e.is_weak() {
-                let bi = self.bimodal_index(pc);
+            let weak = e.is_weak();
+            if weak {
+                let bi = self.bimodal_index(p.pc);
                 self.bimodal[bi].update(taken);
             }
         } else {
-            let bi = self.bimodal_index(pc);
+            let bi = self.bimodal_index(p.pc);
             self.bimodal[bi].update(taken);
         }
 
         if mispredicted {
-            self.allocate(&p, taken);
+            self.allocate(p, taken);
         }
 
-        self.history.push(taken);
-        self.updates += 1;
-        if self.updates.is_multiple_of(self.config.u_reset_period) {
+        self.push_history(taken);
+        self.until_reset -= 1;
+        if self.until_reset == 0 {
+            self.until_reset = self.config.u_reset_period;
             self.age_usefulness();
         }
     }
 
+    /// Retires one outcome into the global history and every folded
+    /// register — the same O(1) inject/eject/fold-back per register as
+    /// [`crate::history::FoldedHistory::update`], but on the packed
+    /// lanes: one `u64` update per *table* covers its three folds. The
+    /// injected outcome and the fold-back shifts are uniform across
+    /// tables; the per-table ejected bit lands through the precomputed
+    /// [`TageCore::eject_mask`], so the lane loop is branch-free with
+    /// constant shifts only.
+    #[inline]
+    fn push_history(&mut self, taken: bool) {
+        match self.config.num_tables {
+            6 => self.push_history_inner(taken, 6),
+            12 => self.push_history_inner(taken, 12),
+            n => self.push_history_inner(taken, n),
+        }
+    }
+
+    #[inline(always)]
+    fn push_history_inner(&mut self, taken: bool, n: usize) {
+        let (w0, w1) = (self.config.log_entries, self.config.tag_bits);
+        let (r0, r1, r2) = (
+            ((1u64 << w0) - 1),
+            ((1u64 << w1) - 1) << self.o1,
+            ((1u64 << (w1 - 1)) - 1) << self.o2,
+        );
+        // One injected-outcome bit per sub-lane, or none.
+        let inc_pat = if taken { 1 | (1u64 << self.o1) | (1u64 << self.o2) } else { 0 };
+        let lanes =
+            self.fold_packed[..n].iter_mut().zip(&self.eject_mask[..n]).zip(&self.hist_len[..n]);
+        for ((c, &em), &len) in lanes {
+            // All-ones when the bit falling out of this table's history
+            // window is set; `em` routes it to the three rotation points.
+            let ej = 0u64.wrapping_sub(self.global.bit(len as usize - 1) as u64);
+            let mut v = (*c << 1) | inc_pat;
+            v ^= ej & em;
+            v ^= (v >> w0) & r0;
+            v ^= (v >> w1) & r1;
+            v ^= (v >> (w1 - 1)) & r2;
+            *c = v & (r0 | r1 | r2);
+        }
+        self.global.push(taken);
+    }
+
+    fn allocate(&mut self, p: &Prediction, taken: bool) {
+        let start = match p.provider {
+            Some(t) => t as usize + 1,
+            None => 0,
+        };
+        if start >= self.config.num_tables {
+            return;
+        }
+        // Seznec randomizes the first candidate table to avoid ping-ponging.
+        let span = self.config.num_tables - start;
+        let skip = if span > 1 { (self.next_rand() % 2) as usize } else { 0 };
+        let mut allocated = false;
+        for t in (start + skip)..self.config.num_tables {
+            let slot = self.slot(t, p.table_indices[t]);
+            if self.table[slot].useful == 0 {
+                self.table[slot] =
+                    TageEntry { ctr: if taken { 4 } else { 3 }, tag: p.table_tags[t], useful: 0 };
+                allocated = true;
+                break;
+            }
+        }
+        if !allocated {
+            // All candidates useful: age them so a later allocation succeeds.
+            for t in start..self.config.num_tables {
+                let slot = self.slot(t, p.table_indices[t]);
+                let e = &mut self.table[slot];
+                if e.useful > 0 {
+                    e.useful -= 1;
+                }
+            }
+        }
+    }
+
+    fn age_usefulness(&mut self) {
+        // Alternately clear the high / low usefulness bit (Seznec's
+        // graceful aging) so entries lose protection over two periods.
+        let mask = if self.age_phase { 0b01 } else { 0b10 };
+        self.age_phase = !self.age_phase;
+        for e in self.table.iter_mut() {
+            e.useful &= mask;
+        }
+    }
+}
+
+impl BranchPredictor for Tage {
+    fn predict(&mut self, pc: u64) -> bool {
+        // Compute straight into the retained scratch: `core` and `last`
+        // are disjoint fields, so no temporary and no copy.
+        self.core.compute_into(pc, &mut self.last);
+        self.last.final_pred
+    }
+
+    fn update(&mut self, pc: u64, taken: bool, predicted: bool) {
+        // Recompute if the caller skipped predict() or interleaved PCs.
+        if self.last.pc != pc {
+            self.core.compute_into(pc, &mut self.last);
+        }
+        let _ = predicted;
+        self.core.train_with(&self.last, taken);
+    }
+
     fn storage_bits(&self) -> u64 {
-        let bim = (1u64 << self.config.log_bimodal) * 2;
-        let entry_bits = 3 + 2 + self.config.tag_bits as u64;
-        let tagged = self.config.num_tables as u64 * (1u64 << self.config.log_entries) * entry_bits;
-        bim + tagged + self.config.max_history as u64 + 4
+        let c = &self.core.config;
+        let bim = (1u64 << c.log_bimodal) * 2;
+        let entry_bits = 3 + 2 + c.tag_bits as u64;
+        let tagged = c.num_tables as u64 * (1u64 << c.log_entries) * entry_bits;
+        bim + tagged + c.max_history as u64 + 4
     }
 
     fn label(&self) -> String {
         let kb = (self.storage_bits() as f64 / 8.0 / 1024.0).ceil() as u64;
         format!("tage-{}KB", kb.next_power_of_two())
+    }
+
+    /// Whole-trace replay with the prediction scratch in a stack local:
+    /// per branch it runs exactly compute → compare → train, with no
+    /// `last` store. `last` is written once at the end, so the post-
+    /// replay state (including the predict-skip guard) is identical to
+    /// the per-record loop's.
+    fn replay(&mut self, trace: &[BranchRecord]) -> u64 {
+        let mut mispredicts = 0u64;
+        let mut p = Prediction::default();
+        for r in trace {
+            self.core.compute_into(r.pc, &mut p);
+            if p.final_pred != r.taken {
+                mispredicts += 1;
+            }
+            self.core.train_with(&p, r.taken);
+        }
+        if !trace.is_empty() {
+            self.last = p;
+        }
+        mispredicts
     }
 }
 

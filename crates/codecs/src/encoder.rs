@@ -17,6 +17,15 @@ use crate::taskgraph::{plan_layout, FrameTaskTrace, PlanLayout, PlanUnit, TaskTr
 use vstress_trace::{CountingProbe, Kernel, NullProbe, Probe, RecordingProbe};
 use vstress_video::{Clip, Frame};
 
+/// Branch-site PC of the rate-control row loop.
+///
+/// The value is the `site_pc!()` hash (file/line/column) this site had
+/// when it landed, pinned as a constant: every simulated predictor
+/// table is indexed by these PCs, so letting them float with source
+/// layout would re-warm different entries — and change every
+/// characterization number — on any refactor that moves a line.
+const RATE_CONTROL_BRANCH_PC: u64 = 0x5142_9d61_5940;
+
 /// Result of encoding a clip.
 #[derive(Debug, Clone)]
 pub struct EncodeResult {
@@ -318,6 +327,13 @@ impl Encoder {
             bits_mark = bits_now;
             frame_psnr.push(region_psnr(src, &recon, w, h));
             recon_out.push(crop(&recon, w, h)?);
+            // The reconstruction is final: edge-pad it once so that
+            // clamped-MV reference reads in the next frames' motion
+            // search hit the contiguous interior path (probe addresses
+            // are unaffected — see `Plane::pad_borders`).
+            recon.luma_mut().pad_borders();
+            recon.cb_mut().pad_borders();
+            recon.cr_mut().pad_borders();
             if frame_no % GOLDEN_INTERVAL == 0 {
                 golden_recon = Some(recon.clone());
             }
@@ -586,7 +602,7 @@ fn rate_control_pass<P: Probe>(probe: &mut P, frame: &Frame) -> u64 {
         probe.load(luma.sample_addr(0, y), 32);
         probe.avx((luma.width() as u64 / 4).div_ceil(8));
         probe.alu(2);
-        probe.branch(vstress_trace::site_pc!(), y + 4 < luma.height());
+        probe.branch(RATE_CONTROL_BRANCH_PC, y + 4 < luma.height());
     }
     probe.alu(activity % 3); // data-dependent tail work
     activity

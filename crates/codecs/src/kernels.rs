@@ -5,13 +5,39 @@
 //! result over the live pixel buffers *and* reports the vectorized
 //! instruction stream it would retire (loads per row chunk, AVX ops per
 //! vector, the loop branch) through the [`Probe`].
+//!
+//! Since the SIMD-layer rewrite the two concerns are separated inside
+//! each kernel: a pure *value* pass computes the pixel result through
+//! the fixed-width lane types in the `simd` shim (LLVM turns those lane
+//! loops into vector instructions), and an *event* pass emits the probe
+//! traffic. The observable stream is unchanged — probe calls were
+//! always per-row bookkeeping around the arithmetic, and the event pass
+//! replays them in the same order with the same operands. The branch
+//! PCs are pinned constants (not `site_pc!()`) so the probe stream
+//! survives source-layout changes; see [`SAD_PLANE_PRED_BRANCH_PC`].
+//!
+//! Equivalence with the scalar pre-rewrite kernels — value *and* probe
+//! stream — is property-tested in `tests/kernel_equivalence.rs`.
 
 use crate::blocks::BlockRect;
+use simd::{u32x4, u8x16};
 use vstress_trace::{probe_addr, Kernel, Probe};
-use vstress_video::Plane;
+use vstress_video::{Plane, PAD};
 
 /// Vector width in pixels assumed by the instrumentation (AVX2: 32 u8).
 pub const VEC_PIXELS: usize = 32;
+
+/// Branch-site PC of the [`sad_plane_pred`] row loop.
+///
+/// These constants are the `site_pc!()` hashes (file/line/column) the
+/// sites had when they landed, pinned so that refactors that move
+/// source lines cannot silently re-index every simulated predictor
+/// table: the characterization outputs are a function of these values.
+pub(crate) const SAD_PLANE_PRED_BRANCH_PC: u64 = 0x535b_1d52_8c6c;
+/// Branch-site PC of the [`sad_plane_plane`] row loop.
+pub(crate) const SAD_PLANE_PLANE_BRANCH_PC: u64 = 0x5086_1d52_8c6c;
+/// Branch-site PC of the [`sse_plane_pred`] row loop.
+pub(crate) const SSE_PLANE_PRED_BRANCH_PC: u64 = 0x5335_1d52_8c6c;
 
 #[inline]
 fn row_vectors(w: usize) -> u64 {
@@ -26,6 +52,50 @@ fn vec_ops<P: Probe>(probe: &mut P, n: u64) {
     probe.avx(n);
 }
 
+/// Accumulates `sum |a - b|` over one row into a vector accumulator
+/// plus a scalar tail. Whole 16-lane chunks stay vectorial (the
+/// horizontal reduction happens once per *block*, in the caller); the
+/// sub-16 remainder is scalar. Exact integer sums make the grouping
+/// invisible in the result.
+#[inline(always)]
+fn sad_row_accum(acc: &mut u32x4, tail: &mut u32, a: &[u8], b: &[u8]) {
+    debug_assert_eq!(a.len(), b.len());
+    // Pairs of 16-lane SADs feed two independent accumulator lanes, so
+    // the per-chunk horizontal reductions overlap instead of
+    // serializing on one register.
+    let mut pa = a.chunks_exact(32);
+    let mut pb = b.chunks_exact(32);
+    for (qa, qb) in (&mut pa).zip(&mut pb) {
+        acc.0[0] =
+            acc.0[0].wrapping_add(u8x16::from_slice(&qa[..16]).sad(u8x16::from_slice(&qb[..16])));
+        acc.0[1] =
+            acc.0[1].wrapping_add(u8x16::from_slice(&qa[16..]).sad(u8x16::from_slice(&qb[16..])));
+    }
+    let mut ca = pa.remainder().chunks_exact(16);
+    let mut cb = pb.remainder().chunks_exact(16);
+    for (qa, qb) in (&mut ca).zip(&mut cb) {
+        *tail += u8x16::from_slice(qa).sad(u8x16::from_slice(qb));
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        *tail += x.abs_diff(*y) as u32;
+    }
+}
+
+/// Squared-difference sibling of [`sad_row_accum`].
+#[inline(always)]
+fn sse_row_accum(acc: &mut u32x4, tail: &mut u32, a: &[u8], b: &[u8]) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(16);
+    let mut cb = b.chunks_exact(16);
+    for (qa, qb) in (&mut ca).zip(&mut cb) {
+        *acc = acc.accum_sq_diff(u8x16::from_slice(qa), u8x16::from_slice(qb));
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        let d = x.abs_diff(*y) as u32;
+        *tail += d * d;
+    }
+}
+
 /// Sum of absolute differences between a plane block and a predictor
 /// buffer (`pred` is `rect.w * rect.h`, row-major).
 ///
@@ -36,14 +106,12 @@ fn vec_ops<P: Probe>(probe: &mut P, n: u64) {
 pub fn sad_plane_pred<P: Probe>(probe: &mut P, plane: &Plane, rect: BlockRect, pred: &[u8]) -> u64 {
     debug_assert!(pred.len() >= rect.area());
     probe.set_kernel(Kernel::Sad);
-    let mut sum = 0u64;
+    let mut acc = u32x4::splat(0);
+    let mut tail = 0u32;
     for y in 0..rect.h {
         let row = &plane.row(rect.y + y)[rect.x..rect.x + rect.w];
         let prow = &pred[y * rect.w..(y + 1) * rect.w];
-        // Narrow accumulator per row (255 * w fits u32 for any block size)
-        // so the compiler can keep the reduction in vector registers.
-        let row_sum: u32 = row.iter().zip(prow).map(|(a, b)| a.abs_diff(*b) as u32).sum();
-        sum += row_sum as u64;
+        sad_row_accum(&mut acc, &mut tail, row, prow);
         let v = row_vectors(rect.w);
         probe.load(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
         probe.load(probe_addr::fixed::PRED + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
@@ -55,51 +123,96 @@ pub fn sad_plane_pred<P: Probe>(probe: &mut P, plane: &Plane, rect: BlockRect, p
             probe.store(probe_addr::fixed::PRED, 8);
         }
         if y % 4 == 3 || y + 1 == rect.h {
-            probe.branch(vstress_trace::site_pc!(), y + 1 != rect.h);
+            probe.branch(SAD_PLANE_PRED_BRANCH_PC, y + 1 != rect.h);
         }
     }
-    sum
+    (acc.sum() + tail) as u64
 }
 
-/// SAD between two plane blocks (motion search: current vs reference at a
-/// candidate displacement, clamped at frame borders).
-pub fn sad_plane_plane<P: Probe>(
-    probe: &mut P,
+/// The pixel result of [`sad_plane_plane`], with no probe traffic.
+///
+/// Three access paths, in decreasing preference, all producing the
+/// identical sum: contiguous interior rows, contiguous rows of the
+/// reference's edge-padded shadow (border-straddling displacements
+/// within [`PAD`]), and the per-sample clamped fallback.
+#[inline]
+pub(crate) fn sad_plane_plane_value(
     cur: &Plane,
     rect: BlockRect,
     refp: &Plane,
     mvx: i32,
     mvy: i32,
 ) -> u64 {
-    probe.set_kernel(Kernel::Sad);
-    // Interior fast path: the displaced rect stays fully inside the
-    // reference plane, so no sample needs clamping and both rows are
-    // contiguous slices the compiler can autovectorize. The edge path
-    // (clamping per sample) only runs when `rect + mv` leaves the frame.
     let rx0 = rect.x as isize + mvx as isize;
     let ry0 = rect.y as isize + mvy as isize;
+    let (w, h) = (rect.w as isize, rect.h as isize);
     let interior = rx0 >= 0
         && ry0 >= 0
-        && rx0 + rect.w as isize <= refp.width() as isize
-        && ry0 + rect.h as isize <= refp.height() as isize;
+        && rx0 + w <= refp.width() as isize
+        && ry0 + h <= refp.height() as isize;
+    if interior {
+        let mut acc = u32x4::splat(0);
+        let mut tail = 0u32;
+        let crows = cur.block_rows(rect.x, rect.y, rect.w, rect.h);
+        let rrows = refp.block_rows(rx0 as usize, ry0 as usize, rect.w, rect.h);
+        for (crow, rrow) in crows.zip(rrows) {
+            sad_row_accum(&mut acc, &mut tail, crow, rrow);
+        }
+        return (acc.sum() + tail) as u64;
+    }
+    let pad = PAD as isize;
+    let in_shadow = refp.is_padded()
+        && rx0 >= -pad
+        && rx0 + w <= refp.width() as isize + pad
+        && ry0 >= -pad
+        && ry0 + h <= refp.height() as isize + pad;
+    if in_shadow {
+        // Every shadow sample equals `get_clamped` at the same
+        // coordinates, so this is the border path with contiguous rows.
+        let off = (rx0 + pad) as usize;
+        let mut acc = u32x4::splat(0);
+        let mut tail = 0u32;
+        for y in 0..rect.h {
+            let crow = &cur.row(rect.y + y)[rect.x..rect.x + rect.w];
+            let prow = refp.padded_row(ry0 + y as isize).expect("checked shadow range");
+            sad_row_accum(&mut acc, &mut tail, crow, &prow[off..off + rect.w]);
+        }
+        return (acc.sum() + tail) as u64;
+    }
     let mut sum = 0u64;
     for y in 0..rect.h {
         let cy = rect.y + y;
         let ry = cy as isize + mvy as isize;
         let crow = &cur.row(cy)[rect.x..rect.x + rect.w];
-        let row_sum: u32 = if interior {
-            let rrow = &refp.row(ry as usize)[rx0 as usize..rx0 as usize + rect.w];
-            crow.iter().zip(rrow).map(|(a, b)| a.abs_diff(*b) as u32).sum()
-        } else {
-            crow.iter()
-                .enumerate()
-                .map(|(x, a)| {
-                    let b = refp.get_clamped(rect.x as isize + x as isize + mvx as isize, ry);
-                    a.abs_diff(b) as u32
-                })
-                .sum()
-        };
+        let row_sum: u32 = crow
+            .iter()
+            .enumerate()
+            .map(|(x, a)| {
+                let b = refp.get_clamped(rect.x as isize + x as isize + mvx as isize, ry);
+                a.abs_diff(b) as u32
+            })
+            .sum();
         sum += row_sum as u64;
+    }
+    sum
+}
+
+/// The probe stream of [`sad_plane_plane`]: identical calls, operands
+/// and order as the pre-split kernel (which interleaved them with the
+/// arithmetic — probes were always per-row bookkeeping, so the stream
+/// is unchanged by the separation).
+pub(crate) fn sad_plane_plane_events<P: Probe>(
+    probe: &mut P,
+    cur: &Plane,
+    rect: BlockRect,
+    refp: &Plane,
+    mvx: i32,
+    mvy: i32,
+) {
+    probe.set_kernel(Kernel::Sad);
+    for y in 0..rect.h {
+        let cy = rect.y + y;
+        let ry = cy as isize + mvy as isize;
         let v = row_vectors(rect.w);
         probe.load(cur.sample_addr(rect.x, cy), rect.w.min(VEC_PIXELS) as u32);
         let rx = (rect.x as isize + mvx as isize).clamp(0, refp.width() as isize - 1) as usize;
@@ -112,42 +225,100 @@ pub fn sad_plane_plane<P: Probe>(
         probe.alu(1);
         if y % 2 == 1 || y + 1 == rect.h {
             probe.store(cur.base_addr(), 8);
-            probe.branch(vstress_trace::site_pc!(), y + 1 != rect.h);
+            probe.branch(SAD_PLANE_PLANE_BRANCH_PC, y + 1 != rect.h);
         }
     }
+}
+
+/// SAD between two plane blocks (motion search: current vs reference at a
+/// candidate displacement, clamped at frame borders).
+pub fn sad_plane_plane<P: Probe>(
+    probe: &mut P,
+    cur: &Plane,
+    rect: BlockRect,
+    refp: &Plane,
+    mvx: i32,
+    mvy: i32,
+) -> u64 {
+    let sum = sad_plane_plane_value(cur, rect, refp, mvx, mvy);
+    sad_plane_plane_events(probe, cur, rect, refp, mvx, mvy);
     sum
+}
+
+/// Candidates per inner batch of [`sad_plane_plane_row_batch`]: small
+/// enough that the per-candidate accumulators stay in L1 while a whole
+/// current-plane row is shared across them.
+const ROW_BATCH: usize = 16;
+
+/// Batched SAD values for motion-search candidates that share one
+/// vertical displacement `dy` (one row of the search window), with no
+/// probe traffic — the caller emits each candidate's canonical probe
+/// stream afterwards.
+///
+/// When the reference has an edge-padded shadow covering every
+/// candidate, the candidates advance together through the block rows:
+/// each current row and each shadow row is loaded once and shared
+/// across the whole batch (the row-window optimization real searches
+/// get from keeping the window in registers). Otherwise it falls back
+/// to independent [`sad_plane_plane`]-value computations. Either way
+/// every sum is exactly the per-candidate kernel result.
+///
+/// # Panics
+///
+/// Panics if `sums` is shorter than `dxs`.
+pub fn sad_plane_plane_row_batch(
+    cur: &Plane,
+    rect: BlockRect,
+    refp: &Plane,
+    dxs: &[i32],
+    dy: i32,
+    sums: &mut [u64],
+) {
+    assert!(sums.len() >= dxs.len());
+    let (w, h) = (rect.w as isize, rect.h as isize);
+    let pad = PAD as isize;
+    let ry0 = rect.y as isize + dy as isize;
+    let shadow_y = ry0 >= -pad && ry0 + h <= refp.height() as isize + pad;
+    let shadow_x = dxs.iter().all(|&dx| {
+        let rx0 = rect.x as isize + dx as isize;
+        rx0 >= -pad && rx0 + w <= refp.width() as isize + pad
+    });
+    if !(refp.is_padded() && shadow_y && shadow_x) {
+        for (&dx, s) in dxs.iter().zip(sums.iter_mut()) {
+            *s = sad_plane_plane_value(cur, rect, refp, dx, dy);
+        }
+        return;
+    }
+    for (dx_chunk, sum_chunk) in dxs.chunks(ROW_BATCH).zip(sums.chunks_mut(ROW_BATCH)) {
+        let mut accs = [u32x4::splat(0); ROW_BATCH];
+        let mut tails = [0u32; ROW_BATCH];
+        for y in 0..rect.h {
+            let crow = &cur.row(rect.y + y)[rect.x..rect.x + rect.w];
+            let prow = refp.padded_row(ry0 + y as isize).expect("checked shadow range");
+            for ((&dx, acc), tail) in dx_chunk.iter().zip(&mut accs).zip(&mut tails) {
+                let off = (rect.x as isize + dx as isize + pad) as usize;
+                sad_row_accum(acc, tail, crow, &prow[off..off + rect.w]);
+            }
+        }
+        for ((s, acc), tail) in sum_chunk.iter_mut().zip(&accs).zip(&tails) {
+            *s = (acc.sum() + *tail) as u64;
+        }
+    }
 }
 
 /// Sum of squared errors between a plane block and a predictor buffer.
 pub fn sse_plane_pred<P: Probe>(probe: &mut P, plane: &Plane, rect: BlockRect, pred: &[u8]) -> u64 {
     debug_assert!(pred.len() >= rect.area());
     probe.set_kernel(Kernel::Sad);
-    let mut sum = 0u64;
+    // 255^2 * area fits u32 per lane for any block size; the vector
+    // accumulator keeps the squared-difference reduction in lanes and
+    // defers the horizontal sum to one reduction per block.
+    let mut acc = u32x4::splat(0);
+    let mut tail = 0u32;
     for y in 0..rect.h {
         let row = &plane.row(rect.y + y)[rect.x..rect.x + rect.w];
         let prow = &pred[y * rect.w..(y + 1) * rect.w];
-        // 255^2 * w fits u32 for any block size; the narrow per-row
-        // accumulator keeps the squared-difference reduction vectorizable,
-        // and the fixed-width 8-lane chunks give the compiler a known trip
-        // count to unroll (rows are short — 4..=64 samples).
-        let mut ca = row.chunks_exact(8);
-        let mut cb = prow.chunks_exact(8);
-        let mut row_sum: u32 = (&mut ca)
-            .zip(&mut cb)
-            .map(|(qa, qb)| {
-                let mut s = 0u32;
-                for i in 0..8 {
-                    let d = qa[i].abs_diff(qb[i]) as u32;
-                    s += d * d;
-                }
-                s
-            })
-            .sum();
-        for (a, b) in ca.remainder().iter().zip(cb.remainder()) {
-            let d = a.abs_diff(*b) as u32;
-            row_sum += d * d;
-        }
-        sum += row_sum as u64;
+        sse_row_accum(&mut acc, &mut tail, row, prow);
         let v = row_vectors(rect.w);
         probe.load(plane.sample_addr(rect.x, rect.y + y), rect.w.min(VEC_PIXELS) as u32);
         probe.load(probe_addr::fixed::PRED + (y * rect.w) as u64, rect.w.min(VEC_PIXELS) as u32);
@@ -157,10 +328,10 @@ pub fn sse_plane_pred<P: Probe>(probe: &mut P, plane: &Plane, rect: BlockRect, p
             probe.store(probe_addr::fixed::PRED, 8);
         }
         if y % 4 == 3 || y + 1 == rect.h {
-            probe.branch(vstress_trace::site_pc!(), y + 1 != rect.h);
+            probe.branch(SSE_PLANE_PRED_BRANCH_PC, y + 1 != rect.h);
         }
     }
-    sum
+    (acc.sum() + tail) as u64
 }
 
 /// Residual between a plane block and a predictor, into `dst` (i32,
@@ -294,6 +465,33 @@ mod tests {
         let rect = BlockRect::new(8, 8, 8, 8);
         assert_eq!(sad_plane_plane(&mut NullProbe, &a, rect, &b, -2, 0), 0);
         assert!(sad_plane_plane(&mut NullProbe, &a, rect, &b, 0, 0) > 0);
+    }
+
+    #[test]
+    fn padded_border_sad_matches_clamped() {
+        let a = plane_with(|x, y| ((x * 7 + y * 13) % 251) as u8);
+        let mut b = plane_with(|x, y| ((x * 5 + y * 3) % 241) as u8);
+        let rect = BlockRect::new(2, 2, 8, 8);
+        let clamped = sad_plane_plane(&mut NullProbe, &a, rect, &b, -20, -20);
+        b.pad_borders();
+        assert_eq!(sad_plane_plane(&mut NullProbe, &a, rect, &b, -20, -20), clamped);
+    }
+
+    #[test]
+    fn row_batch_matches_per_candidate_values() {
+        let a = plane_with(|x, y| ((x * 7 + y * 13) % 251) as u8);
+        let mut b = plane_with(|x, y| ((x * 11 + y * 5) % 239) as u8);
+        b.pad_borders();
+        let rect = BlockRect::new(8, 8, 16, 16);
+        // 20 candidates exercises the chunked (ROW_BATCH=16) path.
+        let dxs: Vec<i32> = (-10..10).collect();
+        let mut sums = vec![0u64; dxs.len()];
+        for dy in [-9, 0, 7] {
+            sad_plane_plane_row_batch(&a, rect, &b, &dxs, dy, &mut sums);
+            for (&dx, &s) in dxs.iter().zip(&sums) {
+                assert_eq!(s, sad_plane_plane(&mut NullProbe, &a, rect, &b, dx, dy), "{dx},{dy}");
+            }
+        }
     }
 
     #[test]

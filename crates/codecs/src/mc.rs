@@ -2,8 +2,16 @@
 //! half-pel motion vectors.
 
 use crate::blocks::BlockRect;
+use simd::{u16x8, u8x16};
 use vstress_trace::{probe_addr, Kernel, Probe};
-use vstress_video::Plane;
+use vstress_video::{Plane, PAD};
+
+/// Branch-site PC of the [`motion_compensate`] row loop, pinned for the
+/// same reason as the kernel PCs (see
+/// `kernels::SAD_PLANE_PRED_BRANCH_PC`): the simulated predictors index
+/// their tables by these values, so they must not drift with source
+/// layout.
+pub(crate) const MOTION_COMPENSATE_BRANCH_PC: u64 = 0x5be2_53e5_9a5c;
 
 /// A motion vector in half-pel units.
 #[derive(
@@ -31,12 +39,76 @@ impl MotionVector {
     }
 }
 
+/// `d[i] = (a[i] + b[i] + 1) >> 1` — the rounding bilinear average.
+#[inline]
+fn avg2_row(dst: &mut [u8], a: &[u8], b: &[u8]) {
+    let mut cd = dst.chunks_exact_mut(16);
+    let mut ca = a.chunks_exact(16);
+    let mut cb = b.chunks_exact(16);
+    for ((qd, qa), qb) in (&mut cd).zip(&mut ca).zip(&mut cb) {
+        qd.copy_from_slice(&u8x16::from_slice(qa).avg_ceil(u8x16::from_slice(qb)).0);
+    }
+    for ((d, p0), p1) in cd.into_remainder().iter_mut().zip(ca.remainder()).zip(cb.remainder()) {
+        *d = ((*p0 as u32 + *p1 as u32).div_ceil(2)) as u8;
+    }
+}
+
+/// `d[i] = (a[i] + b[i] + c[i] + e[i] + 2) >> 2` — the diagonal
+/// half-pel position. Widened to 16 bits per lane (max 4*255+2 = 1022).
+#[inline]
+fn avg4_row(dst: &mut [u8], a: &[u8], b: &[u8], c: &[u8], e: &[u8]) {
+    let mut cd = dst.chunks_exact_mut(16);
+    let mut ca = a.chunks_exact(16);
+    let mut cb = b.chunks_exact(16);
+    let mut cc = c.chunks_exact(16);
+    let mut ce = e.chunks_exact(16);
+    for ((((qd, qa), qb), qc), qe) in (&mut cd).zip(&mut ca).zip(&mut cb).zip(&mut cc).zip(&mut ce)
+    {
+        let (a_lo, a_hi) = u8x16::from_slice(qa).widen();
+        let (b_lo, b_hi) = u8x16::from_slice(qb).widen();
+        let (c_lo, c_hi) = u8x16::from_slice(qc).widen();
+        let (e_lo, e_hi) = u8x16::from_slice(qe).widen();
+        let two = u16x8::splat(2);
+        let lo = a_lo.add(b_lo).add(c_lo).add(e_lo).add(two).shr(2);
+        let hi = a_hi.add(b_hi).add(c_hi).add(e_hi).add(two).shr(2);
+        qd.copy_from_slice(&u16x8::narrow(lo, hi).0);
+    }
+    let tail = cd.into_remainder();
+    for ((((d, p0), p1), p2), p3) in tail
+        .iter_mut()
+        .zip(ca.remainder())
+        .zip(cb.remainder())
+        .zip(cc.remainder())
+        .zip(ce.remainder())
+    {
+        *d = ((*p0 as u32 + *p1 as u32 + *p2 as u32 + *p3 as u32 + 2) / 4) as u8;
+    }
+}
+
+/// Interpolates one output row from contiguous source rows. `row1` is
+/// the row one below (only read when `fy`); both slices start at the
+/// leftmost tap and extend at least `dst.len() + fx` samples.
+#[inline]
+fn interp_row(dst: &mut [u8], row0: &[u8], row1: &[u8], fx: bool, fy: bool) {
+    let w = dst.len();
+    match (fx, fy) {
+        (false, false) => dst.copy_from_slice(&row0[..w]),
+        (true, false) => avg2_row(dst, &row0[..w], &row0[1..1 + w]),
+        (false, true) => avg2_row(dst, &row0[..w], &row1[..w]),
+        (true, true) => avg4_row(dst, &row0[..w], &row0[1..1 + w], &row1[..w], &row1[1..1 + w]),
+    }
+}
+
 /// Produces the motion-compensated prediction of `rect` from `refp`
 /// displaced by `mv`, into `dst` (`rect.w * rect.h`).
 ///
 /// Half-pel positions are bilinearly interpolated (the 2-tap filter —
 /// real codecs use 6–8 taps, but tap count only scales the same
-/// instruction stream). Out-of-frame references clamp to the border.
+/// instruction stream). Out-of-frame references clamp to the border;
+/// when the reference carries an edge-padded shadow (see
+/// [`Plane::pad_borders`]) the clamped taps are read from contiguous
+/// shadow rows instead of per-sample `get_clamped` calls — the shadow
+/// replicates the clamped values exactly, so the output is identical.
 ///
 /// # Panics
 ///
@@ -64,43 +136,30 @@ pub fn motion_compensate<P: Probe>(
         && sy0 >= 0
         && sx0 + rect.w as isize + fx as isize <= refp.width() as isize
         && sy0 + rect.h as isize + fy as isize <= refp.height() as isize;
+    let pad = PAD as isize;
+    let in_shadow = !interior
+        && refp.is_padded()
+        && sx0 >= -pad
+        && sx0 + rect.w as isize + fx as isize <= refp.width() as isize + pad
+        && sy0 >= -pad
+        && sy0 + rect.h as isize + fy as isize <= refp.height() as isize + pad;
     for y in 0..rect.h {
         let sy = rect.y as isize + y as isize + iy as isize;
         let drow = &mut dst[y * rect.w..(y + 1) * rect.w];
         if interior {
             let sx0 = sx0 as usize;
-            let row0 = refp.row(sy as usize);
-            match (fx, fy) {
-                (false, false) => {
-                    drow.copy_from_slice(&row0[sx0..sx0 + rect.w]);
-                }
-                (true, false) => {
-                    let a = &row0[sx0..sx0 + rect.w];
-                    let b = &row0[sx0 + 1..sx0 + 1 + rect.w];
-                    for ((d, p0), p1) in drow.iter_mut().zip(a).zip(b) {
-                        *d = ((*p0 as u32 + *p1 as u32).div_ceil(2)) as u8;
-                    }
-                }
-                (false, true) => {
-                    let row1 = refp.row(sy as usize + 1);
-                    let a = &row0[sx0..sx0 + rect.w];
-                    let b = &row1[sx0..sx0 + rect.w];
-                    for ((d, p0), p1) in drow.iter_mut().zip(a).zip(b) {
-                        *d = ((*p0 as u32 + *p1 as u32).div_ceil(2)) as u8;
-                    }
-                }
-                (true, true) => {
-                    let row1 = refp.row(sy as usize + 1);
-                    let a = &row0[sx0..sx0 + rect.w];
-                    let b = &row0[sx0 + 1..sx0 + 1 + rect.w];
-                    let c = &row1[sx0..sx0 + rect.w];
-                    let e = &row1[sx0 + 1..sx0 + 1 + rect.w];
-                    for x in 0..rect.w {
-                        drow[x] =
-                            ((a[x] as u32 + b[x] as u32 + c[x] as u32 + e[x] as u32 + 2) / 4) as u8;
-                    }
-                }
-            }
+            let row0 = &refp.row(sy as usize)[sx0..];
+            let row1 = if fy { &refp.row(sy as usize + 1)[sx0..] } else { &row0[..0] };
+            interp_row(drow, row0, row1, fx, fy);
+        } else if in_shadow {
+            let off = (sx0 + pad) as usize;
+            let row0 = &refp.padded_row(sy).expect("checked shadow range")[off..];
+            let row1 = if fy {
+                &refp.padded_row(sy + 1).expect("checked shadow range")[off..]
+            } else {
+                &row0[..0]
+            };
+            interp_row(drow, row0, row1, fx, fy);
         } else {
             for (x, d) in drow.iter_mut().enumerate() {
                 let sx = rect.x as isize + x as isize + ix as isize;
@@ -131,7 +190,7 @@ pub fn motion_compensate<P: Probe>(
         let filter_ops = if fx || fy { 3 } else { 1 };
         probe.avx(vecs * filter_ops);
         if y % 4 == 3 || y + 1 == rect.h {
-            probe.branch(vstress_trace::site_pc!(), y + 1 != rect.h);
+            probe.branch(MOTION_COMPENSATE_BRANCH_PC, y + 1 != rect.h);
         }
     }
 }
@@ -198,5 +257,30 @@ mod tests {
         let mut dst = vec![0u8; 16];
         motion_compensate(&mut NullProbe, &p, rect, MotionVector::from_fullpel(-10, -10), &mut dst);
         assert_eq!(dst[0], p.get(0, 0));
+    }
+
+    #[test]
+    fn padded_shadow_matches_clamped_for_all_fractions() {
+        let mut p = gradient_plane();
+        for y in 0..32 {
+            for x in 0..32 {
+                p.set(x, y, ((x * 7 + y * 13) % 251) as u8);
+            }
+        }
+        let rect = BlockRect::new(2, 2, 8, 8);
+        for mv in [
+            MotionVector::from_fullpel(-9, -9),
+            MotionVector { x: -17, y: 0 },
+            MotionVector { x: 0, y: 55 },
+            MotionVector { x: 55, y: -17 },
+        ] {
+            let mut want = vec![0u8; 64];
+            motion_compensate(&mut NullProbe, &p, rect, mv, &mut want);
+            let mut padded = p.clone();
+            padded.pad_borders();
+            let mut got = vec![0u8; 64];
+            motion_compensate(&mut NullProbe, &padded, rect, mv, &mut got);
+            assert_eq!(got, want, "mv {mv:?}");
+        }
     }
 }

@@ -7,10 +7,18 @@
 //! per-codec preset tables manipulate.
 
 use crate::blocks::BlockRect;
-use crate::kernels::sad_plane_plane;
+use crate::kernels::{sad_plane_plane, sad_plane_plane_events, sad_plane_plane_row_batch};
 use crate::mc::MotionVector;
 use vstress_trace::{probe_addr, Kernel, Probe};
 use vstress_video::Plane;
+
+/// Branch-site PC of the candidate-bookkeeping branch in
+/// [`motion_search`], pinned for the same reason as the kernel PCs (see
+/// `kernels::SAD_PLANE_PRED_BRANCH_PC`).
+pub(crate) const MOTION_SEARCH_EVAL_BRANCH_PC: u64 = 0x5b58_7234_4f20;
+/// Branch-site PC of the candidate-bookkeeping branch in
+/// [`motion_search_around`].
+pub(crate) const MOTION_SEARCH_AROUND_EVAL_BRANCH_PC: u64 = 0x5c8e_7234_4f20;
 
 /// Motion-search effort parameters (full-pel units unless noted).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -51,6 +59,11 @@ fn mv_cost(rate_lambda: u64, dx: i32, dy: i32) -> u64 {
 #[derive(Debug, Default)]
 pub struct MeScratch {
     pred: Vec<u8>,
+    /// Candidate displacements of one search-window row, for the
+    /// row-batched SAD evaluation (grow-once, like `pred`).
+    dxs: Vec<i32>,
+    /// SAD values matching `dxs`.
+    sums: Vec<u64>,
 }
 
 impl MeScratch {
@@ -106,9 +119,23 @@ pub fn motion_search<P: Probe>(
         probe.alu(4);
         // Candidate bookkeeping (cost table update).
         probe.store(probe_addr::fixed::SEARCH_STATE, 8);
-        probe.branch(vstress_trace::site_pc!(), (dx + dy) % 2 == 0);
+        probe.branch(MOTION_SEARCH_EVAL_BRANCH_PC, (dx + dy) % 2 == 0);
         *evaluated += 1;
         sad_plane_plane(probe, cur, rect, refp, dx, dy) + mv_cost(rate_lambda, dx, dy)
+    };
+
+    // Same observable behaviour as `eval`, but for a candidate whose SAD
+    // was already computed by the row batch: emits the identical probe
+    // stream (bookkeeping, then the SAD kernel's events) and prices in
+    // the MV rate.
+    let eval_batched = |probe: &mut P, dx: i32, dy: i32, sad: u64, evaluated: &mut u32| -> u64 {
+        probe.set_kernel(Kernel::MotionSearch);
+        probe.alu(4);
+        probe.store(probe_addr::fixed::SEARCH_STATE, 8);
+        probe.branch(MOTION_SEARCH_EVAL_BRANCH_PC, (dx + dy) % 2 == 0);
+        *evaluated += 1;
+        sad_plane_plane_events(probe, cur, rect, refp, dx, dy);
+        sad + mv_cost(rate_lambda, dx, dy)
     };
 
     // Seed candidates.
@@ -124,20 +151,32 @@ pub fn motion_search<P: Probe>(
         }
     }
 
-    // Exhaustive window (slow presets only).
-    if settings.exhaustive_radius > 0 {
-        let er = settings.exhaustive_radius.min(r);
-        for dy in -er..=er {
-            for dx in -er..=er {
-                if (dx, dy) == (0, 0) {
-                    continue;
-                }
-                let c = eval(probe, dx, dy, &mut evaluated);
+    // The window scans evaluate whole rows of candidates at once through
+    // `sad_plane_plane_row_batch` — each current row and each (padded)
+    // reference row is loaded once and shared across the row's
+    // candidates. Candidate results are then consumed in the original
+    // scan order (strict `<` keeps first-minimum tie-breaks identical),
+    // and each candidate's canonical probe stream is emitted in turn.
+    let mut scan_row =
+        |probe: &mut P, dy: i32, dxs: &[i32], sums: &mut Vec<u64>, evaluated: &mut u32| {
+            sums.resize(dxs.len(), 0);
+            sad_plane_plane_row_batch(cur, rect, refp, dxs, dy, sums);
+            for (&dx, &sad) in dxs.iter().zip(sums.iter()) {
+                let c = eval_batched(probe, dx, dy, sad, evaluated);
                 if c < best_cost {
                     best_cost = c;
                     best = (dx, dy);
                 }
             }
+        };
+
+    // Exhaustive window (slow presets only).
+    if settings.exhaustive_radius > 0 {
+        let er = settings.exhaustive_radius.min(r);
+        for dy in -er..=er {
+            scratch.dxs.clear();
+            scratch.dxs.extend((-er..=er).filter(|&dx| (dx, dy) != (0, 0)));
+            scan_row(probe, dy, &scratch.dxs, &mut scratch.sums, &mut evaluated);
         }
     } else {
         // Coarse uneven-multi-hexagon-style grid: keeps the refinement
@@ -145,17 +184,15 @@ pub fn motion_search<P: Probe>(
         let stride = (r / 3).clamp(2, 8);
         let mut dy = -r;
         while dy <= r {
+            scratch.dxs.clear();
             let mut dx = -r;
             while dx <= r {
                 if (dx, dy) != (0, 0) {
-                    let c = eval(probe, dx, dy, &mut evaluated);
-                    if c < best_cost {
-                        best_cost = c;
-                        best = (dx, dy);
-                    }
+                    scratch.dxs.push(dx);
                 }
                 dx += stride;
             }
+            scan_row(probe, dy, &scratch.dxs, &mut scratch.sums, &mut evaluated);
             dy += stride;
         }
     }
@@ -232,7 +269,7 @@ pub fn motion_search_around<P: Probe>(
         probe.set_kernel(Kernel::MotionSearch);
         probe.alu(4);
         probe.store(probe_addr::fixed::SEARCH_STATE, 8);
-        probe.branch(vstress_trace::site_pc!(), (dx ^ dy) & 1 == 0);
+        probe.branch(MOTION_SEARCH_AROUND_EVAL_BRANCH_PC, (dx ^ dy) & 1 == 0);
         *evaluated += 1;
         sad_plane_plane(probe, cur, rect, refp, dx, dy) + mv_cost(rate_lambda, dx, dy)
     };

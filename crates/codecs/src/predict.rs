@@ -6,8 +6,23 @@
 //! paper's instruction-count findings.
 
 use crate::blocks::BlockRect;
+use simd::{u32x4, u8x16};
 use vstress_trace::{probe_addr, Kernel, Probe};
 use vstress_video::Plane;
+
+/// Horizontal sum of a byte slice — whole 16-lane chunks go through the
+/// `psadbw`-against-zero idiom, the tail is scalar. Exact integer sums
+/// make the split invisible.
+#[inline]
+fn byte_sum(s: &[u8]) -> u32 {
+    let mut chunks = s.chunks_exact(16);
+    let zero = u8x16::splat(0);
+    let mut sum = 0u32;
+    for q in &mut chunks {
+        sum += u8x16::from_slice(q).sad(zero);
+    }
+    sum + chunks.remainder().iter().map(|&v| v as u32).sum::<u32>()
+}
 
 /// An intra prediction mode.
 #[derive(
@@ -181,11 +196,11 @@ pub fn predict<P: Probe>(
             let mut sum = 0u32;
             let mut n = 0u32;
             if edges.top_available {
-                sum += top.iter().map(|&v| v as u32).sum::<u32>();
+                sum += byte_sum(top);
                 n += w as u32;
             }
             if edges.left_available {
-                sum += left.iter().map(|&v| v as u32).sum::<u32>();
+                sum += byte_sum(left);
                 n += h as u32;
             }
             let dc = (sum + n / 2).checked_div(n).unwrap_or(128) as u8;
@@ -203,45 +218,107 @@ pub fn predict<P: Probe>(
         }
         IntraMode::Smooth => {
             // AV1-style distance blend of V and H using the far corners.
-            // Column weights depend only on x: hoist them out of the row
-            // loop (one division per column instead of per pixel).
+            // Column-dependent terms — the weights `wx` and the constant
+            // horizontal contribution `(256 - wx) * right` — are hoisted
+            // out of the row loop (one division per column, not per
+            // pixel); the widened top samples feed 4-lane blends. All
+            // sums stay well under 2^32, so `/512` is an exact `>> 9`.
             let bottom = left[h - 1] as u32;
             let right = top[w - 1] as u32;
             let mut wxs = [0u32; MAX_EDGE];
-            for (x, wx) in wxs.iter_mut().take(w).enumerate() {
+            let mut hconst = [0u32; MAX_EDGE];
+            let mut tops = [0u32; MAX_EDGE];
+            for (x, ((wx, hc), t)) in
+                wxs.iter_mut().zip(&mut hconst).zip(&mut tops).take(w).enumerate()
+            {
                 *wx = 256 * (w - 1 - x) as u32 / (w - 1).max(1) as u32;
+                *hc = (256 - *wx) * right;
+                *t = top[x] as u32;
             }
             for y in 0..h {
                 let wy = 256 * (h - 1 - y) as u32 / (h - 1).max(1) as u32;
                 let l = left[y] as u32;
+                let vconst = (256 - wy) * bottom + 256;
                 let drow = &mut dst[y * w..(y + 1) * w];
-                for ((d, &t), &wx) in drow.iter_mut().zip(top).zip(&wxs[..w]) {
-                    let v = wy * t as u32 + (256 - wy) * bottom;
-                    let hcomp = wx * l + (256 - wx) * right;
-                    *d = ((v + hcomp + 256) / 512) as u8;
+                let mut cd = drow.chunks_exact_mut(4);
+                let mut ct = tops[..w].chunks_exact(4);
+                let mut cw = wxs[..w].chunks_exact(4);
+                let mut ch = hconst[..w].chunks_exact(4);
+                for (((qd, qt), qw), qh) in (&mut cd).zip(&mut ct).zip(&mut cw).zip(&mut ch) {
+                    let v = u32x4::from_slice(qt)
+                        .mul(u32x4::splat(wy))
+                        .add(u32x4::from_slice(qw).mul(u32x4::splat(l)))
+                        .add(u32x4::from_slice(qh))
+                        .add(u32x4::splat(vconst))
+                        .shr(9);
+                    for (d, &lane) in qd.iter_mut().zip(&v.0) {
+                        *d = lane as u8;
+                    }
+                }
+                for (((d, &t), &wx), &hc) in cd
+                    .into_remainder()
+                    .iter_mut()
+                    .zip(ct.remainder())
+                    .zip(cw.remainder())
+                    .zip(ch.remainder())
+                {
+                    *d = ((wy * t + wx * l + hc + vconst) >> 9) as u8;
                 }
             }
         }
         IntraMode::SmoothV => {
             let bottom = left[h - 1] as u32;
+            let mut tops = [0u32; MAX_EDGE];
+            for (t, &s) in tops.iter_mut().zip(top) {
+                *t = s as u32;
+            }
             for y in 0..h {
                 let wy = 256 * (h - 1 - y) as u32 / (h - 1).max(1) as u32;
-                for x in 0..w {
-                    dst[y * w + x] = ((wy * top[x] as u32 + (256 - wy) * bottom + 128) / 256) as u8;
+                let vconst = (256 - wy) * bottom + 128;
+                let drow = &mut dst[y * w..(y + 1) * w];
+                let mut cd = drow.chunks_exact_mut(4);
+                let mut ct = tops[..w].chunks_exact(4);
+                for (qd, qt) in (&mut cd).zip(&mut ct) {
+                    let v = u32x4::from_slice(qt)
+                        .mul(u32x4::splat(wy))
+                        .add(u32x4::splat(vconst))
+                        .shr(8);
+                    for (d, &lane) in qd.iter_mut().zip(&v.0) {
+                        *d = lane as u8;
+                    }
+                }
+                for (d, &t) in cd.into_remainder().iter_mut().zip(ct.remainder()) {
+                    *d = ((wy * t + vconst) >> 8) as u8;
                 }
             }
         }
         IntraMode::SmoothH => {
             let right = top[w - 1] as u32;
             let mut wxs = [0u32; MAX_EDGE];
-            for (x, wx) in wxs.iter_mut().take(w).enumerate() {
+            let mut hconst = [0u32; MAX_EDGE];
+            for (x, (wx, hc)) in wxs.iter_mut().zip(&mut hconst).take(w).enumerate() {
                 *wx = 256 * (w - 1 - x) as u32 / (w - 1).max(1) as u32;
+                *hc = (256 - *wx) * right + 128;
             }
             for y in 0..h {
                 let l = left[y] as u32;
                 let drow = &mut dst[y * w..(y + 1) * w];
-                for (d, &wx) in drow.iter_mut().zip(&wxs[..w]) {
-                    *d = ((wx * l + (256 - wx) * right + 128) / 256) as u8;
+                let mut cd = drow.chunks_exact_mut(4);
+                let mut cw = wxs[..w].chunks_exact(4);
+                let mut ch = hconst[..w].chunks_exact(4);
+                for ((qd, qw), qh) in (&mut cd).zip(&mut cw).zip(&mut ch) {
+                    let v = u32x4::from_slice(qw)
+                        .mul(u32x4::splat(l))
+                        .add(u32x4::from_slice(qh))
+                        .shr(8);
+                    for (d, &lane) in qd.iter_mut().zip(&v.0) {
+                        *d = lane as u8;
+                    }
+                }
+                for ((d, &wx), &hc) in
+                    cd.into_remainder().iter_mut().zip(cw.remainder()).zip(ch.remainder())
+                {
+                    *d = ((wx * l + hc) >> 8) as u8;
                 }
             }
         }

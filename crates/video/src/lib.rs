@@ -42,4 +42,4 @@ pub mod y4m;
 
 pub use error::VideoError;
 pub use frame::{Clip, Frame};
-pub use plane::Plane;
+pub use plane::{Plane, PAD};

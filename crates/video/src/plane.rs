@@ -9,6 +9,26 @@ use crate::error::VideoError;
 /// strides.
 pub const ROW_ALIGN: usize = 32;
 
+/// Border width (in samples) of the edge-padded shadow built by
+/// [`Plane::pad_borders`].
+///
+/// Must cover the largest motion displacement a kernel may read:
+/// full-pel MV clamp plus the half-pel filter tap. The search range in
+/// every preset is well below this.
+pub const PAD: usize = 64;
+
+/// The edge-padded shadow copy of a plane (see [`Plane::pad_borders`]).
+///
+/// Layout: `(width + 2*PAD) x (height + 2*PAD)` samples, rows spaced
+/// `stride` apart, where sample `(x, y)` of the *plane* (coordinates
+/// may be negative or past the edge, up to `PAD` out) lives at
+/// `(y + PAD) * stride + PAD + x` and equals `Plane::get_clamped(x, y)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct PaddedShadow {
+    data: Vec<u8>,
+    stride: usize,
+}
+
 /// A rectangular array of 8-bit samples with a padded stride.
 ///
 /// `Plane` is the unit of pixel storage for both luma and chroma.
@@ -23,18 +43,26 @@ pub struct Plane {
     /// Synthetic base address reported to instrumentation (see
     /// [`vstress_trace::probe_addr`]); unique per plane, page-aligned.
     probe_base: u64,
+    /// Edge-padded shadow, present only between a [`Plane::pad_borders`]
+    /// call and the next mutation. Purely an access-path accelerator:
+    /// it has no probe identity of its own — instrumentation always
+    /// reports the canonical `probe_base`/`stride` addresses.
+    padded: Option<Box<PaddedShadow>>,
 }
 
 impl Clone for Plane {
     fn clone(&self) -> Self {
         // A clone is a distinct buffer, so it gets its own synthetic
         // address region — just as a real copy gets its own allocation.
+        // The padded shadow carries no probe identity, so it is cloned
+        // as plain data (reference frames stay padded through cloning).
         Plane {
             data: self.data.clone(),
             width: self.width,
             height: self.height,
             stride: self.stride,
             probe_base: vstress_trace::probe_addr::alloc(self.data.len()),
+            padded: self.padded.clone(),
         }
     }
 }
@@ -77,7 +105,7 @@ impl Plane {
         let stride = width.div_ceil(ROW_ALIGN) * ROW_ALIGN;
         let data = vec![fill; stride * height];
         let probe_base = vstress_trace::probe_addr::alloc(data.len());
-        Ok(Plane { data, width, height, stride, probe_base })
+        Ok(Plane { data, width, height, stride, probe_base, padded: None })
     }
 
     /// Width of the accessible region in samples.
@@ -137,6 +165,60 @@ impl Plane {
         self.data[cy * self.stride + cx]
     }
 
+    /// Builds (or refreshes) the edge-padded shadow: a copy of the
+    /// plane with every border sample replicated [`PAD`] samples
+    /// outward, so reads at clamped coordinates become contiguous row
+    /// slices instead of per-sample [`Plane::get_clamped`] calls.
+    ///
+    /// The shadow is an access-path detail only: [`Plane::sample_addr`]
+    /// and [`Plane::base_addr`] still describe the canonical unpadded
+    /// layout, so the instrumented address stream (and therefore
+    /// simulated cache indexing) is unchanged. Any mutation of the
+    /// plane drops the shadow; call this again once the plane is final
+    /// (the encoder pads each reconstruction before it becomes a
+    /// reference frame).
+    pub fn pad_borders(&mut self) {
+        if self.padded.is_some() {
+            return;
+        }
+        let pw = self.width + 2 * PAD;
+        let pstride = pw.div_ceil(ROW_ALIGN) * ROW_ALIGN;
+        let ph = self.height + 2 * PAD;
+        let mut buf = vec![0u8; pstride * ph];
+        for (py, drow) in buf.chunks_exact_mut(pstride).enumerate() {
+            let sy = (py as isize - PAD as isize).clamp(0, self.height as isize - 1) as usize;
+            let srow = self.row(sy);
+            drow[..PAD].fill(srow[0]);
+            drow[PAD..PAD + self.width].copy_from_slice(srow);
+            drow[PAD + self.width..pw].fill(srow[self.width - 1]);
+        }
+        self.padded = Some(Box::new(PaddedShadow { data: buf, stride: pstride }));
+    }
+
+    /// Whether the edge-padded shadow is present and current.
+    #[inline]
+    pub fn is_padded(&self) -> bool {
+        self.padded.is_some()
+    }
+
+    /// One row of the edge-padded shadow, covering `x` in
+    /// `[-PAD, width + PAD)`; index the returned slice with `x + PAD`.
+    ///
+    /// `y` may range over `[-PAD, height + PAD)`; rows outside that
+    /// window (or an absent shadow) return `None`, and callers fall
+    /// back to [`Plane::get_clamped`]. Every sample equals
+    /// `get_clamped` at the same plane coordinates.
+    #[inline]
+    pub fn padded_row(&self, y: isize) -> Option<&[u8]> {
+        let shadow = self.padded.as_deref()?;
+        if y < -(PAD as isize) || y >= (self.height + PAD) as isize {
+            return None;
+        }
+        let py = (y + PAD as isize) as usize;
+        let start = py * shadow.stride;
+        Some(&shadow.data[start..start + self.width + 2 * PAD])
+    }
+
     /// Sets the sample at `(x, y)`.
     ///
     /// # Panics
@@ -145,7 +227,30 @@ impl Plane {
     #[inline]
     pub fn set(&mut self, x: usize, y: usize, v: u8) {
         debug_assert!(x < self.width && y < self.height);
+        self.padded = None;
         self.data[y * self.stride + x] = v;
+    }
+
+    /// Iterator over `h` row slices of width `w` starting at `(x, y0)`:
+    /// the hot-kernel access path. One address computation up front,
+    /// stride walking after — no per-row multiply or double-ended
+    /// bounds check like repeated [`Plane::row`] calls would cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in release too — the slice math is the check) if the
+    /// `w x h` block at `(x, y0)` exceeds the plane.
+    #[inline]
+    pub fn block_rows(
+        &self,
+        x: usize,
+        y0: usize,
+        w: usize,
+        h: usize,
+    ) -> impl Iterator<Item = &[u8]> {
+        assert!(x + w <= self.width && y0 + h <= self.height);
+        let start = y0 * self.stride + x;
+        self.data[start..].chunks(self.stride).take(h).map(move |c| &c[..w])
     }
 
     /// Immutable view of one row (the accessible `width` samples).
@@ -158,6 +263,7 @@ impl Plane {
     /// Mutable view of one row (the accessible `width` samples).
     #[inline]
     pub fn row_mut(&mut self, y: usize) -> &mut [u8] {
+        self.padded = None;
         let start = y * self.stride;
         &mut self.data[start..start + self.width]
     }
@@ -204,6 +310,7 @@ impl Plane {
         if src.len() != w * h {
             return Err(VideoError::GeometryMismatch { what: "block source and dimensions" });
         }
+        self.padded = None;
         for row in 0..h {
             let start = (y + row) * self.stride + x;
             self.data[start..start + w].copy_from_slice(&src[row * w..(row + 1) * w]);
@@ -213,6 +320,7 @@ impl Plane {
 
     /// Fills the whole accessible region with `v`.
     pub fn fill(&mut self, v: u8) {
+        self.padded = None;
         for y in 0..self.height {
             let start = y * self.stride;
             self.data[start..start + self.width].fill(v);
@@ -301,6 +409,69 @@ mod tests {
         let p = Plane::new(40, 4, 0).unwrap();
         assert_eq!(p.sample_addr(0, 0), p.base_addr());
         assert_eq!(p.sample_addr(3, 2), p.base_addr() + (2 * p.stride() + 3) as u64);
+    }
+
+    #[test]
+    fn padded_shadow_matches_get_clamped_everywhere() {
+        let mut p = Plane::new(13, 7, 0).unwrap();
+        for y in 0..7 {
+            for x in 0..13 {
+                p.set(x, y, ((x * 31 + y * 17) % 251) as u8);
+            }
+        }
+        p.pad_borders();
+        assert!(p.is_padded());
+        let pad = PAD as isize;
+        for y in -pad..(7 + pad) {
+            let row = p.padded_row(y).expect("row in padded range");
+            assert_eq!(row.len(), 13 + 2 * PAD);
+            for x in -pad..(13 + pad) {
+                assert_eq!(row[(x + pad) as usize], p.get_clamped(x, y), "({x}, {y})");
+            }
+        }
+        assert!(p.padded_row(-pad - 1).is_none());
+        assert!(p.padded_row(7 + pad).is_none());
+    }
+
+    #[test]
+    fn mutation_drops_the_padded_shadow() {
+        let mut p = Plane::new(8, 8, 3).unwrap();
+        p.pad_borders();
+        assert!(p.is_padded());
+        p.set(0, 0, 4);
+        assert!(!p.is_padded());
+        assert!(p.padded_row(0).is_none());
+
+        p.pad_borders();
+        p.row_mut(2)[0] = 9;
+        assert!(!p.is_padded());
+
+        p.pad_borders();
+        p.write_block(0, 0, 2, 2, &[1, 2, 3, 4]).unwrap();
+        assert!(!p.is_padded());
+
+        p.pad_borders();
+        p.fill(0);
+        assert!(!p.is_padded());
+    }
+
+    #[test]
+    fn clone_preserves_padding_but_not_probe_identity() {
+        let mut p = Plane::new(6, 6, 1).unwrap();
+        p.pad_borders();
+        let q = p.clone();
+        assert!(q.is_padded());
+        assert_ne!(p.base_addr(), q.base_addr());
+        assert_eq!(q.padded_row(-1).unwrap()[0], 1);
+    }
+
+    #[test]
+    fn pad_borders_is_idempotent() {
+        let mut p = Plane::new(4, 4, 7).unwrap();
+        p.pad_borders();
+        let first = p.padded_row(0).unwrap().to_vec();
+        p.pad_borders();
+        assert_eq!(p.padded_row(0).unwrap(), &first[..]);
     }
 
     #[test]

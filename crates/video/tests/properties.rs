@@ -119,6 +119,69 @@ proptest! {
         }
     }
 
+    /// The edge-padded shadow agrees with `get_clamped` at every
+    /// coordinate in the padded window, for arbitrary (odd-width,
+    /// 1-pixel-tall included) geometries and contents. The shadow is the
+    /// contiguous surface the SIMD kernels read when a motion vector
+    /// straddles the frame border, so value agreement here is what makes
+    /// the clamped fast path admissible.
+    #[test]
+    fn padded_shadow_matches_get_clamped(
+        w in 1usize..24,
+        h in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        use vstress_video::PAD;
+        let mut p = Plane::new(w, h, 0).unwrap();
+        let mut x = seed | 1;
+        for y in 0..h {
+            for xx in 0..w {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                p.set(xx, y, (x >> 56) as u8);
+            }
+        }
+        p.pad_borders();
+        prop_assert!(p.is_padded());
+        let pad = PAD as isize;
+        for y in -pad..(h as isize + pad) {
+            let row = p.padded_row(y).unwrap();
+            for x in -pad..(w as isize + pad) {
+                prop_assert_eq!(
+                    row[(x + pad) as usize],
+                    p.get_clamped(x, y),
+                    "mismatch at ({}, {})", x, y
+                );
+            }
+        }
+        // Outside the padded window the shadow refuses to answer.
+        prop_assert!(p.padded_row(-pad - 1).is_none());
+        prop_assert!(p.padded_row(h as isize + pad).is_none());
+    }
+
+    /// `block_rows` — the stride-walking row iterator the kernels use —
+    /// yields exactly the same slices as per-row `row()` indexing, for
+    /// any in-bounds block.
+    #[test]
+    fn block_rows_matches_row_indexing(
+        x in 0usize..24,
+        y in 0usize..24,
+        w in 1usize..9,
+        h in 1usize..9,
+        fill in any::<u8>(),
+    ) {
+        let mut p = Plane::new(32, 32, fill).unwrap();
+        for yy in 0..32 {
+            for xx in 0..32 {
+                p.set(xx, yy, (xx * 13 + yy * 41) as u8 ^ fill);
+            }
+        }
+        let from_iter: Vec<&[u8]> = p.block_rows(x, y, w, h).collect();
+        prop_assert_eq!(from_iter.len(), h);
+        for (i, got) in from_iter.iter().enumerate() {
+            prop_assert_eq!(*got, &p.row(y + i)[x..x + w]);
+        }
+    }
+
     /// SSIM is bounded, symmetric, and maximal iff identical.
     #[test]
     fn ssim_properties(a_fill in any::<u8>(), b_fill in any::<u8>(), noise in 0u8..40) {

@@ -1,0 +1,324 @@
+//! Portable fixed-width SIMD lane types for the vstress hot kernels.
+//!
+//! Unlike its siblings in `shims/`, this crate is not a stand-in for a
+//! crates.io dependency — it is the workspace's first-party
+//! data-parallel layer, shaped so that the *scalar* lane loops below
+//! compile to vector instructions on any target LLVM can vectorize
+//! for, without `unsafe`, intrinsics, or nightly `std::simd`.
+//!
+//! The design rules that make that reliable:
+//!
+//! * **Fixed width.** Every type wraps a `[T; N]` with `N` known at
+//!   compile time, so lane loops fully unroll and the optimizer sees a
+//!   straight-line dependency graph, not a trip-count guess.
+//! * **Whole-vector ops only.** No lane extraction in hot ops; the
+//!   horizontal reductions ([`u8x16::sad`], [`u32x4::sum`]) are the
+//!   explicit, deliberate exits from vector land.
+//! * **Widening built in.** 8-bit pixel math overflows 8-bit lanes
+//!   almost immediately; the ops that need headroom
+//!   ([`u32x4::accum_abs_diff`], [`u8x16::widen`]) widen internally so
+//!   callers never write an overflowing expression.
+//!
+//! All arithmetic is wrapping: lane types model machine vectors, and
+//! the kernels that use them guarantee their own value ranges (pinned
+//! by the equivalence oracles in `crates/codecs/tests/`).
+
+#![forbid(unsafe_code)]
+// The index-parallel `for i in 0..N { out[i] = f(a.0[i], b.0[i]) }`
+// shape is deliberate: identical trip counts over fixed arrays are what
+// LLVM's SLP vectorizer matches most reliably, and the iterator-zip
+// equivalent obscures that the loops are lane-wise.
+#![allow(clippy::needless_range_loop)]
+// `add`/`mul`/`shr` mirror the `std::simd` method surface on purpose;
+// operator traits would hide the wrapping semantics at call sites.
+#![allow(clippy::should_implement_trait)]
+
+/// Sixteen 8-bit lanes — one SSE register of pixels.
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct u8x16(pub [u8; 16]);
+
+/// Eight 16-bit lanes — the widening target for 8-bit pixel sums.
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct u16x8(pub [u16; 8]);
+
+/// Four 32-bit lanes — block-level accumulators reduced once per call.
+#[allow(non_camel_case_types)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct u32x4(pub [u32; 4]);
+
+impl u8x16 {
+    /// Lane count.
+    pub const LANES: usize = 16;
+
+    /// All lanes set to `v`.
+    #[inline]
+    #[must_use]
+    pub const fn splat(v: u8) -> Self {
+        u8x16([v; 16])
+    }
+
+    /// Loads the first 16 bytes of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` has fewer than 16 bytes.
+    #[inline]
+    #[must_use]
+    pub fn from_slice(s: &[u8]) -> Self {
+        let mut l = [0u8; 16];
+        l.copy_from_slice(&s[..16]);
+        u8x16(l)
+    }
+
+    /// Per-lane absolute difference `|a - b|` (no widening needed:
+    /// the result of `u8::abs_diff` always fits a `u8`).
+    #[inline]
+    #[must_use]
+    pub fn abs_diff(self, o: Self) -> Self {
+        let mut l = [0u8; 16];
+        for i in 0..16 {
+            l[i] = self.0[i].abs_diff(o.0[i]);
+        }
+        u8x16(l)
+    }
+
+    /// Per-lane rounding average `(a + b + 1) >> 1`, computed in 16-bit
+    /// headroom — the `pavgb` idiom used by half-pel interpolation.
+    #[inline]
+    #[must_use]
+    pub fn avg_ceil(self, o: Self) -> Self {
+        let mut l = [0u8; 16];
+        for i in 0..16 {
+            l[i] = ((self.0[i] as u16 + o.0[i] as u16 + 1) >> 1) as u8;
+        }
+        u8x16(l)
+    }
+
+    /// Widens to two 8-lane 16-bit halves `(lo, hi)`.
+    #[inline]
+    #[must_use]
+    pub fn widen(self) -> (u16x8, u16x8) {
+        let mut lo = [0u16; 8];
+        let mut hi = [0u16; 8];
+        for i in 0..8 {
+            lo[i] = self.0[i] as u16;
+            hi[i] = self.0[i + 8] as u16;
+        }
+        (u16x8(lo), u16x8(hi))
+    }
+
+    /// Horizontal sum of per-lane absolute differences — the `psadbw`
+    /// idiom. Max value `16 * 255` fits comfortably in `u32`.
+    #[inline]
+    #[must_use]
+    pub fn sad(self, o: Self) -> u32 {
+        let mut s = 0u32;
+        for i in 0..16 {
+            s += self.0[i].abs_diff(o.0[i]) as u32;
+        }
+        s
+    }
+}
+
+impl u16x8 {
+    /// Lane count.
+    pub const LANES: usize = 8;
+
+    /// All lanes set to `v`.
+    #[inline]
+    #[must_use]
+    pub const fn splat(v: u16) -> Self {
+        u16x8([v; 8])
+    }
+
+    /// Per-lane wrapping add.
+    #[inline]
+    #[must_use]
+    pub fn add(self, o: Self) -> Self {
+        let mut l = [0u16; 8];
+        for i in 0..8 {
+            l[i] = self.0[i].wrapping_add(o.0[i]);
+        }
+        u16x8(l)
+    }
+
+    /// Per-lane logical shift right.
+    #[inline]
+    #[must_use]
+    pub fn shr(self, n: u32) -> Self {
+        let mut l = [0u16; 8];
+        for i in 0..8 {
+            l[i] = self.0[i] >> n;
+        }
+        u16x8(l)
+    }
+
+    /// Narrows two 8-lane halves back to 16 8-bit lanes (callers
+    /// guarantee values fit; lanes are truncated like a machine
+    /// `packuswb` after a correct shift).
+    #[inline]
+    #[must_use]
+    pub fn narrow(lo: Self, hi: Self) -> u8x16 {
+        let mut l = [0u8; 16];
+        for i in 0..8 {
+            l[i] = lo.0[i] as u8;
+            l[i + 8] = hi.0[i] as u8;
+        }
+        u8x16(l)
+    }
+}
+
+impl u32x4 {
+    /// Lane count.
+    pub const LANES: usize = 4;
+
+    /// All lanes set to `v`.
+    #[inline]
+    #[must_use]
+    pub const fn splat(v: u32) -> Self {
+        u32x4([v; 4])
+    }
+
+    /// Loads the first 4 values of `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` has fewer than 4 values.
+    #[inline]
+    #[must_use]
+    pub fn from_slice(s: &[u32]) -> Self {
+        let mut l = [0u32; 4];
+        l.copy_from_slice(&s[..4]);
+        u32x4(l)
+    }
+
+    /// Per-lane wrapping add.
+    #[inline]
+    #[must_use]
+    pub fn add(self, o: Self) -> Self {
+        let mut l = [0u32; 4];
+        for i in 0..4 {
+            l[i] = self.0[i].wrapping_add(o.0[i]);
+        }
+        u32x4(l)
+    }
+
+    /// Per-lane wrapping multiply.
+    #[inline]
+    #[must_use]
+    pub fn mul(self, o: Self) -> Self {
+        let mut l = [0u32; 4];
+        for i in 0..4 {
+            l[i] = self.0[i].wrapping_mul(o.0[i]);
+        }
+        u32x4(l)
+    }
+
+    /// Per-lane logical shift right.
+    #[inline]
+    #[must_use]
+    pub fn shr(self, n: u32) -> Self {
+        let mut l = [0u32; 4];
+        for i in 0..4 {
+            l[i] = self.0[i] >> n;
+        }
+        u32x4(l)
+    }
+
+    /// Accumulates the 16 widened absolute differences `|a - b|` into
+    /// the four lanes (lane `j` takes elements `4j..4j+4`). Keeping the
+    /// accumulator vectorial defers the horizontal reduction to one
+    /// [`u32x4::sum`] per *block* instead of one per row.
+    #[inline]
+    #[must_use]
+    pub fn accum_abs_diff(self, a: u8x16, b: u8x16) -> Self {
+        let mut l = self.0;
+        for (j, lane) in l.iter_mut().enumerate() {
+            let mut s = 0u32;
+            for k in 0..4 {
+                s += a.0[4 * j + k].abs_diff(b.0[4 * j + k]) as u32;
+            }
+            *lane = lane.wrapping_add(s);
+        }
+        u32x4(l)
+    }
+
+    /// Accumulates the 16 widened squared differences `(a - b)^2` into
+    /// the four lanes (same layout as [`u32x4::accum_abs_diff`]).
+    #[inline]
+    #[must_use]
+    pub fn accum_sq_diff(self, a: u8x16, b: u8x16) -> Self {
+        let mut l = self.0;
+        for (j, lane) in l.iter_mut().enumerate() {
+            let mut s = 0u32;
+            for k in 0..4 {
+                let d = a.0[4 * j + k].abs_diff(b.0[4 * j + k]) as u32;
+                s += d * d;
+            }
+            *lane = lane.wrapping_add(s);
+        }
+        u32x4(l)
+    }
+
+    /// Horizontal sum of the four lanes.
+    #[inline]
+    #[must_use]
+    pub fn sum(self) -> u32 {
+        self.0[0].wrapping_add(self.0[1]).wrapping_add(self.0[2]).wrapping_add(self.0[3])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sad_matches_scalar() {
+        let a = u8x16([0, 255, 3, 7, 9, 200, 1, 0, 128, 127, 64, 32, 16, 8, 4, 2]);
+        let b = u8x16([255, 0, 7, 3, 9, 100, 2, 1, 127, 128, 0, 0, 0, 0, 0, 0]);
+        let scalar: u32 = (0..16).map(|i| a.0[i].abs_diff(b.0[i]) as u32).sum();
+        assert_eq!(a.sad(b), scalar);
+        assert_eq!(u32x4::splat(0).accum_abs_diff(a, b).sum(), scalar);
+    }
+
+    #[test]
+    fn sq_diff_matches_scalar() {
+        let a = u8x16([0, 255, 3, 7, 9, 200, 1, 0, 128, 127, 64, 32, 16, 8, 4, 2]);
+        let b = u8x16([255, 0, 7, 3, 9, 100, 2, 1, 127, 128, 0, 0, 0, 0, 0, 0]);
+        let scalar: u32 = (0..16)
+            .map(|i| {
+                let d = a.0[i].abs_diff(b.0[i]) as u32;
+                d * d
+            })
+            .sum();
+        assert_eq!(u32x4::splat(0).accum_sq_diff(a, b).sum(), scalar);
+    }
+
+    #[test]
+    fn avg_ceil_rounds_up() {
+        let a = u8x16::splat(1);
+        let b = u8x16::splat(2);
+        assert_eq!(a.avg_ceil(b), u8x16::splat(2));
+        assert_eq!(u8x16::splat(255).avg_ceil(u8x16::splat(255)), u8x16::splat(255));
+        assert_eq!(u8x16::splat(0).avg_ceil(u8x16::splat(0)), u8x16::splat(0));
+    }
+
+    #[test]
+    fn widen_narrow_round_trips() {
+        let a = u8x16([0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 250, 255]);
+        let (lo, hi) = a.widen();
+        assert_eq!(u16x8::narrow(lo, hi), a);
+        assert_eq!(lo.add(u16x8::splat(2)).shr(1).0[0], 1);
+    }
+
+    #[test]
+    fn from_slice_takes_prefix() {
+        let bytes: Vec<u8> = (0..32).collect();
+        assert_eq!(
+            u8x16::from_slice(&bytes).0,
+            [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]
+        );
+    }
+}
