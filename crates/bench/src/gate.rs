@@ -57,6 +57,14 @@ impl GateReport {
     pub fn passed(&self) -> bool {
         self.regressions.is_empty()
     }
+
+    /// Number of metrics actually compared — present in both reports
+    /// and matching the filter. A report with `compared() == 0`
+    /// trivially "passes", so callers must treat it as a configuration
+    /// error (a typoed `--filter` must not green-light a regression).
+    pub fn compared(&self) -> usize {
+        self.lines.len() - self.missing.len()
+    }
 }
 
 /// Extracts `(name, ns_per_op)` pairs from a `vstress-bench` JSON
@@ -199,6 +207,27 @@ mod tests {
     }
 
     #[test]
+    fn filter_matching_nothing_compares_nothing() {
+        let base = vec![m("sad_interior", 100.0), m("encode_tiles", 100.0)];
+        let fresh = vec![m("sad_interior", 500.0)];
+        // No baseline name contains "tage": the report trivially passes
+        // but compares zero metrics — main() turns that into exit 1.
+        let report = compare(&base, &fresh, DEFAULT_THRESHOLD, Some("tage"));
+        assert!(report.passed(), "an empty comparison has no regressions to fail on");
+        assert_eq!(report.compared(), 0, "nothing matched, nothing compared");
+        // A filter matching only a baseline metric the fresh report
+        // lacks is the same trap: one SKIP line, zero comparisons.
+        let only_missing = compare(&base, &[m("other", 1.0)], DEFAULT_THRESHOLD, Some("sad"));
+        assert!(only_missing.passed());
+        assert_eq!(only_missing.compared(), 0);
+        assert_eq!(only_missing.missing, vec!["sad_interior".to_owned()]);
+        // And a matching filter reports what it compared.
+        let ok = compare(&base, &fresh, DEFAULT_THRESHOLD, Some("sad"));
+        assert_eq!(ok.compared(), 1);
+        assert!(!ok.passed(), "the 5x regression is visible once compared");
+    }
+
+    #[test]
     fn missing_metric_skips_with_warning() {
         let base = vec![m("gone", 100.0), m("kept", 100.0)];
         let fresh = vec![m("kept", 100.0)];
@@ -212,8 +241,8 @@ mod tests {
     // against the real artifact in the repo root.
     #[test]
     fn committed_trajectory_passes_against_itself() {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_0005.json");
-        let json = std::fs::read_to_string(path).expect("BENCH_0005.json committed at repo root");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_0006.json");
+        let json = std::fs::read_to_string(path).expect("BENCH_0006.json committed at repo root");
         let metrics = parse_metrics(&json);
         assert!(metrics.len() >= 15, "expected a full report, got {}", metrics.len());
         let report = compare(&metrics, &metrics, DEFAULT_THRESHOLD, None);
@@ -226,8 +255,8 @@ mod tests {
     // test against the real baseline.
     #[test]
     fn committed_trajectory_fails_on_injected_regression() {
-        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_0005.json");
-        let json = std::fs::read_to_string(path).expect("BENCH_0005.json committed at repo root");
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_0006.json");
+        let json = std::fs::read_to_string(path).expect("BENCH_0006.json committed at repo root");
         let base = parse_metrics(&json);
         let fresh: Vec<Metric> = base.iter().map(|b| m(&b.name, b.ns_per_op * 1.20)).collect();
         let report = compare(&base, &fresh, DEFAULT_THRESHOLD, None);

@@ -1,11 +1,12 @@
 //! `vstress-bench` — the machine-readable perf-trajectory harness.
 //!
 //! ```text
-//! vstress-bench                        # full run, writes BENCH_0005.json
+//! vstress-bench                        # full run, writes BENCH_0006.json
 //! vstress-bench --quick                # CI mode: shorter sampling windows
 //! vstress-bench --filter tage          # only metrics whose name matches
+//! vstress-bench --list                 # print metric names, no timing runs
 //! vstress-bench --out path.json        # write the report elsewhere
-//! vstress-bench gate --baseline BENCH_0005.json --quick --filter sad
+//! vstress-bench gate --baseline BENCH_0006.json --quick --filter sad
 //!                                      # rerun, fail on >10% regression
 //! vstress-bench gate --baseline a.json --fresh b.json
 //!                                      # compare two existing reports
@@ -13,14 +14,20 @@
 //!
 //! Times the leaf pixel kernels (interior and border paths separately),
 //! motion search, the simulation-side hot paths (cache-hierarchy load
-//! stream, core-model event drain, branch predictors, CBP window
-//! replay — each next to its pre-optimization reference so the speedup
-//! is visible inside one report), and a full quick-profile encode, then
-//! emits one JSON report (`ns/op`, `pixels/s`, wall time, git revision,
-//! build metadata) so every PR can be compared against the committed
-//! trajectory. Human-readable lines go to stderr; the JSON artifact is
-//! the contract. `gate` mode turns the comparison into an exit code for
-//! CI (see [`vstress_bench::gate`]).
+//! stream, core-model event drain, stream record/replay, branch
+//! predictors, CBP window replay — each next to its pre-optimization
+//! reference so the speedup is visible inside one report), and three
+//! end-to-end walls: the counting-only quick-profile encode, the
+//! capture of the quick characterization's event streams, and the
+//! **re-simulation of those captured streams** — the capture-once /
+//! simulate-many contract's payoff, reported as the `characterization`
+//! section (`quick_profile_resim`; before the capture split this
+//! section timed the fused encode+simulate pass as
+//! `quick_profile_pipeline`). One JSON report (`ns/op`, `pixels/s`,
+//! wall time, git revision, build metadata) lets every PR be compared
+//! against the committed trajectory. Human-readable lines go to stderr;
+//! the JSON artifact is the contract. `gate` mode turns the comparison
+//! into an exit code for CI (see [`vstress_bench::gate`]).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -36,13 +43,15 @@ use vstress::codecs::{CodecId, EncoderParams};
 use vstress::experiments::{profile, ExperimentConfig};
 use vstress::pipeline::CoreModel;
 use vstress::trace::record::BranchRecord;
-use vstress::trace::{Kernel, NullProbe, Probe, ProbeEvent};
+use vstress::trace::{Kernel, NullProbe, Probe, ProbeEvent, StreamRecorder};
 use vstress::video::Plane;
+use vstress::workbench;
 use vstress_bench::gate;
 
 const FLAGS: &[FlagSpec] = &[
     FlagSpec::switch("--quick", "short sampling windows (CI mode)"),
-    FlagSpec::value("--out", "FILE", "report path (default BENCH_0005.json)"),
+    FlagSpec::switch("--list", "print available metric names (one per line), no timing"),
+    FlagSpec::value("--out", "FILE", "report path (default BENCH_0006.json)"),
     FlagSpec::value("--filter", "SUBSTR", "only run/gate metrics whose name contains SUBSTR"),
     FlagSpec::value(
         "--tile-workers",
@@ -91,8 +100,11 @@ impl Sample {
 
 /// Collects samples, honoring the `--filter` substring: setup always
 /// runs (it is cheap and shared), timing loops only for matching names.
+/// In `--list` mode every matching name is recorded with zeroed
+/// measurements and nothing is timed.
 struct Suite {
     filter: Option<String>,
+    list: bool,
     target_ms: u64,
     samples: Vec<Sample>,
 }
@@ -106,6 +118,15 @@ impl Suite {
     /// (skipped entirely when the name fails the filter).
     fn time_it(&mut self, name: &str, pixels_per_op: u64, mut f: impl FnMut()) {
         if !self.wants(name) {
+            return;
+        }
+        if self.list {
+            self.samples.push(Sample {
+                name: name.to_owned(),
+                iters: 0,
+                ns_per_op: 0.0,
+                pixels_per_op,
+            });
             return;
         }
         // Warm up and calibrate the batch size on a short probe run.
@@ -182,12 +203,19 @@ struct BuildMeta {
     profile: &'static str,
 }
 
-fn render_report(
-    samples: &[Sample],
-    meta: &BuildMeta,
-    encode_wall_ms: Option<f64>,
-    char_wall_ms: Option<f64>,
-) -> String {
+/// The end-to-end wall clocks, when their sections ran.
+#[derive(Default)]
+struct Walls {
+    /// Counting-only quick-profile encode.
+    encode: Option<f64>,
+    /// Recording the quick characterization's event streams.
+    capture: Option<f64>,
+    /// Re-simulating the captured streams (the `characterization`
+    /// section of the report).
+    resim: Option<f64>,
+}
+
+fn render_report(samples: &[Sample], meta: &BuildMeta, walls: &Walls) -> String {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"schema\": 2,\n");
@@ -211,14 +239,19 @@ fn render_report(
         ));
     }
     json.push_str("  ]");
-    if let Some(ms) = encode_wall_ms {
+    if let Some(ms) = walls.encode {
         json.push_str(&format!(
             ",\n  \"encode\": {{\"name\": \"quick_profile\", \"wall_ms\": {ms:.1}}}"
         ));
     }
-    if let Some(ms) = char_wall_ms {
+    if let Some(ms) = walls.capture {
         json.push_str(&format!(
-            ",\n  \"characterization\": {{\"name\": \"quick_profile_pipeline\", \"wall_ms\": {ms:.1}}}"
+            ",\n  \"capture\": {{\"name\": \"quick_profile_capture\", \"wall_ms\": {ms:.1}}}"
+        ));
+    }
+    if let Some(ms) = walls.resim {
+        json.push_str(&format!(
+            ",\n  \"characterization\": {{\"name\": \"quick_profile_resim\", \"wall_ms\": {ms:.1}}}"
         ));
     }
     json.push_str("\n}\n");
@@ -226,8 +259,8 @@ fn render_report(
 }
 
 /// Runs the whole microbenchmark suite (filtered), returning the samples
-/// plus the wall clocks of the two end-to-end phases when they ran.
-fn run_suite(suite: &mut Suite, tile_workers: usize) -> (Option<f64>, Option<f64>) {
+/// plus the wall clocks of the end-to-end phases when they ran.
+fn run_suite(suite: &mut Suite, tile_workers: usize) -> Walls {
     let cur = textured(64, 64, 4);
     // The reference plane carries the edge-padded shadow, as the encoder's
     // reconstruction planes do — border SAD and off-frame MC go through
@@ -390,6 +423,26 @@ fn run_suite(suite: &mut Suite, tile_workers: usize) -> (Option<f64>, Option<f64
         }
     });
 
+    // Probe event stream: packing the same 16k-event mix into canonical
+    // chunks (what a recording encode adds over a counting one), and
+    // draining a packed stream back into the core model (what a
+    // warm-capture re-simulation costs versus `sim_core_drain_16k`'s
+    // raw in-memory batch).
+    suite.time_it("sim_stream_record_16k", 0, || {
+        let mut rec = StreamRecorder::new();
+        rec.drain_batch(black_box(&events));
+        black_box(rec.finish().0.packed_bytes());
+    });
+    let stream16k = {
+        let mut rec = StreamRecorder::new();
+        rec.drain_batch(&events);
+        rec.finish().0
+    };
+    let mut stream_model = CoreModel::broadwell();
+    suite.time_it("sim_stream_replay_16k", 0, || {
+        stream_model.consume_stream(black_box(&stream16k));
+    });
+
     // Branch predictors: single predict+update round-trips, the live
     // rewrites next to their kept references.
     let mut g32 = Gshare::with_budget_bytes(32 << 10);
@@ -491,39 +544,72 @@ fn run_suite(suite: &mut Suite, tile_workers: usize) -> (Option<f64>, Option<f64
     // quick configuration, exactly what `vstress-repro profile` runs. This
     // is a counting-only pass (no simulators attached), so it tracks the
     // encoder kernels, not the simulation path.
-    let encode_wall_ms = if suite.wants("quick_profile_encode") {
-        let encode_start = Instant::now();
+    let encode_wall_ms = wall(suite, "quick_profile_encode", || {
         let cfg = ExperimentConfig::quick();
         profile::table_hot_kernels(&cfg).expect("quick profile");
-        let ms = encode_start.elapsed().as_secs_f64() * 1e3;
-        eprintln!("vstress-bench: quick_profile_encode      {ms:>12.1} ms wall");
-        Some(ms)
-    } else {
-        None
-    };
+    });
 
-    // Full quick-profile characterization: the same five clips and encoder
-    // parameters, but with the pipeline model attached (cache hierarchy,
-    // top-down slots, fetch stream) — the configuration every figure
-    // experiment actually runs, and the wall clock the simulation-path
-    // optimizations are accountable to.
-    let char_wall_ms = if suite.wants("quick_profile_characterization") {
-        let char_start = Instant::now();
-        let char_cfg = ExperimentConfig::quick();
-        let char_specs: Vec<_> = char_cfg
-            .clips
+    // The quick characterization's clips and encoder parameters — the
+    // configuration every figure experiment actually runs — split into
+    // the capture-once / simulate-many phases.
+    let char_cfg = ExperimentConfig::quick();
+    let char_specs: Vec<_> = char_cfg
+        .clips
+        .iter()
+        .map(|&clip| char_cfg.spec(clip, CodecId::SvtAv1, EncoderParams::new(35, 4)))
+        .collect();
+
+    // Capture: record every spec's canonical event stream (clip
+    // synthesis + recording encode, no simulation).
+    let mut caps: Vec<workbench::CapturedEncode> = Vec::new();
+    let capture_wall_ms = wall(suite, "quick_profile_capture", || {
+        caps = char_specs
             .iter()
-            .map(|&clip| char_cfg.spec(clip, CodecId::SvtAv1, EncoderParams::new(35, 4)))
+            .map(|s| workbench::capture_encode(s).expect("quick capture"))
             .collect();
-        char_cfg.run_specs(&char_specs).expect("quick characterization");
-        let ms = char_start.elapsed().as_secs_f64() * 1e3;
-        eprintln!("vstress-bench: quick_profile_characterization {ms:>7.1} ms wall");
-        Some(ms)
-    } else {
-        None
-    };
+    });
 
-    (encode_wall_ms, char_wall_ms)
+    // Re-simulation from the warm captures: the pipeline model (cache
+    // hierarchy, top-down slots, fetch stream) consuming the recorded
+    // streams — the wall clock the simulation-path optimizations are
+    // accountable to, and what a warm-store characterization re-run
+    // costs. When the capture phase was filtered out, capturing runs
+    // here untimed as setup.
+    if suite.wants("quick_profile_resim") && !suite.list && caps.is_empty() {
+        caps = char_specs
+            .iter()
+            .map(|s| workbench::capture_encode(s).expect("quick capture"))
+            .collect();
+    }
+    let resim_wall_ms = wall(suite, "quick_profile_resim", || {
+        for (spec, cap) in char_specs.iter().zip(&caps) {
+            black_box(workbench::characterize_from_capture(spec, cap));
+        }
+    });
+
+    Walls { encode: encode_wall_ms, capture: capture_wall_ms, resim: resim_wall_ms }
+}
+
+/// Times one end-to-end wall-clock section, honoring filter and list
+/// mode like [`Suite::time_it`] (listed names carry zeroed samples).
+fn wall(suite: &mut Suite, name: &str, body: impl FnOnce()) -> Option<f64> {
+    if !suite.wants(name) {
+        return None;
+    }
+    if suite.list {
+        suite.samples.push(Sample {
+            name: name.to_owned(),
+            iters: 0,
+            ns_per_op: 0.0,
+            pixels_per_op: 0,
+        });
+        return None;
+    }
+    let t0 = Instant::now();
+    body();
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!("vstress-bench: {name:<34} {ms:>12.1} ms wall");
+    Some(ms)
 }
 
 fn main() {
@@ -544,7 +630,22 @@ fn main() {
         Ok(v) => v.unwrap_or(4),
         Err(e) => usage_error(&e),
     };
-    let out_path = parsed.value("--out").unwrap_or("BENCH_0005.json").to_owned();
+    let out_path = parsed.value("--out").unwrap_or("BENCH_0006.json").to_owned();
+
+    // `--list`: walk the suite without timing anything and print every
+    // (filter-matching) metric name to stdout, one per line.
+    if parsed.switch("--list") {
+        if gate_mode {
+            eprintln!("vstress-bench: --list cannot be combined with gate");
+            std::process::exit(cli::USAGE_EXIT.into());
+        }
+        let mut suite = Suite { filter, list: true, target_ms: 0, samples: Vec::new() };
+        run_suite(&mut suite, tile_workers);
+        for s in &suite.samples {
+            println!("{}", s.name);
+        }
+        return;
+    }
 
     let meta = BuildMeta {
         mode: if quick { "quick" } else { "full" },
@@ -589,11 +690,12 @@ fn main() {
                 eprintln!("vstress-bench: gate mode = {} (baseline {baseline_path})", meta.mode);
                 let mut suite = Suite {
                     filter: filter.clone(),
+                    list: false,
                     target_ms: if quick { 40 } else { 250 },
                     samples: Vec::new(),
                 };
-                let (encode_ms, char_ms) = run_suite(&mut suite, tile_workers);
-                let json = render_report(&suite.samples, &meta, encode_ms, char_ms);
+                let walls = run_suite(&mut suite, tile_workers);
+                let json = render_report(&suite.samples, &meta, &walls);
                 // Persist the fresh report only when asked: CI uploads it
                 // as the run artifact.
                 if parsed.value("--out").is_some() {
@@ -611,6 +713,21 @@ fn main() {
             }
         };
         let report = gate::compare(&base, &fresh, threshold, filter.as_deref());
+        // A gate that compared nothing is a configuration error, not a
+        // pass: a typoed `--filter` must not green-light a regression.
+        if report.compared() == 0 {
+            match &filter {
+                Some(f) => eprintln!(
+                    "vstress-bench: gate: error — no shared metrics match --filter {f:?}; \
+                     nothing was gated"
+                ),
+                None => eprintln!(
+                    "vstress-bench: gate: error — no shared metrics between baseline and \
+                     fresh report; nothing was gated"
+                ),
+            }
+            std::process::exit(1);
+        }
         for line in &report.lines {
             eprintln!("vstress-bench: gate: {line}");
         }
@@ -634,9 +751,10 @@ fn main() {
     }
 
     eprintln!("vstress-bench: mode = {}", meta.mode);
-    let mut suite = Suite { filter, target_ms: if quick { 40 } else { 250 }, samples: Vec::new() };
-    let (encode_ms, char_ms) = run_suite(&mut suite, tile_workers);
-    let json = render_report(&suite.samples, &meta, encode_ms, char_ms);
+    let mut suite =
+        Suite { filter, list: false, target_ms: if quick { 40 } else { 250 }, samples: Vec::new() };
+    let walls = run_suite(&mut suite, tile_workers);
+    let json = render_report(&suite.samples, &meta, &walls);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("vstress-bench: cannot write {out_path}: {e}");
         std::process::exit(1);

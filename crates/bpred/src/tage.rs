@@ -361,6 +361,15 @@ impl TageCore {
     /// state is `p` — the body of the reference's `update` after the
     /// recompute guard. `p` is caller-owned (never aliases `self`).
     fn train_with(&mut self, p: &Prediction, taken: bool) {
+        match self.config.num_tables {
+            6 => self.train_with_inner(p, taken, 6),
+            12 => self.train_with_inner(p, taken, 12),
+            n => self.train_with_inner(p, taken, n),
+        }
+    }
+
+    #[inline(always)]
+    fn train_with_inner(&mut self, p: &Prediction, taken: bool, n: usize) {
         let mispredicted = p.final_pred != taken;
 
         if let Some(t) = p.provider {
@@ -400,10 +409,10 @@ impl TageCore {
         }
 
         if mispredicted {
-            self.allocate(p, taken);
+            self.allocate(p, taken, n);
         }
 
-        self.push_history(taken);
+        self.push_history_inner(taken, n);
         self.until_reset -= 1;
         if self.until_reset == 0 {
             self.until_reset = self.config.u_reset_period;
@@ -419,15 +428,6 @@ impl TageCore {
     /// tables; the per-table ejected bit lands through the precomputed
     /// [`TageCore::eject_mask`], so the lane loop is branch-free with
     /// constant shifts only.
-    #[inline]
-    fn push_history(&mut self, taken: bool) {
-        match self.config.num_tables {
-            6 => self.push_history_inner(taken, 6),
-            12 => self.push_history_inner(taken, 12),
-            n => self.push_history_inner(taken, n),
-        }
-    }
-
     #[inline(always)]
     fn push_history_inner(&mut self, taken: bool, n: usize) {
         let (w0, w1) = (self.config.log_entries, self.config.tag_bits);
@@ -454,19 +454,21 @@ impl TageCore {
         self.global.push(taken);
     }
 
-    fn allocate(&mut self, p: &Prediction, taken: bool) {
+    /// `n` is always `config.num_tables`, passed down so the replay
+    /// loop's monomorphized instantiations see a constant trip count.
+    fn allocate(&mut self, p: &Prediction, taken: bool, n: usize) {
         let start = match p.provider {
             Some(t) => t as usize + 1,
             None => 0,
         };
-        if start >= self.config.num_tables {
+        if start >= n {
             return;
         }
         // Seznec randomizes the first candidate table to avoid ping-ponging.
-        let span = self.config.num_tables - start;
+        let span = n - start;
         let skip = if span > 1 { (self.next_rand() % 2) as usize } else { 0 };
         let mut allocated = false;
-        for t in (start + skip)..self.config.num_tables {
+        for t in (start + skip)..n {
             let slot = self.slot(t, p.table_indices[t]);
             if self.table[slot].useful == 0 {
                 self.table[slot] =
@@ -477,7 +479,7 @@ impl TageCore {
         }
         if !allocated {
             // All candidates useful: age them so a later allocation succeeds.
-            for t in start..self.config.num_tables {
+            for t in start..n {
                 let slot = self.slot(t, p.table_indices[t]);
                 let e = &mut self.table[slot];
                 if e.useful > 0 {
@@ -533,15 +535,31 @@ impl BranchPredictor for Tage {
     /// `last` store. `last` is written once at the end, so the post-
     /// replay state (including the predict-skip guard) is identical to
     /// the per-record loop's.
+    ///
+    /// The `num_tables` dispatch is hoisted out of the loop: one match
+    /// per *trace* selects a fully monomorphized loop body for the two
+    /// shipped geometries, so compute, train, allocation and the fold
+    /// sweep all see a compile-time table count for the whole window.
     fn replay(&mut self, trace: &[BranchRecord]) -> u64 {
+        match self.core.config.num_tables {
+            6 => self.replay_mono(trace, 6),
+            12 => self.replay_mono(trace, 12),
+            n => self.replay_mono(trace, n),
+        }
+    }
+}
+
+impl Tage {
+    #[inline(always)]
+    fn replay_mono(&mut self, trace: &[BranchRecord], n: usize) -> u64 {
         let mut mispredicts = 0u64;
         let mut p = Prediction::default();
         for r in trace {
-            self.core.compute_into(r.pc, &mut p);
+            self.core.compute_into_inner(r.pc, &mut p, n);
             if p.final_pred != r.taken {
                 mispredicts += 1;
             }
-            self.core.train_with(&p, r.taken);
+            self.core.train_with_inner(&p, r.taken, n);
         }
         if !trace.is_empty() {
             self.last = p;

@@ -1,7 +1,7 @@
 //! A single set-associative cache.
 
 use crate::config::CacheConfig;
-use crate::policy::SetState;
+use crate::policy::{ReplacementPolicy, SetState};
 
 /// Whether an access reads or writes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +56,22 @@ pub struct LookupResult {
     pub writeback: Option<u64>,
 }
 
+/// One way of one set: the resident tag plus its packed state, kept
+/// adjacent so a lookup touches one cache line instead of three arrays.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Full line address of the resident line (meaningless while invalid).
+    tag: u64,
+    /// Bit 0 = valid, bit 1 = dirty, bits 2.. = the LRU timestamp
+    /// (maintained only under [`ReplacementPolicy::Lru`]).
+    meta: u64,
+}
+
+const VALID: u64 = 1;
+const DIRTY: u64 = 2;
+/// Shift that positions the LRU stamp above the valid/dirty bits.
+const STAMP_SHIFT: u32 = 2;
+
 /// A set-associative cache over line addresses.
 ///
 /// The cache operates on *line* addresses (`byte_addr >> line_shift`);
@@ -71,10 +87,13 @@ pub struct LookupResult {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cache {
-    tags: Vec<u64>,
-    valid: Vec<bool>,
-    dirty: Vec<bool>,
+    /// `set_count * ways` slots, set-major (way 0..ways of set 0 first).
+    slots: Vec<Slot>,
+    /// Per-set replacement state for the non-LRU policies. Empty under
+    /// LRU, whose timestamps live directly in [`Slot::meta`].
     sets: Vec<SetState>,
+    /// Whether the stamp-in-slot LRU fast path is active.
+    lru: bool,
     /// `set_count - 1`; set counts are validated powers of two, so masking
     /// is exactly the old `line % set_count`.
     set_mask: u64,
@@ -89,6 +108,14 @@ pub struct Cache {
     mru_slot: usize,
     mru_set: usize,
     mru_way: usize,
+    /// Per-set most-recent way, a search accelerator for the scan path:
+    /// probe streams alternate between a few lines in *different* sets
+    /// (source vs. reference planes), which defeats the single MRU slot
+    /// while each set's hot way stays stable. A stale hint is harmless —
+    /// the tag comparison rejects it and the full scan runs; a matching
+    /// hint is the unique matching way, so taking it performs exactly
+    /// the updates the scan would have.
+    way_hints: Vec<u8>,
     stats: CacheStats,
 }
 
@@ -102,11 +129,15 @@ impl Cache {
         config.validate();
         let set_count = config.sets();
         let ways = config.ways;
+        let lru = config.policy == ReplacementPolicy::Lru;
         Cache {
-            tags: vec![0; set_count * ways],
-            valid: vec![false; set_count * ways],
-            dirty: vec![false; set_count * ways],
-            sets: (0..set_count).map(|_| SetState::new(config.policy, ways)).collect(),
+            slots: vec![Slot { tag: 0, meta: 0 }; set_count * ways],
+            sets: if lru {
+                Vec::new()
+            } else {
+                (0..set_count).map(|_| SetState::new(config.policy, ways)).collect()
+            },
+            lru,
             set_mask: set_count as u64 - 1,
             ways,
             line_shift: config.line_bytes.trailing_zeros(),
@@ -117,6 +148,7 @@ impl Cache {
             mru_slot: 0,
             mru_set: 0,
             mru_way: 0,
+            way_hints: vec![0; set_count],
             stats: CacheStats::default(),
         }
     }
@@ -147,9 +179,16 @@ impl Cache {
         (line & self.set_mask) as usize
     }
 
+    /// Records a touch of `slot` (= `set * ways + way`) at the current
+    /// tick: a stamp write for LRU, the policy state machine otherwise.
     #[inline]
-    fn slot(&self, set: usize, way: usize) -> usize {
-        set * self.ways + way
+    fn touch(&mut self, slot: usize, set: usize, way: usize) {
+        if self.lru {
+            let m = &mut self.slots[slot].meta;
+            *m = (self.tick << STAMP_SHIFT) | (*m & (VALID | DIRTY));
+        } else {
+            self.sets[set].touch(way, self.ways, self.tick);
+        }
     }
 
     /// Looks up `line`; on miss, installs it (evicting as needed).
@@ -157,33 +196,86 @@ impl Cache {
     /// Returns whether it hit and any dirty line evicted.
     #[inline]
     pub fn access_line(&mut self, line: u64, kind: AccessKind) -> LookupResult {
-        self.tick += 1;
-        self.stats.accesses += 1;
         // MRU fast path. A valid slot whose tag matches can only belong to
         // `line`'s own set (tags are full line addresses and lines install
         // only in their home set), so this is a true hit; every state
         // update matches the scan path below exactly.
-        if self.valid[self.mru_slot] && self.tags[self.mru_slot] == line {
+        let mru = self.slots[self.mru_slot];
+        if mru.meta & VALID != 0 && mru.tag == line {
+            self.tick += 1;
+            self.stats.accesses += 1;
             self.stats.hits += 1;
-            self.sets[self.mru_set].touch(self.mru_way, self.ways, self.tick);
+            self.touch(self.mru_slot, self.mru_set, self.mru_way);
             if kind == AccessKind::Write {
-                self.dirty[self.mru_slot] = true;
+                self.slots[self.mru_slot].meta |= DIRTY;
             }
             return LookupResult { hit: true, writeback: None };
         }
+        self.access_line_scan(line, kind)
+    }
+
+    /// [`Cache::access_line`] minus the MRU probe: the full set scan with
+    /// identical counting and state updates.
+    ///
+    /// The hierarchy calls this directly for L1D accesses that already
+    /// failed its own last-line check — the cache's MRU slot always holds
+    /// that same last line (every hit and every fill install the touched
+    /// line as MRU), so the probe above cannot match and re-running it
+    /// would be pure overhead. Calling this where the MRU probe *could*
+    /// match is still correct, just slower: a scan hit on the MRU way
+    /// performs the same updates and re-installs the same `mru_*` values.
+    #[inline]
+    pub(crate) fn access_line_scan(&mut self, line: u64, kind: AccessKind) -> LookupResult {
+        self.tick += 1;
+        self.stats.accesses += 1;
         let set = self.set_of(line);
-        for way in 0..self.ways {
-            let s = self.slot(set, way);
-            if self.valid[s] && self.tags[s] == line {
+        let base = set * self.ways;
+        if self.lru {
+            // LRU fast scan: probe the set's hinted way first, then
+            // iterate the set as a slice (one bounds check); either hit
+            // folds the stamp update and dirty bit into a single meta
+            // write — the value stored is exactly what `touch` followed
+            // by the `|= DIRTY` write would have produced.
+            let stamp = self.tick << STAMP_SHIFT;
+            let dirty = if kind == AccessKind::Write { DIRTY } else { 0 };
+            let hint = usize::from(self.way_hints[set]);
+            let hs = base + hint;
+            let hinted = self.slots[hs];
+            if hinted.meta & VALID != 0 && hinted.tag == line {
+                self.slots[hs].meta = stamp | (hinted.meta & (VALID | DIRTY)) | dirty;
                 self.stats.hits += 1;
-                self.sets[set].touch(way, self.ways, self.tick);
-                if kind == AccessKind::Write {
-                    self.dirty[s] = true;
-                }
-                self.mru_slot = s;
+                self.mru_slot = hs;
                 self.mru_set = set;
-                self.mru_way = way;
+                self.mru_way = hint;
                 return LookupResult { hit: true, writeback: None };
+            }
+            for (way, slot) in self.slots[base..base + self.ways].iter_mut().enumerate() {
+                if slot.meta & VALID != 0 && slot.tag == line {
+                    slot.meta = stamp | (slot.meta & (VALID | DIRTY)) | dirty;
+                    self.stats.hits += 1;
+                    self.mru_slot = base + way;
+                    self.mru_set = set;
+                    self.mru_way = way;
+                    self.way_hints[set] = way as u8;
+                    return LookupResult { hit: true, writeback: None };
+                }
+            }
+        } else {
+            for way in 0..self.ways {
+                let s = base + way;
+                let slot = self.slots[s];
+                if slot.meta & VALID != 0 && slot.tag == line {
+                    self.stats.hits += 1;
+                    self.touch(s, set, way);
+                    if kind == AccessKind::Write {
+                        self.slots[s].meta |= DIRTY;
+                    }
+                    self.mru_slot = s;
+                    self.mru_set = set;
+                    self.mru_way = way;
+                    self.way_hints[set] = way as u8;
+                    return LookupResult { hit: true, writeback: None };
+                }
             }
         }
         self.stats.misses += 1;
@@ -200,15 +292,23 @@ impl Cache {
     #[inline]
     pub(crate) fn mru_hit(&mut self, line: u64, kind: AccessKind) {
         debug_assert!(
-            self.valid[self.mru_slot] && self.tags[self.mru_slot] == line,
+            self.slots[self.mru_slot].meta & VALID != 0 && self.slots[self.mru_slot].tag == line,
             "mru_hit caller invariant broken for line {line:#x}"
         );
         self.tick += 1;
         self.stats.accesses += 1;
         self.stats.hits += 1;
-        self.sets[self.mru_set].touch(self.mru_way, self.ways, self.tick);
-        if kind == AccessKind::Write {
-            self.dirty[self.mru_slot] = true;
+        if self.lru {
+            // One fused meta write — `touch`'s stamp plus the dirty bit.
+            let m = &mut self.slots[self.mru_slot].meta;
+            *m = (self.tick << STAMP_SHIFT)
+                | (*m & (VALID | DIRTY))
+                | if kind == AccessKind::Write { DIRTY } else { 0 };
+        } else {
+            self.touch(self.mru_slot, self.mru_set, self.mru_way);
+            if kind == AccessKind::Write {
+                self.slots[self.mru_slot].meta |= DIRTY;
+            }
         }
     }
 
@@ -218,11 +318,12 @@ impl Cache {
         self.tick += 1;
         // Already present? Nothing to do (common for overlapping prefetch).
         let set = self.set_of(line);
+        let base = set * self.ways;
         for way in 0..self.ways {
-            let s = self.slot(set, way);
-            if self.valid[s] && self.tags[s] == line {
+            let slot = self.slots[base + way];
+            if slot.meta & VALID != 0 && slot.tag == line {
                 if dirty {
-                    self.dirty[s] = true;
+                    self.slots[base + way].meta |= DIRTY;
                 }
                 return None;
             }
@@ -233,38 +334,57 @@ impl Cache {
 
     fn fill_internal(&mut self, line: u64, dirty: bool) -> Option<u64> {
         let set = self.set_of(line);
+        let base = set * self.ways;
         // Prefer an invalid way.
         let mut victim = None;
         for way in 0..self.ways {
-            if !self.valid[self.slot(set, way)] {
+            if self.slots[base + way].meta & VALID == 0 {
                 victim = Some(way);
                 break;
             }
         }
-        let way = victim.unwrap_or_else(|| self.sets[set].victim(self.ways, &mut self.rng));
-        let s = self.slot(set, way);
-        let evicted = if self.valid[s] && self.dirty[s] {
+        let way = match victim {
+            Some(w) => w,
+            // Oldest stamp wins, first way on ties — the same strictly-less
+            // scan the per-set stamp vector used to perform.
+            None if self.lru => {
+                let mut best = 0;
+                let mut best_stamp = self.slots[base].meta >> STAMP_SHIFT;
+                for w in 1..self.ways {
+                    let stamp = self.slots[base + w].meta >> STAMP_SHIFT;
+                    if stamp < best_stamp {
+                        best = w;
+                        best_stamp = stamp;
+                    }
+                }
+                best
+            }
+            None => self.sets[set].victim(self.ways, &mut self.rng),
+        };
+        let s = base + way;
+        let old = self.slots[s];
+        let evicted = if old.meta & (VALID | DIRTY) == (VALID | DIRTY) {
             self.stats.writebacks += 1;
-            Some(self.tags[s])
+            Some(old.tag)
         } else {
             None
         };
-        self.tags[s] = line;
-        self.valid[s] = true;
-        self.dirty[s] = dirty;
-        self.sets[set].touch(way, self.ways, self.tick);
+        self.slots[s] = Slot { tag: line, meta: VALID | if dirty { DIRTY } else { 0 } };
+        self.touch(s, set, way);
         self.mru_slot = s;
         self.mru_set = set;
         self.mru_way = way;
+        self.way_hints[set] = way as u8;
         evicted
     }
 
     /// Whether `line` is currently resident (no state change).
     pub fn contains_line(&self, line: u64) -> bool {
         let set = self.set_of(line);
+        let base = set * self.ways;
         (0..self.ways).any(|w| {
-            let s = self.slot(set, w);
-            self.valid[s] && self.tags[s] == line
+            let slot = self.slots[base + w];
+            slot.meta & VALID != 0 && slot.tag == line
         })
     }
 }
@@ -372,5 +492,30 @@ mod tests {
         assert_eq!(c.line_of(63), 0);
         assert_eq!(c.line_of(64), 1);
         assert_eq!(c.line_bytes(), 64);
+    }
+
+    #[test]
+    fn slot_layout_matches_reference_lru_semantics() {
+        // A longer adversarial trace against an 8-way LRU set: the packed
+        // stamp-in-slot scan must evict in exactly the order a per-way
+        // timestamp vector would.
+        let mut c = Cache::new(CacheConfig::lru(8 * 64, 8, 64)); // 1 set, 8 ways
+        let mut resident: Vec<u64> = Vec::new(); // LRU order, oldest first
+        let mut x = 0x1234_5678_u64;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let line = x % 24;
+            let hit = c.access_line(line, AccessKind::Read).hit;
+            let was = resident.iter().position(|&l| l == line);
+            assert_eq!(hit, was.is_some(), "residency diverged for line {line}");
+            if let Some(i) = was {
+                resident.remove(i);
+            } else if resident.len() == 8 {
+                resident.remove(0);
+            }
+            resident.push(line);
+        }
     }
 }

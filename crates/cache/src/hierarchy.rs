@@ -188,7 +188,10 @@ impl Hierarchy {
             return ServiceLevel::L1;
         }
         self.l1d_mru_line = line;
-        let l1 = self.l1d.access_line(line, kind);
+        // The L1D's MRU slot holds the line we just compared against
+        // (`l1d_mru_line` tracks exactly the cache's MRU installs), so
+        // skip straight to the set scan.
+        let l1 = self.l1d.access_line_scan(line, kind);
         if l1.hit {
             return ServiceLevel::L1;
         }

@@ -10,6 +10,7 @@
 //! vstress-repro --store cache/     # persist results; repeat runs resume
 //! vstress-repro --time             # per-experiment wall clock on stderr
 //! vstress-repro fig01 fig05        # subset of experiments
+//! vstress-repro --store cache/ store-stats   # store maintenance report
 //! ```
 //!
 //! With `--store DIR`, completed characterization runs (and branch
@@ -51,10 +52,35 @@ fn usage_error(e: &cli::CliError) -> ! {
 }
 
 /// Every experiment id accepted as a positional argument.
+///
+/// `store-stats` is a maintenance report, not an experiment: it prints
+/// the attached store's on-disk footprint (entries and bytes per kind,
+/// plus quarantined files) and runs **only when explicitly named**, so
+/// the default experiment set's stdout stays byte-comparable.
 const EXPERIMENT_IDS: &[&str] = &[
-    "table1", "fig01", "fig02", "fig02a", "fig02b", "table2", "fig03", "fig04", "fig05", "fig06",
-    "fig07", "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-    "decode", "profile",
+    "table1",
+    "fig01",
+    "fig02",
+    "fig02a",
+    "fig02b",
+    "table2",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "decode",
+    "profile",
+    "store-stats",
 ];
 
 /// Prints a table and optionally mirrors it to `<csv_dir>/<slug>.csv`.
@@ -173,12 +199,32 @@ fn run(
             emit(csv_dir, "decode_cost", &t)
         })?;
     }
+    if want("store-stats") {
+        if let Some(store) = cfg.cache.store() {
+            timed(time, "store-stats", || emit(csv_dir, "store_stats", &store_stats_table(store)))?;
+        }
+    }
     if want("profile") {
         timed(time, "profile", || {
             emit(csv_dir, "hot_kernels", &profile::table_hot_kernels(cfg).expect("profile"))
         })?;
     }
     Ok(())
+}
+
+/// The `store-stats` maintenance report: one row per entry kind plus a
+/// quarantine total, from [`RunStore::disk_usage`].
+fn store_stats_table(store: &RunStore) -> Table {
+    let usage = store.disk_usage();
+    let mut t = Table::new(
+        format!("Store statistics (schema v{})", vstress::SCHEMA_VERSION),
+        &["kind", "entries", "bytes"],
+    );
+    for k in &usage.kinds {
+        t.push_row(vec![k.kind.clone(), k.entries.to_string(), k.bytes.to_string()]);
+    }
+    t.push_row(vec!["(quarantined)".into(), usage.quarantined.to_string(), "-".into()]);
+    t
 }
 
 fn main() {
@@ -241,8 +287,13 @@ fn main() {
             }
         }
     }
+    // `store-stats` only runs when explicitly named and needs a store.
+    if wanted.contains("store-stats") && store_dir.is_none() {
+        eprintln!("store-stats requires --store DIR");
+        std::process::exit(cli::USAGE_EXIT.into());
+    }
     let run_all = wanted.is_empty();
-    let want = |id: &str| run_all || wanted.contains(id);
+    let want = |id: &str| (run_all && id != "store-stats") || wanted.contains(id);
 
     eprintln!(
         "vstress-repro: profile = {}, threads = {}, clips = {:?}",
@@ -261,6 +312,10 @@ fn main() {
         eprintln!(
             "vstress-repro: store {} hits, {} misses, {} quarantined",
             s.store_hits, s.store_misses, s.store_quarantined
+        );
+        eprintln!(
+            "vstress-repro: work {} encodes, {} stream captures",
+            s.encodes, s.stream_captures
         );
     }
     if let Err(e) = result {

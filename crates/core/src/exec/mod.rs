@@ -5,27 +5,39 @@
 //! parallel batch — the same structure the paper's datacenter framing
 //! assumes. [`run_all`] fans specs out over the
 //! [`run_ordered`](vstress_codecs::batch::run_ordered) work queue, and
-//! [`RunCache`] memoizes four layers of shared work:
+//! [`RunCache`] memoizes five layers of shared work:
 //!
+//! * **captures** — [`CapturedEncode`]s: the canonical probe event
+//!   stream plus every stream-independent measurement of one encode,
+//!   keyed by (clip, codec, params, fidelity) only. This is the **only
+//!   layer that encodes**; every other layer derives its result from
+//!   the capture, so one encode serves many simulations
+//!   (capture once, simulate many).
 //! * **runs** — [`CharacterizationRun`]s keyed by everything that
 //!   determines them (clip, codec, params, fidelity, cache divisor,
-//!   pipeline on/off). Figures that share quality points (Figs. 4–7
-//!   slice one sweep; Fig. 1/2a/2b share encodes; Table 2 shares the
-//!   CRF-63 encodes with Fig. 8) never recompute an encode.
+//!   pipeline on/off), derived by replaying the capture's stream
+//!   through a fresh core model — or, when the capture itself is being
+//!   recorded, by simulating chunks concurrently with the recording
+//!   encode over a bounded channel. Figures that share quality points
+//!   (Figs. 4–7 slice one sweep; Fig. 1/2a/2b share encodes; Table 2
+//!   shares the CRF-63 encodes with Fig. 8) never recompute an encode.
 //! * **clips** — synthesized vbench clips keyed by (name, fidelity).
-//! * **branch windows** — the CBP study's captured mid-run traces,
-//!   keyed additionally by the window length.
+//! * **branch windows** — the CBP study's mid-run traces, sliced out of
+//!   the capture's stream (keyed additionally by the window length), so
+//!   a CBP matrix re-run against a warm store performs zero encodes.
 //! * **encode/decode costs** — the decode-cost study's instruction
-//!   pairs, so it shares the cache/store machinery instead of encoding
-//!   on the side.
+//!   pairs; the encode side reads the capture's mix, the decode side
+//!   decodes the capture's bitstream.
 //!
 //! Attaching a persistent [`store::RunStore`] (see
-//! [`RunCache::with_store`]) extends the run, window and cost layers
-//! across processes: a repeated or interrupted `vstress-repro --store`
-//! invocation reloads completed entries from disk instead of
-//! re-encoding. Clips are *not* persisted — synthesizing one is cheaper
-//! than deserializing its pixel planes, and a fully store-served run
-//! never needs the clip at all.
+//! [`RunCache::with_store`]) extends the capture, run, window and cost
+//! layers across processes: a repeated or interrupted
+//! `vstress-repro --store` invocation reloads completed entries from
+//! disk instead of re-encoding, and new simulations (a different cache
+//! divisor, another window length) replay the persisted stream instead
+//! of re-running the encoder. Clips are *not* persisted — synthesizing
+//! one is cheaper than deserializing its pixel planes, and a fully
+//! store-served run never needs the clip at all.
 //!
 //! Parallelism never changes results: each worker owns its probes and
 //! `CoreModel`, and every probed buffer carries a synthetic
@@ -36,19 +48,29 @@
 
 pub mod store;
 
-pub use store::{RunStore, StoreStats, SCHEMA_VERSION};
+pub use store::{DiskUsage, KindUsage, RunStore, StoreStats, SCHEMA_VERSION};
 
-use crate::workbench::{characterize_clip, CharacterizationRun, RunSpec, WorkbenchError};
+use crate::workbench::{
+    capture_encode_with, characterize_from_capture, run_from_parts, CapturedEncode,
+    CharacterizationRun, RunSpec, WorkbenchError,
+};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use store::{KIND_COST, KIND_RUN, KIND_WINDOW};
+use store::{KIND_COST, KIND_RUN, KIND_STREAM, KIND_WINDOW};
 use vstress_codecs::batch::run_ordered;
-use vstress_codecs::{CodecId, Decoder, Encoder, EncoderParams};
-use vstress_trace::{BranchRecord, BranchWindowProbe, CountingProbe};
+use vstress_codecs::{CodecId, Decoder, EncoderParams};
+use vstress_pipeline::CoreModel;
+use vstress_trace::stream::chunk_channel;
+use vstress_trace::{BranchRecord, BranchWindowProbe, ChunkTx, CountingProbe};
 use vstress_video::vbench::FidelityConfig;
 use vstress_video::Clip;
+
+/// Bounded depth (in ~1 MiB chunks) of the capture→simulate channel:
+/// enough that neither side stalls on short bursts, small enough that a
+/// slow consumer caps the recorder's working set at a few megabytes.
+const CAPTURE_CHANNEL_CHUNKS: usize = 8;
 
 /// The hashable projection of [`FidelityConfig`].
 type FidelityKey = (usize, usize, u64);
@@ -134,6 +156,46 @@ impl WindowKey {
             self.fidelity.1,
             self.fidelity.2,
             self.window,
+        )
+    }
+}
+
+/// Everything that determines a [`CapturedEncode`] — the spec minus
+/// `cache_divisor` and `model_pipeline` (simulation-side knobs that
+/// never reach the encoder) and minus `tile_workers` (worker-count
+/// invariant): one capture serves every characterization of its encode
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CaptureKey {
+    clip: &'static str,
+    codec: CodecId,
+    params: EncoderParams,
+    fidelity: FidelityKey,
+}
+
+impl CaptureKey {
+    fn of(spec: &RunSpec) -> Self {
+        CaptureKey {
+            clip: spec.clip,
+            codec: spec.codec,
+            params: spec.params,
+            fidelity: fidelity_key(&spec.fidelity),
+        }
+    }
+
+    /// Stable key text for the persistent store's stream layer.
+    fn store_text(&self) -> String {
+        format!(
+            "{}|{:?}|crf{}-p{}-t{}-k{}|fid{}x{}s{:#x}|stream",
+            self.clip,
+            self.codec,
+            self.params.crf,
+            self.params.preset,
+            self.params.threads,
+            self.params.keyint,
+            self.fidelity.0,
+            self.fidelity.1,
+            self.fidelity.2,
         )
     }
 }
@@ -256,24 +318,36 @@ pub struct RunCacheStats {
     /// Encode/decode-cost cache misses (encode+decode pairs, unless
     /// store-served).
     pub cost_misses: u64,
+    /// Captured-encode cache hits (stream reused from memory).
+    pub capture_hits: u64,
+    /// Captured-encode cache misses (stream loaded from the store, or
+    /// recorded by an encode).
+    pub capture_misses: u64,
+    /// Recording encodes actually performed — the capture layer is the
+    /// only encode site, so this counts every encoder invocation in the
+    /// process.
+    pub encodes: u64,
+    /// Event streams captured fresh (recorded rather than reloaded from
+    /// memory or the store). Equal to [`RunCacheStats::encodes`] today;
+    /// kept separate so warm-store assertions name the thing they mean.
+    pub stream_captures: u64,
     /// Persistent-store hits (entries loaded from disk; no work done).
     pub store_hits: u64,
-    /// Persistent-store misses. Zero when no store is attached; with a
-    /// store attached this is exactly the number of encodes/captures
-    /// performed.
+    /// Persistent-store misses (entries computed and written back).
+    /// Zero when no store is attached.
     pub store_misses: u64,
     /// Corrupt or stale store entries quarantined and recomputed.
     pub store_quarantined: u64,
 }
 
-/// Memoizes characterization runs, synthesized clips, CBP branch
-/// windows and encode/decode costs. Thread-safe; share one instance per
-/// process via `Arc` (the
+/// Memoizes captured encodes, characterization runs, synthesized
+/// clips, CBP branch windows and encode/decode costs. Thread-safe;
+/// share one instance per process via `Arc` (the
 /// [`ExperimentConfig`](crate::experiments::ExperimentConfig) embeds
 /// one and `Clone` shares it).
 ///
-/// With [`RunCache::with_store`], the run, window and cost layers
-/// additionally extend across processes through a persistent
+/// With [`RunCache::with_store`], the capture, run, window and cost
+/// layers additionally extend across processes through a persistent
 /// [`RunStore`].
 #[derive(Default)]
 pub struct RunCache {
@@ -281,6 +355,7 @@ pub struct RunCache {
     clips: Mutex<HashMap<ClipKey, Slot<Clip>>>,
     windows: Mutex<HashMap<WindowKey, Slot<BranchWindow>>>,
     costs: Mutex<HashMap<RunKey, Slot<EncodeDecodeCost>>>,
+    captures: Mutex<HashMap<CaptureKey, Slot<CapturedEncode>>>,
     store: Option<Arc<RunStore>>,
     run_hits: AtomicU64,
     run_misses: AtomicU64,
@@ -290,6 +365,10 @@ pub struct RunCache {
     window_misses: AtomicU64,
     cost_hits: AtomicU64,
     cost_misses: AtomicU64,
+    capture_hits: AtomicU64,
+    capture_misses: AtomicU64,
+    encodes: AtomicU64,
+    stream_captures: AtomicU64,
 }
 
 impl std::fmt::Debug for RunCache {
@@ -304,10 +383,10 @@ impl RunCache {
         Self::default()
     }
 
-    /// A fresh cache backed by a persistent store: run, window and cost
-    /// computes consult `store` before doing work and write results
-    /// back, so a second process over the same specs performs zero
-    /// encodes.
+    /// A fresh cache backed by a persistent store: capture, run, window
+    /// and cost computes consult `store` before doing work and write
+    /// results back, so a second process over the same specs performs
+    /// zero encodes.
     pub fn with_store(store: Arc<RunStore>) -> Self {
         RunCache { store: Some(store), ..Self::default() }
     }
@@ -329,6 +408,10 @@ impl RunCache {
             window_misses: self.window_misses.load(Ordering::Relaxed),
             cost_hits: self.cost_hits.load(Ordering::Relaxed),
             cost_misses: self.cost_misses.load(Ordering::Relaxed),
+            capture_hits: self.capture_hits.load(Ordering::Relaxed),
+            capture_misses: self.capture_misses.load(Ordering::Relaxed),
+            encodes: self.encodes.load(Ordering::Relaxed),
+            stream_captures: self.stream_captures.load(Ordering::Relaxed),
             store_hits: store.hits,
             store_misses: store.misses,
             store_quarantined: store.quarantined,
@@ -375,9 +458,31 @@ impl RunCache {
         })
     }
 
-    /// The characterization of `spec`, encoding only on the first
-    /// request for its key — or never, when the persistent store
-    /// already holds it.
+    /// The shared captured encode for `spec`'s (clip, codec, params,
+    /// fidelity) point — recorded at most once per key and persisted in
+    /// the store's `stream` layer. `sink`, used only when this call
+    /// ends up performing the recording encode, streams chunks to a
+    /// concurrent consumer as they fill.
+    fn capture(
+        &self,
+        spec: &RunSpec,
+        sink: Option<ChunkTx>,
+    ) -> Result<Arc<CapturedEncode>, WorkbenchError> {
+        let key = CaptureKey::of(spec);
+        memo(&self.captures, &self.capture_hits, &self.capture_misses, key, || {
+            self.through_store(KIND_STREAM, &key.store_text(), || {
+                let clip = self.clip(spec.clip, &spec.fidelity)?;
+                self.encodes.fetch_add(1, Ordering::Relaxed);
+                self.stream_captures.fetch_add(1, Ordering::Relaxed);
+                capture_encode_with(spec, &clip, sink)
+            })
+        })
+    }
+
+    /// The characterization of `spec`, derived from the shared capture
+    /// of its encode point — encoding only on the first request for
+    /// that point, or never, when the persistent store already holds
+    /// the run or its stream.
     ///
     /// # Errors
     ///
@@ -385,23 +490,63 @@ impl RunCache {
     pub fn run(&self, spec: &RunSpec) -> Result<Arc<CharacterizationRun>, WorkbenchError> {
         let key = RunKey::of(spec);
         memo(&self.runs, &self.run_hits, &self.run_misses, key, || {
-            self.through_store(KIND_RUN, &key.store_text(), || {
-                let clip = self.clip(spec.clip, &spec.fidelity)?;
-                characterize_clip(spec, &clip)
-            })
+            self.through_store(KIND_RUN, &key.store_text(), || self.run_via_capture(spec))
+        })
+    }
+
+    /// Computes a characterization from the spec's shared capture. For
+    /// pipeline specs whose capture is not yet available, the recording
+    /// encode and the core-model simulation overlap: the recorder's
+    /// sink hands each ~1 MiB chunk to a consumer thread over a bounded
+    /// channel while the encode keeps producing the next one. If the
+    /// capture turns out to be served from memory or the store instead
+    /// (nothing flowed through the channel), the stream is replayed
+    /// serially.
+    fn run_via_capture(&self, spec: &RunSpec) -> Result<CharacterizationRun, WorkbenchError> {
+        if !spec.model_pipeline {
+            let cap = self.capture(spec, None)?;
+            return Ok(characterize_from_capture(spec, &cap));
+        }
+        std::thread::scope(|scope| {
+            let (tx, rx) = chunk_channel(CAPTURE_CHANNEL_CHUNKS);
+            let divisor = spec.cache_divisor;
+            let consumer = scope.spawn(move || {
+                let mut core = CoreModel::broadwell_scaled(divisor);
+                let mut chunks = 0usize;
+                while let Some(chunk) = rx.recv() {
+                    core.consume_chunk(&chunk);
+                    chunks += 1;
+                }
+                (core, chunks)
+            });
+            let cap = self.capture(spec, Some(tx));
+            // The sink is dropped even on a memo/store hit (the unused
+            // closure owns it), so the consumer always drains and joins.
+            let (core, consumed) = match consumer.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            };
+            let cap = cap?;
+            if consumed == cap.stream.chunks().len() {
+                // Our sink fed the whole recording: the consumer's core
+                // has already simulated exactly this stream.
+                Ok(run_from_parts(spec, &cap, core))
+            } else {
+                // The capture came from elsewhere (memory or store) and
+                // the channel stayed empty; replay its stream serially.
+                Ok(characterize_from_capture(spec, &cap))
+            }
         })
     }
 
     /// The CBP study's mid-run branch window for one encode
-    /// configuration: a counting pre-pass sizes the run (shared with
-    /// any counting-only characterization of the same spec via the run
-    /// cache), then a second encode captures a centered window of at
-    /// most `window` instructions.
+    /// configuration: a centered window of at most `window` instructions
+    /// sliced out of the shared capture's event stream — no dedicated
+    /// encode pass, and zero encodes when the stream is store-served.
     ///
     /// # Errors
     ///
-    /// Propagates [`WorkbenchError`] from clip synthesis or either
-    /// encode pass.
+    /// Propagates [`WorkbenchError`] from clip synthesis or the encode.
     pub fn branch_window(
         &self,
         spec: &RunSpec,
@@ -416,16 +561,10 @@ impl RunCache {
         };
         memo(&self.windows, &self.window_hits, &self.window_misses, key, || {
             self.through_store(KIND_WINDOW, &key.store_text(), || {
-                let clip = self.clip(spec.clip, &spec.fidelity)?;
-                // Pass 1 — total instruction count, via the run cache: a
-                // counting probe's retired() equals its mix total, so a
-                // cached counting-only run is exactly the old pre-pass.
-                let counting = self.run(&spec.clone().counting_only())?;
-                let total = counting.mix.total();
-                // Pass 2 — capture the centered window.
-                let encoder = Encoder::new(spec.codec, spec.params)?;
+                let cap = self.capture(spec, None)?;
+                let total = cap.mix.total();
                 let mut probe = BranchWindowProbe::mid_run(total, window.min(total));
-                encoder.encode(&clip, &mut probe)?;
+                cap.stream.replay(&mut probe);
                 let captured = probe.window_retired().max(1);
                 Ok(BranchWindow { records: probe.into_records().into(), instructions: captured })
             })
@@ -433,7 +572,8 @@ impl RunCache {
     }
 
     /// The decode-cost study's measurement for `spec`: instructions to
-    /// encode the clip, and to decode the resulting bitstream.
+    /// encode the clip (the capture's mix total), and to decode the
+    /// capture's bitstream.
     ///
     /// # Errors
     ///
@@ -446,14 +586,11 @@ impl RunCache {
         let key = RunKey::of(spec);
         memo(&self.costs, &self.cost_hits, &self.cost_misses, key, || {
             self.through_store(KIND_COST, &format!("{}|cost", key.store_text()), || {
-                let clip = self.clip(spec.clip, &spec.fidelity)?;
-                let encoder = Encoder::new(spec.codec, spec.params)?;
-                let mut pe = CountingProbe::new();
-                let out = encoder.encode(&clip, &mut pe)?;
+                let cap = self.capture(spec, None)?;
                 let mut pd = CountingProbe::new();
-                Decoder::new().decode(&out.bitstream, &mut pd)?;
+                Decoder::new().decode(&cap.bitstream, &mut pd)?;
                 Ok(EncodeDecodeCost {
-                    encode_instructions: pe.mix().total(),
+                    encode_instructions: cap.mix.total(),
                     decode_instructions: pd.mix().total(),
                 })
             })
@@ -516,7 +653,12 @@ mod tests {
         let counting = cache.run(&spec().counting_only()).unwrap();
         assert!(pipeline.core.instructions > 0);
         assert_eq!(counting.core.instructions, 0);
-        assert_eq!(cache.stats().run_misses, 2);
+        let s = cache.stats();
+        assert_eq!(s.run_misses, 2);
+        // Both runs derive from one shared capture: a single encode.
+        assert_eq!((s.capture_hits, s.capture_misses), (1, 1));
+        assert_eq!(s.encodes, 1);
+        assert_eq!(s.stream_captures, 1);
     }
 
     #[test]

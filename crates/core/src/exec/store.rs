@@ -48,7 +48,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// v2: `FrameTaskTrace` gained `plan_units` (measured tile/wavefront
 /// unit costs), changing the `CharacterizationRun` wire format.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3: the `stream` entry kind (captured probe event streams) joined
+/// the store, and runs / branch windows / decode costs are now derived
+/// from captured streams instead of dedicated re-encodes. Results are
+/// bit-identical, but a v2 store has no streams, so the capture-once
+/// layers start cold rather than mixing generations.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Store layer for characterization runs.
 pub(crate) const KIND_RUN: &str = "run";
@@ -56,6 +62,8 @@ pub(crate) const KIND_RUN: &str = "run";
 pub(crate) const KIND_WINDOW: &str = "window";
 /// Store layer for encode/decode cost pairs.
 pub(crate) const KIND_COST: &str = "cost";
+/// Store layer for captured encode event streams.
+pub(crate) const KIND_STREAM: &str = "stream";
 
 /// FNV-1a 64-bit hash — the store's stable content address. (The std
 /// `Hasher` is explicitly not stable across releases; this is.)
@@ -79,6 +87,60 @@ pub struct StoreStats {
     pub quarantined: u64,
     /// Entry writes that failed (store skipped, run unaffected).
     pub write_errors: u64,
+}
+
+/// On-disk footprint of one entry kind (see [`RunStore::disk_usage`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KindUsage {
+    /// Entry kind (`run` / `window` / `cost` / `stream`).
+    pub kind: String,
+    /// Number of `.entry` files.
+    pub entries: u64,
+    /// Total bytes of those entries.
+    pub bytes: u64,
+}
+
+/// Disk-usage summary of one store's version directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiskUsage {
+    /// Per-kind entry counts and sizes, sorted by kind name.
+    pub kinds: Vec<KindUsage>,
+    /// `*.quarantined` files still awaiting inspection.
+    pub quarantined: u64,
+}
+
+/// Deletes `*.quarantined` files left under version directories older
+/// than `current`. Their schema is gone, so the evidence can never be
+/// re-examined against live code, and without a sweep every bump leaves
+/// them accumulating forever. Quarantined files of the *current*
+/// version are kept — they are the inspectable evidence of recent
+/// corruption. Best-effort: IO failures leave files for the next open.
+fn sweep_stale_quarantine(root: &Path, current: u32) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    for dir in entries.flatten() {
+        let name = dir.file_name();
+        let version =
+            name.to_str().and_then(|n| n.strip_prefix('v')).and_then(|n| n.parse::<u32>().ok());
+        let Some(v) = version else { continue };
+        if v >= current {
+            continue;
+        }
+        let Ok(kinds) = std::fs::read_dir(dir.path()) else {
+            continue;
+        };
+        for kind in kinds.flatten() {
+            let Ok(files) = std::fs::read_dir(kind.path()) else {
+                continue;
+            };
+            for f in files.flatten() {
+                if f.file_name().to_string_lossy().ends_with(".quarantined") {
+                    let _ = std::fs::remove_file(f.path());
+                }
+            }
+        }
+    }
 }
 
 /// The on-disk envelope around one stored payload.
@@ -148,6 +210,7 @@ impl RunStore {
     pub fn open_with_version(root: impl AsRef<Path>, version: u32) -> std::io::Result<Self> {
         let vdir = root.as_ref().join(format!("v{version}"));
         std::fs::create_dir_all(&vdir)?;
+        sweep_stale_quarantine(root.as_ref(), version);
         Ok(RunStore {
             vdir,
             version,
@@ -162,6 +225,42 @@ impl RunStore {
     /// The version directory entries live under.
     pub fn dir(&self) -> &Path {
         &self.vdir
+    }
+
+    /// Scans the version directory and reports entries/bytes per kind
+    /// plus the number of quarantined files awaiting inspection — the
+    /// `store-stats` maintenance view. Purely observational (no counter
+    /// changes); IO errors degrade to an empty report rather than
+    /// failing, like every other store path.
+    pub fn disk_usage(&self) -> DiskUsage {
+        let mut usage = DiskUsage::default();
+        let Ok(kinds) = std::fs::read_dir(&self.vdir) else {
+            return usage;
+        };
+        for kind_dir in kinds.flatten() {
+            if !kind_dir.path().is_dir() {
+                continue;
+            }
+            let kind = kind_dir.file_name().to_string_lossy().into_owned();
+            let mut ku = KindUsage { kind, entries: 0, bytes: 0 };
+            let Ok(files) = std::fs::read_dir(kind_dir.path()) else {
+                continue;
+            };
+            for f in files.flatten() {
+                let path = f.path();
+                let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+                let Some(name) = name else { continue };
+                if name.ends_with(".quarantined") {
+                    usage.quarantined += 1;
+                } else if name.ends_with(".entry") {
+                    ku.entries += 1;
+                    ku.bytes += f.metadata().map(|m| m.len()).unwrap_or(0);
+                }
+            }
+            usage.kinds.push(ku);
+        }
+        usage.kinds.sort_by(|a, b| a.kind.cmp(&b.kind));
+        usage
     }
 
     /// Snapshot of the store counters.
@@ -349,6 +448,64 @@ mod tests {
         std::fs::copy(&from, &to).unwrap();
         assert_eq!(v2.get::<u64>(KIND_RUN, "k"), None);
         assert_eq!(v2.stats().quarantined, 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stale_quarantined_files_are_swept_on_open() {
+        let root = tmp_root("sweep");
+        // An old-version store quarantines a corrupted entry.
+        let old = RunStore::open_with_version(&root, SCHEMA_VERSION - 1).unwrap();
+        old.put(KIND_RUN, "k", &1u64);
+        let path = old.entry_path(KIND_RUN, "k");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert_eq!(old.get::<u64>(KIND_RUN, "k"), None);
+        let mut stale = path.into_os_string();
+        stale.push(".quarantined");
+        let stale = PathBuf::from(stale);
+        assert!(stale.exists());
+        drop(old);
+
+        // Opening the current version deletes the stale quarantine file
+        // (its schema can never be re-examined) …
+        let cur = RunStore::open(&root).unwrap();
+        assert!(!stale.exists(), "stale quarantined file must be swept");
+
+        // … but current-version quarantine evidence survives reopens.
+        cur.put(KIND_RUN, "k", &2u64);
+        let path = cur.entry_path(KIND_RUN, "k");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert_eq!(cur.get::<u64>(KIND_RUN, "k"), None);
+        drop(cur);
+        let again = RunStore::open(&root).unwrap();
+        let mut kept = again.entry_path(KIND_RUN, "k").into_os_string();
+        kept.push(".quarantined");
+        assert!(PathBuf::from(kept).exists(), "current-version evidence is kept");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn disk_usage_reports_kinds_and_quarantine() {
+        let root = tmp_root("usage");
+        let store = RunStore::open(&root).unwrap();
+        store.put(KIND_RUN, "a", &1u64);
+        store.put(KIND_RUN, "b", &2u64);
+        store.put(KIND_COST, "c", &3u64);
+        // Corrupt one run entry so a read quarantines it.
+        let path = store.entry_path(KIND_RUN, "a");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        assert_eq!(store.get::<u64>(KIND_RUN, "a"), None);
+
+        let u = store.disk_usage();
+        assert_eq!(u.quarantined, 1);
+        let kinds: Vec<&str> = u.kinds.iter().map(|k| k.kind.as_str()).collect();
+        assert_eq!(kinds, ["cost", "run"], "sorted by kind name");
+        let run = u.kinds.iter().find(|k| k.kind == "run").unwrap();
+        assert_eq!(run.entries, 1, "quarantined files are not entries");
+        assert!(run.bytes > 0);
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -4,7 +4,10 @@ use crate::runtime::cycles_to_seconds;
 use vstress_codecs::taskgraph::TaskTrace;
 use vstress_codecs::{CodecError, CodecId, Encoder, EncoderParams};
 use vstress_pipeline::{CoreModel, CoreReport};
-use vstress_trace::{CountingProbe, HotKernelProfile, OpMix, TeeProbe};
+use vstress_trace::stream::{hex_decode, hex_encode};
+use vstress_trace::{
+    ChunkTx, CountingProbe, EventStream, HotKernelProfile, OpMix, StreamRecorder, TeeProbe,
+};
 use vstress_video::vbench::{self, FidelityConfig};
 use vstress_video::{Clip, VideoError};
 
@@ -199,6 +202,157 @@ pub fn characterize_clip(
             total_bits: out.total_bits(),
             tasks: out.tasks,
         })
+    }
+}
+
+/// One recorded encode: the full canonical probe event stream plus every
+/// stream-independent measurement the encode produced.
+///
+/// A capture is independent of `cache_divisor` and `model_pipeline`
+/// (simulation-side knobs) and of `tile_workers` (the probe-merge
+/// contract makes the stream worker-count invariant), so a single
+/// capture serves **every** characterization of its
+/// (clip, codec, params, fidelity) point — capture once, simulate many.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapturedEncode {
+    /// Clip name.
+    pub clip: String,
+    /// The chunked, canonical-address probe event stream.
+    pub stream: EventStream,
+    /// Retired-instruction mix of the encode.
+    pub mix: OpMix,
+    /// Hot-kernel profile of the encode.
+    pub profile: HotKernelProfile,
+    /// Mean luma PSNR of the reconstruction.
+    pub mean_psnr: f64,
+    /// Bitrate in kbps.
+    pub bitrate_kbps: f64,
+    /// Total encoded bits.
+    pub total_bits: u64,
+    /// Per-stage task costs for the threading study.
+    pub tasks: TaskTrace,
+    /// The encoded bitstream (the decode-cost study decodes it).
+    pub bitstream: Vec<u8>,
+}
+
+// Hand-written so the bitstream travels as hex rather than as a seq of
+// one JSON number per byte (the derive would work, but triples the
+// store entry for the densest field).
+impl serde::Serialize for CapturedEncode {
+    fn serialize(&self, s: &mut serde::Serializer) {
+        self.clip.serialize(s);
+        self.stream.serialize(s);
+        self.mix.serialize(s);
+        self.profile.serialize(s);
+        self.mean_psnr.serialize(s);
+        self.bitrate_kbps.serialize(s);
+        self.total_bits.serialize(s);
+        self.tasks.serialize(s);
+        hex_encode(&self.bitstream).serialize(s);
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for CapturedEncode {
+    fn deserialize(d: &mut serde::Deserializer<'de>) -> Result<Self, serde::Error> {
+        Ok(CapturedEncode {
+            clip: String::deserialize(d)?,
+            stream: EventStream::deserialize(d)?,
+            mix: OpMix::deserialize(d)?,
+            profile: HotKernelProfile::deserialize(d)?,
+            mean_psnr: f64::deserialize(d)?,
+            bitrate_kbps: f64::deserialize(d)?,
+            total_bits: u64::deserialize(d)?,
+            tasks: TaskTrace::deserialize(d)?,
+            bitstream: hex_decode(&String::deserialize(d)?)?,
+        })
+    }
+}
+
+/// Records one encode as a [`CapturedEncode`].
+///
+/// A [`StreamRecorder`] gathers the canonical event stream (and, through
+/// its embedded counting probe, the mix and hot-kernel profile) while
+/// the encoder runs at the spec's tile-worker count. With a `sink`,
+/// flushed chunks are additionally handed to a concurrent consumer as
+/// they fill (capture/simulate overlap); the stream in the returned
+/// capture is complete either way.
+///
+/// # Errors
+///
+/// Returns [`WorkbenchError`] if the encoder rejects the parameters.
+pub fn capture_encode_with(
+    spec: &RunSpec,
+    clip: &Clip,
+    sink: Option<ChunkTx>,
+) -> Result<CapturedEncode, WorkbenchError> {
+    let encoder = Encoder::new(spec.codec, spec.params)?;
+    let mut rec = match sink {
+        Some(tx) => StreamRecorder::with_sink(tx),
+        None => StreamRecorder::new(),
+    };
+    let out = encoder.encode_with(clip, &mut rec, spec.tile_workers.max(1))?;
+    let (stream, counting) = rec.finish();
+    Ok(CapturedEncode {
+        clip: clip.name().to_owned(),
+        stream,
+        mix: counting.mix(),
+        profile: counting.profile().clone(),
+        mean_psnr: out.mean_psnr(),
+        bitrate_kbps: out.bitrate_kbps,
+        total_bits: out.total_bits(),
+        tasks: out.tasks,
+        bitstream: out.bitstream,
+    })
+}
+
+/// [`capture_encode_with`], synthesizing the clip and with no sink.
+///
+/// # Errors
+///
+/// Returns [`WorkbenchError`] for unknown clips or invalid parameters.
+pub fn capture_encode(spec: &RunSpec) -> Result<CapturedEncode, WorkbenchError> {
+    let clip = clip_for(spec)?;
+    capture_encode_with(spec, &clip, None)
+}
+
+/// Derives the full characterization of `spec` from a captured encode of
+/// the same (clip, codec, params, fidelity) point: a canonical stream
+/// replay through a fresh core model (or no simulation at all, for
+/// counting-only specs).
+///
+/// Bit-identical to the fused live path ([`characterize_clip`]) — the
+/// `stream_equivalence` integration test is the oracle.
+pub fn characterize_from_capture(spec: &RunSpec, cap: &CapturedEncode) -> CharacterizationRun {
+    let mut core = CoreModel::broadwell_scaled(spec.cache_divisor);
+    if spec.model_pipeline {
+        core.consume_stream(&cap.stream);
+    }
+    run_from_parts(spec, cap, core)
+}
+
+/// Assembles the run record from a capture plus a core model that has
+/// already consumed the capture's stream (or is untouched, for
+/// counting-only specs) — shared by the serial replay path and the
+/// channel-overlapped capture pipeline in [`crate::exec::RunCache`].
+pub fn run_from_parts(
+    spec: &RunSpec,
+    cap: &CapturedEncode,
+    core: CoreModel,
+) -> CharacterizationRun {
+    let report = core.into_report();
+    let seconds = if spec.model_pipeline { cycles_to_seconds(report.cycles) } else { 0.0 };
+    CharacterizationRun {
+        codec: spec.codec,
+        params: spec.params,
+        clip: cap.clip.clone(),
+        mix: cap.mix,
+        profile: cap.profile.clone(),
+        seconds,
+        core: report,
+        mean_psnr: cap.mean_psnr,
+        bitrate_kbps: cap.bitrate_kbps,
+        total_bits: cap.total_bits,
+        tasks: cap.tasks.clone(),
     }
 }
 

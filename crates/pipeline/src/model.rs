@@ -4,7 +4,8 @@ use crate::config::CoreConfig;
 use crate::report::{CoreReport, ResourceStalls};
 use vstress_bpred::{BranchPredictor, Gshare};
 use vstress_cache::{Hierarchy, HierarchyConfig, ServiceLevel};
-use vstress_trace::{Kernel, Probe, ProbeEvent};
+use vstress_trace::stream::decode_chunk;
+use vstress_trace::{AddressCanonicalizer, EventStream, Kernel, Probe, ProbeEvent};
 
 /// An interval-model out-of-order core consuming an instrumented encode.
 ///
@@ -29,7 +30,6 @@ pub struct CoreModel<B: BranchPredictor = Gshare> {
     branches: u64,
     mispredicts: u64,
 
-    slots_retiring: f64,
     slots_bad_spec: f64,
     slots_frontend: f64,
     slots_backend_mem: f64,
@@ -40,20 +40,58 @@ pub struct CoreModel<B: BranchPredictor = Gshare> {
     /// `1 / kernel_ilp(kernel)` — cycles per instruction at the current
     /// kernel's ILP limit.
     cur_cost: f64,
+    /// `(cur_cost - 1.0 / width).max(0.0) * width` — the backend-core
+    /// slot charge of a *single* instruction at the current kernel.
+    /// Loads, stores, and branches always advance by one, so caching
+    /// this removes an f64 division from the per-event path; the value
+    /// is computed with the exact expression [`CoreModel::advance`]
+    /// would evaluate for `n == 1`, so the accumulated slots are
+    /// bit-identical.
+    cur_core1: f64,
     /// Per-kernel `cur_cost` values, precomputed in [`CoreModel::new`]
     /// with the identical expression so a kernel switch is a table load
     /// instead of a match plus an f64 division.
     cost_table: [f64; Kernel::ALL.len()],
+    /// Per-kernel `cur_core1` values (same precomputation contract).
+    core1_table: [f64; Kernel::ALL.len()],
     /// Bytes fetched so far per kernel (monotonic; wraps over the kernel's
     /// current hot window to model loop re-execution).
     fetch_bytes: [u64; Kernel::ALL.len()],
+    /// `fetch_bytes[kernel.index()]` cached in a scalar so the per-event
+    /// fetch walk avoids an indexed read-modify-write; written back to
+    /// the table on every kernel switch.
+    cur_fetch: u64,
+    /// Per-kernel `(code_footprint() / 64).max(1)` — code size in lines.
+    fp_lines_table: [u64; Kernel::ALL.len()],
+    /// Per-kernel `WINDOW_LINES.min(fp_lines)` — hot-window size in lines.
+    win_lines_table: [u64; Kernel::ALL.len()],
+    /// Per-kernel `code_base()`.
+    code_base_table: [u64; Kernel::ALL.len()],
+    cur_fp_lines: u64,
+    cur_win_lines: u64,
+    cur_code_base: u64,
+    /// `cur_fetch / WINDOW_PERIOD_BYTES` at the last window-base refresh.
+    cur_period: u64,
+    /// `(cur_period * cur_win_lines) % cur_fp_lines` — the hot window's
+    /// first line within the kernel's footprint.
+    cur_window_base: u64,
+    /// `(cur_fetch / 64) % cur_win_lines` — the last fetched line's
+    /// offset within the hot window. Crossed lines are consecutive
+    /// within a kernel, so this is maintained by increment-and-wrap;
+    /// both non-constant divisions the fetch walk used to pay per line
+    /// crossing reduce to a compare (the values are identical: the
+    /// offset is always in `[0, win_lines)` before the increment, and
+    /// `window_base + offset < 2 * fp_lines`, so one conditional
+    /// subtract is exactly the modulo).
+    cur_line_mod: u64,
 
     /// Memory-level-parallelism window state.
     last_miss_at: u64,
     cur_mlp: u32,
 
-    /// First-touch page remapping of probe addresses (see
-    /// [`AddressCanonicalizer`]).
+    /// First-touch page remapping of live probe addresses (see
+    /// [`AddressCanonicalizer`]). The stream-replay path bypasses it:
+    /// captured streams are canonical already.
     canon: AddressCanonicalizer,
 
     /// L1D misses attributed to the kernel active at miss time.
@@ -107,10 +145,27 @@ impl<B: BranchPredictor> CoreModel<B> {
         hierarchy.validate();
         let kernel = Kernel::FrameSetup;
         let mut cost_table = [0.0f64; Kernel::ALL.len()];
+        let mut core1_table = [0.0f64; Kernel::ALL.len()];
+        let mut fp_lines_table = [0u64; Kernel::ALL.len()];
+        let mut win_lines_table = [0u64; Kernel::ALL.len()];
+        let mut code_base_table = [0u64; Kernel::ALL.len()];
+        let w = config.width as f64;
         for k in Kernel::ALL {
-            cost_table[k.index()] = 1.0 / config.kernel_ilp(k).min(config.width as f64);
+            let cost = 1.0 / config.kernel_ilp(k).min(w);
+            cost_table[k.index()] = cost;
+            // advance(1) evaluates (1.0 * cost - 1.0 / w).max(0.0) * w;
+            // 1.0 * cost is exactly cost, so this is that expression.
+            core1_table[k.index()] = (cost - 1.0 / w).max(0.0) * w;
+            let fp = (k.code_footprint() / 64).max(1);
+            fp_lines_table[k.index()] = fp;
+            win_lines_table[k.index()] = WINDOW_LINES.min(fp);
+            code_base_table[k.index()] = k.code_base();
         }
         let cur_cost = cost_table[kernel.index()];
+        let cur_core1 = core1_table[kernel.index()];
+        let cur_fp_lines = fp_lines_table[kernel.index()];
+        let cur_win_lines = win_lines_table[kernel.index()];
+        let cur_code_base = code_base_table[kernel.index()];
         CoreModel {
             hierarchy: Hierarchy::new(hierarchy),
             predictor,
@@ -120,7 +175,6 @@ impl<B: BranchPredictor> CoreModel<B> {
             stores: 0,
             branches: 0,
             mispredicts: 0,
-            slots_retiring: 0.0,
             slots_bad_spec: 0.0,
             slots_frontend: 0.0,
             slots_backend_mem: 0.0,
@@ -128,8 +182,22 @@ impl<B: BranchPredictor> CoreModel<B> {
             stalls: ResourceStalls::default(),
             kernel,
             cur_cost,
+            cur_core1,
             cost_table,
+            core1_table,
             fetch_bytes: [0; Kernel::ALL.len()],
+            cur_fetch: 0,
+            fp_lines_table,
+            win_lines_table,
+            code_base_table,
+            cur_fp_lines,
+            cur_win_lines,
+            cur_code_base,
+            // cur_fetch = 0: period 0, window base (0 * wl) % fp = 0,
+            // line offset (0 / 64) % wl = 0.
+            cur_period: 0,
+            cur_window_base: 0,
+            cur_line_mod: 0,
             last_miss_at: 0,
             cur_mlp: 1,
             canon: AddressCanonicalizer::new(),
@@ -146,7 +214,13 @@ impl<B: BranchPredictor> CoreModel<B> {
             width: self.config.width,
             branches: self.branches,
             branch_mispredicts: self.mispredicts,
-            slots_retiring: self.slots_retiring,
+            // Retiring slots accumulate exactly `n as f64` per advance:
+            // every partial sum is an integer, integer-valued f64
+            // addition is exact below 2^53, so the accumulator always
+            // equals `retired` — report the counter instead of paying an
+            // f64 add per event. (An encode retiring 2^53 instructions
+            // is ~10^7 CPU-years; the conversion here is exact.)
+            slots_retiring: self.retired as f64,
             slots_bad_spec: self.slots_bad_spec,
             slots_frontend: self.slots_frontend,
             slots_backend_mem: self.slots_backend_mem,
@@ -163,15 +237,51 @@ impl<B: BranchPredictor> CoreModel<B> {
         self.retired
     }
 
+    /// Switches the active kernel, refreshing the cached per-kernel
+    /// scalars. All three dispatch surfaces (live probe, stream sink,
+    /// batched drain) funnel through here so the `cur_*` caches stay
+    /// coherent with `kernel`.
+    #[inline]
+    fn switch_kernel(&mut self, k: Kernel) {
+        self.fetch_bytes[self.kernel.index()] = self.cur_fetch;
+        self.kernel = k;
+        let idx = k.index();
+        self.cur_cost = self.cost_table[idx];
+        self.cur_core1 = self.core1_table[idx];
+        self.cur_fetch = self.fetch_bytes[idx];
+        self.cur_fp_lines = self.fp_lines_table[idx];
+        self.cur_win_lines = self.win_lines_table[idx];
+        self.cur_code_base = self.code_base_table[idx];
+        self.cur_period = self.cur_fetch / WINDOW_PERIOD_BYTES;
+        self.cur_window_base = (self.cur_period * self.cur_win_lines) % self.cur_fp_lines;
+        self.cur_line_mod = (self.cur_fetch / 64) % self.cur_win_lines;
+    }
+
     /// Retires `n` instructions at the current kernel's ILP rate and
     /// attributes base slots.
     #[inline]
     fn advance(&mut self, n: u64) {
+        if n == 1 {
+            // The dominant case (every load, store, and branch): the
+            // n == 1 arithmetic reduces to the precomputed per-kernel
+            // scalars — `1.0 * cur_cost` is exactly `cur_cost` and
+            // `cur_core1` caches `(cur_cost - 1.0 / w).max(0.0) * w` —
+            // so this path skips the f64 division bit-exactly.
+            self.retired += 1;
+            self.cycles += self.cur_cost;
+            // Adding an exact +0.0 to the non-negative accumulator is the
+            // identity, so width-limited kernels (cur_core1 == 0.0) skip
+            // the add bit-exactly.
+            if self.cur_core1 != 0.0 {
+                self.slots_backend_core += self.cur_core1;
+            }
+            self.fetch(1);
+            return;
+        }
         let w = self.config.width as f64;
         self.retired += n;
         let base = n as f64 * self.cur_cost;
         self.cycles += base;
-        self.slots_retiring += n as f64;
         // Slots above the ideal width-limited schedule that the ILP limit
         // wastes are core-bound backend stalls (execution resources /
         // dependency chains).
@@ -183,22 +293,48 @@ impl<B: BranchPredictor> CoreModel<B> {
     /// the current kernel's hot window.
     #[inline]
     fn fetch(&mut self, n: u64) {
-        let idx = self.kernel.index();
-        let before = self.fetch_bytes[idx];
+        let before = self.cur_fetch;
         let after = before + n * self.config.inst_bytes;
-        self.fetch_bytes[idx] = after;
-        let first_line = before / 64;
-        let last_line = after / 64;
-        if first_line == last_line {
+        self.cur_fetch = after;
+        if before / 64 == after / 64 {
             return;
         }
-        let footprint_lines = (self.kernel.code_footprint() / 64).max(1);
-        let window_lines = WINDOW_LINES.min(footprint_lines);
-        let window_base = (after / WINDOW_PERIOD_BYTES * window_lines) % footprint_lines;
-        let base = self.kernel.code_base();
+        self.fetch_lines(before / 64, after / 64, after);
+    }
+
+    /// The line-crossing tail of [`CoreModel::fetch`] (an
+    /// `inst_bytes = 4` stream crosses a line once per 16 instructions).
+    ///
+    /// The fetched address is
+    /// `base + ((window_base + line % win_lines) % fp_lines) * 64` with
+    /// `window_base = (after / WINDOW_PERIOD_BYTES * win_lines) % fp_lines`.
+    /// Both modulos are by per-kernel, non-constant divisors; rather than
+    /// dividing per crossed line, the state is carried incrementally:
+    /// crossed lines are consecutive within a kernel, so
+    /// `line % win_lines` is the previous offset plus one with a wrap at
+    /// `win_lines`, and `window_base` only changes when `after` crosses a
+    /// `WINDOW_PERIOD_BYTES` boundary (or on a kernel switch, which
+    /// recomputes all of it from `cur_fetch`). The addresses produced are
+    /// identical to the direct-modulo form — this is integer arithmetic,
+    /// not a float approximation.
+    #[inline]
+    fn fetch_lines(&mut self, first_line: u64, last_line: u64, after: u64) {
+        let period = after / WINDOW_PERIOD_BYTES;
+        if period != self.cur_period {
+            self.cur_period = period;
+            self.cur_window_base = (period * self.cur_win_lines) % self.cur_fp_lines;
+        }
         let w = self.config.width as f64;
-        for line in (first_line + 1)..=last_line {
-            let addr = base + ((window_base + line % window_lines) % footprint_lines) * 64;
+        for _ in first_line..last_line {
+            self.cur_line_mod += 1;
+            if self.cur_line_mod == self.cur_win_lines {
+                self.cur_line_mod = 0;
+            }
+            let mut slot = self.cur_window_base + self.cur_line_mod;
+            if slot >= self.cur_fp_lines {
+                slot -= self.cur_fp_lines;
+            }
+            let addr = self.cur_code_base + slot * 64;
             let level = self.hierarchy.fetch(addr);
             if level > ServiceLevel::L1 {
                 let raw = (self.hierarchy.latency(level) - self.hierarchy.latency(ServiceLevel::L1))
@@ -210,11 +346,43 @@ impl<B: BranchPredictor> CoreModel<B> {
         }
     }
 
+    /// Drains a captured event stream into the model.
+    ///
+    /// The stream must come from a
+    /// [`StreamRecorder`](vstress_trace::StreamRecorder) capture: its
+    /// data addresses are already canonical, so this path skips the
+    /// live-probe canonicalization while performing the identical model
+    /// arithmetic — the resulting [`CoreReport`] is bit-identical to
+    /// driving the model live with the raw event sequence (pinned by
+    /// `stream_replay_is_bit_identical_to_live_dispatch` below and the
+    /// full-encode oracle in `tests/stream_equivalence.rs`).
+    pub fn consume_stream(&mut self, stream: &EventStream) {
+        for chunk in stream.chunks() {
+            self.consume_chunk(chunk);
+        }
+    }
+
+    /// Drains one packed chunk of a captured stream (see
+    /// [`CoreModel::consume_stream`]). Chunks must be fed in stream
+    /// order; this is the consumer half of the capture/simulate
+    /// pipeline, draining a [`vstress_trace::ChunkRx`] while the encode
+    /// is still producing.
+    pub fn consume_chunk(&mut self, chunk: &[u8]) {
+        decode_chunk(chunk, &mut CanonicalSink(self));
+    }
+
     /// Charges a data-side miss stall and the associated resource pressure.
+    #[inline]
     fn memory_stall(&mut self, level: ServiceLevel, is_store: bool) {
         if level <= ServiceLevel::L1 {
             return;
         }
+        self.memory_stall_miss(level, is_store);
+    }
+
+    /// The miss half of [`CoreModel::memory_stall`], outlined so the
+    /// ubiquitous L1-hit check above stays inline at every call site.
+    fn memory_stall_miss(&mut self, level: ServiceLevel, is_store: bool) {
         // Overlapping misses share latency (memory-level parallelism).
         if self.retired - self.last_miss_at <= self.config.mlp_window {
             self.cur_mlp = (self.cur_mlp + 1).min(self.config.max_mlp);
@@ -255,11 +423,75 @@ impl<B: BranchPredictor> CoreModel<B> {
     }
 }
 
+/// The stream-replay adaptor: identical event handling to the live
+/// [`Probe`] impl on [`CoreModel`], minus address canonicalization
+/// (replayed addresses are canonical by construction, and
+/// canonicalization is idempotent, so the hierarchy sees the same
+/// addresses either way).
+struct CanonicalSink<'a, B: BranchPredictor>(&'a mut CoreModel<B>);
+
+impl<B: BranchPredictor> Probe for CanonicalSink<'_, B> {
+    #[inline]
+    fn set_kernel(&mut self, k: Kernel) {
+        // Capture drops redundant redeclarations, so every arriving
+        // switch is (or is indistinguishable from) a real one.
+        self.0.switch_kernel(k);
+    }
+
+    #[inline]
+    fn alu(&mut self, n: u64) {
+        self.0.advance(n);
+    }
+
+    #[inline]
+    fn avx(&mut self, n: u64) {
+        self.0.advance(n);
+    }
+
+    #[inline]
+    fn sse(&mut self, n: u64) {
+        self.0.advance(n);
+    }
+
+    #[inline]
+    fn load(&mut self, addr: u64, bytes: u32) {
+        let m = &mut *self.0;
+        m.advance(1);
+        m.loads += 1;
+        let level = m.hierarchy.load(addr, bytes);
+        m.memory_stall(level, false);
+    }
+
+    #[inline]
+    fn store(&mut self, addr: u64, bytes: u32) {
+        let m = &mut *self.0;
+        m.advance(1);
+        m.stores += 1;
+        let level = m.hierarchy.store(addr, bytes);
+        m.memory_stall(level, true);
+    }
+
+    #[inline]
+    fn branch(&mut self, pc: u64, taken: bool) {
+        self.0.branch(pc, taken);
+    }
+
+    #[inline]
+    fn retired(&self) -> u64 {
+        self.0.retired
+    }
+}
+
+impl<B: BranchPredictor> std::fmt::Debug for CanonicalSink<'_, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CanonicalSink")
+    }
+}
+
 impl<B: BranchPredictor> Probe for CoreModel<B> {
     #[inline]
     fn set_kernel(&mut self, k: Kernel) {
-        self.kernel = k;
-        self.cur_cost = self.cost_table[k.index()];
+        self.switch_kernel(k);
     }
 
     #[inline]
@@ -324,8 +556,10 @@ impl<B: BranchPredictor> Probe for CoreModel<B> {
     /// reduce to `advance(n)` (the batch is *not* coalesced: f64 addition
     /// is non-associative, so each event performs its own `advance`
     /// arithmetic), and a `SetKernel` repeating the current kernel is
-    /// skipped because `set_kernel` writes only `kernel` and `cur_cost`,
-    /// both pure functions of `k`. What the loop saves is the per-event
+    /// skipped because `switch_kernel` only installs values that are
+    /// pure functions of `k` (plus a write-back/reload of the fetch
+    /// scalar that is the identity when `k` is unchanged). What the
+    /// loop saves is the per-event
     /// call overhead and redundant kernel-cost updates, which dominate
     /// replayed streams (recorded batches re-declare their kernel far
     /// more often than they switch it).
@@ -334,8 +568,7 @@ impl<B: BranchPredictor> Probe for CoreModel<B> {
             match e {
                 ProbeEvent::SetKernel(k) => {
                     if k != self.kernel {
-                        self.kernel = k;
-                        self.cur_cost = self.cost_table[k.index()];
+                        self.switch_kernel(k);
                     }
                 }
                 ProbeEvent::Alu(n) | ProbeEvent::Avx(n) | ProbeEvent::Sse(n) => self.advance(n),
@@ -543,6 +776,74 @@ mod tests {
         assert_eq!(per_event.into_report(), batched.into_report());
     }
 
+    /// The capture/replay round trip must be invisible: recording a raw
+    /// event stream through a `StreamRecorder` (which canonicalizes
+    /// addresses and drops redundant kernel redeclarations) and draining
+    /// it via `consume_stream` must produce a report bit-identical to
+    /// driving the model live with the raw events (whose own
+    /// canonicalizer assigns the same pages in the same first-touch
+    /// order).
+    #[test]
+    fn stream_replay_is_bit_identical_to_live_dispatch() {
+        use vstress_trace::StreamRecorder;
+        let mut x = 0x0fed_cba9_8765_4321u64;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut live = scaled();
+        let mut rec = StreamRecorder::new().with_chunk_target(16 << 10);
+        for _ in 0..150_000 {
+            match step() % 12 {
+                0 | 1 => {
+                    let k = Kernel::ALL[step() as usize % Kernel::ALL.len()];
+                    live.set_kernel(k);
+                    rec.set_kernel(k);
+                }
+                2..=4 => {
+                    let n = 1 + step() % 40;
+                    live.alu(n);
+                    rec.alu(n);
+                }
+                5 => {
+                    let n = 1 + step() % 6;
+                    live.avx(n);
+                    rec.avx(n);
+                }
+                6 => {
+                    let n = 1 + step() % 4;
+                    live.sse(n);
+                    rec.sse(n);
+                }
+                7 | 8 => {
+                    let (a, b) = (0x7f12_0000_0000 + step() % (1 << 22), 1 << (step() % 7));
+                    live.load(a, b);
+                    rec.load(a, b);
+                }
+                9 => {
+                    let (a, b) = (0x7f34_0000_0000 + step() % (1 << 20), 13);
+                    live.store(a, b);
+                    rec.store(a, b);
+                }
+                _ => {
+                    let (pc, t) = (0x5000_0000_0000 + (step() % 64) * 16, step() % 3 == 0);
+                    live.branch(pc, t);
+                    rec.branch(pc, t);
+                }
+            }
+        }
+        let (stream, _) = rec.finish();
+        let mut replayed = scaled();
+        stream.replay(&mut CanonicalSink(&mut replayed));
+        let mut chunked = scaled();
+        chunked.consume_stream(&stream);
+        let live = live.into_report();
+        assert_eq!(live, replayed.into_report());
+        assert_eq!(live, chunked.into_report());
+    }
+
     #[test]
     fn report_slot_identity() {
         let mut m = scaled();
@@ -559,120 +860,5 @@ mod tests {
         let sum = td.retiring + td.bad_speculation + td.frontend + td.backend;
         assert!((sum - 1.0).abs() < 1e-9);
         assert!(r.ipc() <= r.width as f64 + 1e-9);
-    }
-}
-
-/// First-touch page canonicalization of data addresses.
-///
-/// The probes report live host addresses, whose *page bases* depend on
-/// allocator state and ASLR — realistic, but it makes cache statistics
-/// jitter between processes. Remapping each 4 KiB page to a sequential
-/// canonical page in first-touch order preserves all intra-page locality
-/// and stride structure while making inter-buffer placement a pure
-/// function of the (deterministic) access sequence.
-#[derive(Debug)]
-pub(crate) struct AddressCanonicalizer {
-    /// Open-addressed (page -> canonical page) table; power-of-two size.
-    keys: Vec<u64>,
-    vals: Vec<u64>,
-    len: usize,
-    next_page: u64,
-}
-
-const PAGE_BITS: u32 = 12;
-const EMPTY: u64 = u64::MAX;
-
-impl AddressCanonicalizer {
-    pub(crate) fn new() -> Self {
-        AddressCanonicalizer {
-            keys: vec![EMPTY; 1 << 12],
-            vals: vec![0; 1 << 12],
-            len: 0,
-            // Start canonical data pages well away from the synthetic
-            // code regions.
-            next_page: 0x0000_2000_0000_0000 >> PAGE_BITS,
-        }
-    }
-
-    #[inline]
-    pub(crate) fn canon(&mut self, addr: u64) -> u64 {
-        let page = addr >> PAGE_BITS;
-        let mask = self.keys.len() as u64 - 1;
-        let mut i = (page.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40 & mask) as usize;
-        loop {
-            let k = self.keys[i];
-            if k == page {
-                return (self.vals[i] << PAGE_BITS) | (addr & ((1 << PAGE_BITS) - 1));
-            }
-            if k == EMPTY {
-                let canonical = self.next_page;
-                self.next_page += 1;
-                self.keys[i] = page;
-                self.vals[i] = canonical;
-                self.len += 1;
-                if self.len * 2 > self.keys.len() {
-                    self.grow();
-                }
-                return (canonical << PAGE_BITS) | (addr & ((1 << PAGE_BITS) - 1));
-            }
-            i = (i + 1) & mask as usize;
-        }
-    }
-
-    fn grow(&mut self) {
-        let old_keys = std::mem::replace(&mut self.keys, vec![EMPTY; 0]);
-        let old_vals = std::mem::take(&mut self.vals);
-        let new_cap = old_keys.len() * 2;
-        self.keys = vec![EMPTY; new_cap];
-        self.vals = vec![0; new_cap];
-        let mask = new_cap as u64 - 1;
-        for (k, v) in old_keys.into_iter().zip(old_vals) {
-            if k == EMPTY {
-                continue;
-            }
-            let mut i = (k.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40 & mask) as usize;
-            while self.keys[i] != EMPTY {
-                i = (i + 1) & mask as usize;
-            }
-            self.keys[i] = k;
-            self.vals[i] = v;
-        }
-    }
-}
-
-#[cfg(test)]
-mod canon_tests {
-    use super::*;
-
-    #[test]
-    fn preserves_page_offsets() {
-        let mut c = AddressCanonicalizer::new();
-        let a = c.canon(0x7fff_1234_5678);
-        assert_eq!(a & 0xfff, 0x678);
-        // Same page, different offset: same canonical page.
-        let b = c.canon(0x7fff_1234_5000);
-        assert_eq!(a >> 12, b >> 12);
-    }
-
-    #[test]
-    fn first_touch_order_defines_layout() {
-        let mut c1 = AddressCanonicalizer::new();
-        let mut c2 = AddressCanonicalizer::new();
-        // Two different host layouts, same access sequence positions.
-        let seq1 = [0x111_0000u64, 0x999_0000, 0x111_0040];
-        let seq2 = [0xabc_0000u64, 0x222_0000, 0xabc_0040];
-        let m1: Vec<u64> = seq1.iter().map(|&a| c1.canon(a)).collect();
-        let m2: Vec<u64> = seq2.iter().map(|&a| c2.canon(a)).collect();
-        assert_eq!(m1, m2, "canonical stream depends only on the sequence");
-    }
-
-    #[test]
-    fn table_grows_past_initial_capacity() {
-        let mut c = AddressCanonicalizer::new();
-        let mut seen = std::collections::HashSet::new();
-        for i in 0..20_000u64 {
-            let a = c.canon(i << 12 | 7);
-            assert!(seen.insert(a >> 12), "canonical pages must be unique");
-        }
     }
 }

@@ -33,6 +33,7 @@ pub mod probe;
 pub mod probe_addr;
 pub mod profile;
 pub mod record;
+pub mod stream;
 pub mod window;
 
 pub use event::{EventBatch, ProbeEvent, RecordingProbe};
@@ -41,6 +42,7 @@ pub use mix::{OpClass, OpMix};
 pub use probe::{CountingProbe, NullProbe, Probe, SinkProbe, TeeProbe};
 pub use profile::HotKernelProfile;
 pub use record::{BranchRecord, MemAccess};
+pub use stream::{AddressCanonicalizer, ChunkRx, ChunkTx, EventStream, StreamRecorder};
 pub use window::BranchWindowProbe;
 
 /// Computes a stable 64-bit synthetic program counter for a static branch

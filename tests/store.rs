@@ -35,7 +35,9 @@ fn reloaded_run_is_bit_identical() {
     let first = fresh_cache(&root);
     let computed = first.run(&spec()).unwrap();
     let s = first.stats();
-    assert_eq!((s.store_hits, s.store_misses), (0, 1));
+    // Two misses: the run entry and the capture's stream entry.
+    assert_eq!((s.store_hits, s.store_misses), (0, 2));
+    assert_eq!(s.encodes, 1);
     drop(first);
 
     // Process 2: a brand-new cache + store over the same directory must
@@ -46,6 +48,8 @@ fn reloaded_run_is_bit_identical() {
     let s = second.stats();
     assert_eq!((s.store_hits, s.store_misses), (1, 0));
     assert_eq!(s.clip_misses, 0, "a store-served run never synthesizes the clip");
+    assert_eq!(s.encodes, 0, "a warm store means zero encodes");
+    assert_eq!(s.stream_captures, 0, "…and zero stream recaptures");
 
     let _ = std::fs::remove_dir_all(&root);
 }
@@ -57,16 +61,22 @@ fn window_and_cost_layers_reload() {
     let first = fresh_cache(&root);
     let window = first.branch_window(&spec(), 10_000).unwrap();
     let cost = first.encode_decode_cost(&spec()).unwrap();
+    let s = first.stats();
+    // Window, cost and the shared stream entry miss; the cost derivation
+    // reuses the window's in-memory capture, so one encode serves both.
+    assert_eq!((s.store_hits, s.store_misses), (0, 3));
+    assert_eq!(s.encodes, 1);
     drop(first);
 
     let second = fresh_cache(&root);
     assert_eq!(*second.branch_window(&spec(), 10_000).unwrap(), *window);
     assert_eq!(*second.encode_decode_cost(&spec()).unwrap(), *cost);
     let s = second.stats();
-    // The window's counting pre-pass run was persisted too, but a full
-    // window hit never needs it: both lookups are pure store hits.
+    // The capture's stream was persisted too, but a full window or cost
+    // hit never needs it: both lookups are pure store hits.
     assert_eq!((s.store_hits, s.store_misses), (2, 0));
     assert_eq!(s.clip_misses, 0);
+    assert_eq!(s.encodes, 0);
 
     let _ = std::fs::remove_dir_all(&root);
 }
@@ -98,7 +108,10 @@ fn truncated_entry_is_quarantined_and_recomputed() {
     assert_eq!(*recomputed, *computed, "recompute must reproduce the run");
     let s = second.stats();
     assert_eq!(s.store_quarantined, 1);
-    assert_eq!((s.store_hits, s.store_misses), (0, 1));
+    // The run entry misses (quarantined), but the stream entry from
+    // process 1 is intact and serves the recompute — capture once.
+    assert_eq!((s.store_hits, s.store_misses), (1, 1));
+    assert_eq!(s.encodes, 0, "the persisted stream makes the recompute encode-free");
     assert!(entries[0].exists(), "the recomputed entry is re-stored at the same address");
     let quarantined: Vec<PathBuf> = std::fs::read_dir(&run_dir)
         .unwrap()
@@ -131,7 +144,7 @@ fn schema_version_bump_invalidates_old_entries() {
         RunCache::with_store(Arc::new(RunStore::open_with_version(&root, next_version).unwrap()));
     bumped.run(&spec()).unwrap();
     let s = bumped.stats();
-    assert_eq!((s.store_hits, s.store_misses), (0, 1));
+    assert_eq!((s.store_hits, s.store_misses), (0, 2));
     assert_eq!(s.store_quarantined, 0, "absent is not corrupt");
     drop(bumped);
 

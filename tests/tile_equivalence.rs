@@ -133,6 +133,30 @@ fn tile_merge_is_byte_identical_to_the_serial_stream() {
 }
 
 #[test]
+fn captured_stream_is_tile_worker_invariant() {
+    // The capture-once layer's licence to drop `tile_workers` from its
+    // cache key: a recorded capture — the packed canonical event stream
+    // byte-for-byte, chunk boundaries included, plus every
+    // stream-independent measurement — must not depend on how many
+    // workers ran the encode. A capture recorded at any worker count may
+    // then serve replays for every other count.
+    use vstress::workbench::{capture_encode, RunSpec};
+    let serial = capture_encode(&RunSpec::quick("cat", CodecId::X264, EncoderParams::new(35, 4)))
+        .expect("serial capture");
+    let tiled = capture_encode(
+        &RunSpec::quick("cat", CodecId::X264, EncoderParams::new(35, 4)).with_tile_workers(4),
+    )
+    .expect("tiled capture");
+    assert_eq!(serial.stream.events(), tiled.stream.events(), "event count diverged");
+    assert_eq!(
+        serial.stream.chunks(),
+        tiled.stream.chunks(),
+        "packed canonical stream diverged across tile-worker counts"
+    );
+    assert_eq!(serial, tiled, "captured measurements diverged across tile-worker counts");
+}
+
+#[test]
 fn dead_probe_path_reaches_the_same_encode() {
     // Without a live probe the workers take the memoized fast path; the
     // artifacts (not the instrumentation, which is deliberately absent)
